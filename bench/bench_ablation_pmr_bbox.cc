@@ -1,0 +1,61 @@
+// Ablation: the Section 6 "3-tuple" PMR quadtree variant.
+//
+// "The number of segment comparisons in the PMR quadtree can be reduced by
+// modifying the definition of the PMR quadtree so that a minimum bounding
+// rectangle is stored with every line segment ... The storage costs would
+// be higher ... when we examine the relative difference in the absolute
+// number of segment comparisons, we find that it may not be worthwhile to
+// introduce this added complexity."
+//
+// This bench quantifies that trade-off: 2-tuples (8 bytes) vs 3-tuples
+// (16 bytes with a stored bounding box) on a full county.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) return 1;
+  std::printf("Ablation: PMR 2-tuple vs 3-tuple (stored bounding boxes) on "
+              "%s county (%zu segments)\n\n",
+              county.c_str(), map.segments.size());
+  std::printf("%-9s | %7s %8s | %7s %8s %8s | %7s %8s %8s\n", "variant",
+              "size KB", "build da", "P1 da", "P1 segc", "P1 bbox",
+              "Rng da", "Rng segc", "Rng bbox");
+  PrintRule(92);
+
+  for (bool store_bboxes : {false, true}) {
+    ExperimentOptions opt;
+    opt.index.pmr_store_bboxes = store_bboxes;
+    opt.num_queries = 500;
+    Experiment exp(map, opt);
+    if (!exp.BuildAll().ok()) return 1;
+    BuildStats build;
+    for (const BuildStats& bs : exp.build_stats()) {
+      if (bs.kind == StructureKind::kPmr) build = bs;
+    }
+    QueryStats p1, rng;
+    if (!exp.RunWorkload(StructureKind::kPmr, Workload::kPoint1, &p1).ok() ||
+        !exp.RunWorkload(StructureKind::kPmr, Workload::kRange, &rng).ok()) {
+      return 1;
+    }
+    std::printf("%-9s | %7.0f %8llu | %7.2f %8.2f %8.2f | %7.2f %8.2f "
+                "%8.2f\n",
+                store_bboxes ? "3-tuple" : "2-tuple",
+                static_cast<double>(build.bytes) / 1024.0,
+                static_cast<unsigned long long>(build.disk_accesses),
+                p1.disk_accesses, p1.segment_comps, p1.bbox_comps,
+                rng.disk_accesses, rng.segment_comps, rng.bbox_comps);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape (paper Section 6): the 3-tuple variant "
+              "cuts segment comparisons but\ncosts storage and build I/O; "
+              "whether it is worthwhile depends on the workload.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: R*-tree forced reinsertion.
+//
+// The paper attributes the R*-tree's 7.8-9.1x build-time penalty to "the
+// computationally expensive node overflow technique where 30% of the
+// bounding boxes are reinserted into the structure". This bench sweeps the
+// reinsertion fraction, showing its cost (build CPU and I/O) and benefit
+// (more compact trees, cheaper queries).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) return 1;
+  std::printf("Ablation: R*-tree forced reinsertion fraction on %s county "
+              "(%zu segments)\n\n",
+              county.c_str(), map.segments.size());
+  std::printf("%9s | %7s %8s %7s %5s | %7s %7s %7s\n", "reinsert",
+              "size KB", "build da", "cpu s", "occ", "P1 da", "NN da",
+              "Rng da");
+  PrintRule(80);
+
+  for (double frac : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    ExperimentOptions opt;
+    opt.index.rstar_reinsert_frac = frac;
+    opt.num_queries = 400;
+    Experiment exp(map, opt);
+    if (!exp.BuildAll().ok()) return 1;
+    BuildStats build;
+    for (const BuildStats& bs : exp.build_stats()) {
+      if (bs.kind == StructureKind::kRStar) build = bs;
+    }
+    QueryStats p1, nn, rng;
+    if (!exp.RunWorkload(StructureKind::kRStar, Workload::kPoint1, &p1)
+             .ok() ||
+        !exp.RunWorkload(StructureKind::kRStar, Workload::kNearest2Stage,
+                         &nn)
+             .ok() ||
+        !exp.RunWorkload(StructureKind::kRStar, Workload::kRange, &rng)
+             .ok()) {
+      return 1;
+    }
+    std::printf("%8.0f%% | %7.0f %8llu %7.2f %5.1f | %7.2f %7.2f %7.2f\n",
+                frac * 100, static_cast<double>(build.bytes) / 1024.0,
+                static_cast<unsigned long long>(build.disk_accesses),
+                build.cpu_seconds, build.avg_occupancy, p1.disk_accesses,
+                nn.disk_accesses, rng.disk_accesses);
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: higher reinsertion fractions cost build "
+              "time but pack pages tighter\n(higher occupancy, smaller "
+              "size) and reduce query disk accesses.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 6 of Hoel & Samet (SIGMOD 1992): disk accesses during
+// the build as a function of page size and buffer pool size, for the PMR
+// quadtree and the R+-tree.
+//
+// Paper observations to reproduce:
+//  * accesses decrease as page size and buffer pool size increase;
+//  * "for identical page and buffer pool configurations, the number of
+//    disk accesses for the PMR quadtree is smaller than for the R+-tree"
+//    (8-byte tuples vs 20-byte tuples => more entries per page).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "AnneArundel";
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+  std::printf("Figure 6: build disk accesses by page size and buffer pool "
+              "size (%s county, %zu segments)\n\n",
+              county.c_str(), map.segments.size());
+
+  const uint32_t page_sizes[] = {512, 1024, 2048, 4096};
+  const uint32_t pool_kb[] = {8, 16, 32, 64};
+
+  for (StructureKind kind : {StructureKind::kPmr, StructureKind::kRPlus}) {
+    std::printf("%s:\n", StructureName(kind));
+    std::printf("  %10s |", "page size");
+    for (uint32_t kb : pool_kb) std::printf(" %8uKB", kb);
+    std::printf("   (buffer pool)\n  ");
+    PrintRule(58);
+    for (uint32_t ps : page_sizes) {
+      std::printf("  %9uB |", ps);
+      for (uint32_t kb : pool_kb) {
+        IndexOptions opt;
+        opt.page_size = ps;
+        opt.buffer_frames = std::max(2u, kb * 1024u / ps);
+        auto st = Experiment::BuildOne(map, kind, opt);
+        if (!st.ok()) {
+          std::fprintf(stderr, "build failed: %s\n",
+                       st.status().ToString().c_str());
+          return 1;
+        }
+        std::printf(" %10llu",
+                    static_cast<unsigned long long>(st->disk_accesses));
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Reproduces Figures 7-9 of Hoel & Samet (SIGMOD 1992): normalized ranges
+// of the three metrics over all six county maps, per query type.
+//
+//  * Figure 7 — bounding box computations of the R+-tree normalized
+//    against the R*-tree (PMR bucket computations are ~2 orders of
+//    magnitude smaller and are printed separately, as the paper notes it
+//    "was not feasible to plot them using normalized ranges").
+//  * Figure 8 — disk accesses of R* and R+ normalized against the PMR
+//    quadtree (PMR == 1 by construction).
+//  * Figure 9 — segment comparisons normalized against the PMR quadtree.
+//
+// Each cell prints min / avg / max over the six maps — the paper's
+// "normalized range" bars.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+namespace {
+
+struct Range {
+  double min = 0, sum = 0, max = 0;
+  int n = 0;
+  void Add(double v) {
+    if (n == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    sum += v;
+    ++n;
+  }
+  double avg() const { return n > 0 ? sum / n : 0.0; }
+};
+
+}  // namespace
+
+int main() {
+  // metric[figure][workload][structure] -> normalized range over maps.
+  std::map<Workload, Range> fig7_rplus;           // R+ bbox / R* bbox
+  std::map<Workload, Range> fig7_pmr_abs;         // PMR bucket comps (abs)
+  std::map<Workload, std::map<StructureKind, Range>> fig8;  // disk / PMR
+  std::map<Workload, std::map<StructureKind, Range>> fig9;  // segcmp / PMR
+
+  for (const PolygonalMap& map : AllCountyMaps()) {
+    ExperimentOptions opt;
+    Experiment exp(map, opt);
+    Status st = exp.BuildAll();
+    if (!st.ok()) {
+      std::fprintf(stderr, "build failed for %s: %s\n", map.name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::vector<QueryStats> stats;
+    st = exp.RunAllQueries(&stats);
+    if (!st.ok()) {
+      std::fprintf(stderr, "queries failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto find = [&stats](StructureKind k, Workload w) {
+      for (const QueryStats& qs : stats) {
+        if (qs.kind == k && qs.workload == w) return qs;
+      }
+      return QueryStats{};
+    };
+    for (Workload w : kAllWorkloads) {
+      const QueryStats pmr = find(StructureKind::kPmr, w);
+      const QueryStats rp = find(StructureKind::kRPlus, w);
+      const QueryStats rs = find(StructureKind::kRStar, w);
+      if (rs.bbox_comps > 0) {
+        fig7_rplus[w].Add(rp.bbox_comps / rs.bbox_comps);
+      }
+      fig7_pmr_abs[w].Add(pmr.bucket_comps);
+      if (pmr.disk_accesses > 0) {
+        fig8[w][StructureKind::kRPlus].Add(rp.disk_accesses /
+                                           pmr.disk_accesses);
+        fig8[w][StructureKind::kRStar].Add(rs.disk_accesses /
+                                           pmr.disk_accesses);
+      }
+      if (pmr.segment_comps > 0) {
+        fig9[w][StructureKind::kRPlus].Add(rp.segment_comps /
+                                           pmr.segment_comps);
+        fig9[w][StructureKind::kRStar].Add(rs.segment_comps /
+                                           pmr.segment_comps);
+      }
+    }
+    std::printf("[%s done]\n", map.name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nFigure 7: bounding box computations, R+ normalized "
+              "against R* (min/avg/max over 6 maps)\n");
+  PrintRule(78);
+  for (Workload w : kAllWorkloads) {
+    const Range& r = fig7_rplus[w];
+    std::printf("%-17s  R+/R*: %5.2f / %5.2f / %5.2f   "
+                "(PMR bucket comps, absolute: %.1f avg)\n",
+                WorkloadName(w), r.min, r.avg(), r.max,
+                fig7_pmr_abs[w].avg());
+  }
+
+  std::printf("\nFigure 8: disk accesses normalized against the PMR "
+              "quadtree (PMR == 1)\n");
+  PrintRule(78);
+  for (Workload w : kAllWorkloads) {
+    const Range& rp = fig8[w][StructureKind::kRPlus];
+    const Range& rs = fig8[w][StructureKind::kRStar];
+    std::printf("%-17s  R+: %5.2f / %5.2f / %5.2f    R*: %5.2f / %5.2f / "
+                "%5.2f\n",
+                WorkloadName(w), rp.min, rp.avg(), rp.max, rs.min, rs.avg(),
+                rs.max);
+  }
+
+  std::printf("\nFigure 9: segment comparisons normalized against the PMR "
+              "quadtree (PMR == 1)\n");
+  PrintRule(78);
+  for (Workload w : kAllWorkloads) {
+    const Range& rp = fig9[w][StructureKind::kRPlus];
+    const Range& rs = fig9[w][StructureKind::kRStar];
+    std::printf("%-17s  R+: %5.2f / %5.2f / %5.2f    R*: %5.2f / %5.2f / "
+                "%5.2f\n",
+                WorkloadName(w), rp.min, rp.avg(), rp.max, rs.min, rs.avg(),
+                rs.max);
+  }
+  return 0;
+}

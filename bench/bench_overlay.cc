@@ -1,0 +1,111 @@
+// Map overlay (spatial join) bench — the composition argument of the
+// paper's conclusion: "the decomposition lines are always in the same
+// positions" makes PMR-PMR overlay a single coordinated Z-order pass,
+// whereas R-tree overlays must probe data-dependent decompositions.
+//
+// Joins a road county with a stream-like county and compares the PMR
+// merge join against index-nested-loop joins over R+, R*, and PMR.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+#include "lsdb/query/join.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+int main() {
+  // Map A: suburban road network; map B: meandering "streams".
+  CountyProfile roads_profile;
+  roads_profile.name = "roads";
+  roads_profile.lattice = 48;
+  roads_profile.meander_steps = 4;
+  roads_profile.seed = 71;
+  CountyProfile streams_profile;
+  streams_profile.name = "streams";
+  streams_profile.lattice = 12;
+  streams_profile.meander_steps = 24;
+  streams_profile.meander_amp = 0.18;
+  streams_profile.seed = 72;
+  const PolygonalMap roads = GenerateCounty(roads_profile, 14);
+  const PolygonalMap streams = GenerateCounty(streams_profile, 14);
+  std::printf("Map overlay: %zu road segments x %zu stream segments\n\n",
+              roads.segments.size(), streams.segments.size());
+
+  ExperimentOptions opt;
+  Experiment roads_exp(roads, opt);
+  Experiment streams_exp(streams, opt);
+  if (!roads_exp.BuildAll().ok() || !streams_exp.BuildAll().ok()) return 1;
+
+  std::printf("%-28s %10s %8s %8s %10s %9s\n", "algorithm", "pairs",
+              "A da", "B da", "B segcmp", "wall ms");
+  PrintRule(80);
+
+  auto run = [&](const char* name, auto&& join_fn, SpatialIndex* ia,
+                 SpatialIndex* ib) {
+    const MetricCounters before_a = ia->metrics();
+    const MetricCounters before_b = ib->metrics();
+    uint64_t pairs = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status st = join_fn(&pairs);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name, st.ToString().c_str());
+      return false;
+    }
+    std::printf("%-28s %10llu %8llu %8llu %10llu %9.1f\n", name,
+                static_cast<unsigned long long>(pairs),
+                static_cast<unsigned long long>(
+                    (ia->metrics() - before_a).disk_accesses()),
+                static_cast<unsigned long long>(
+                    (ib->metrics() - before_b).disk_accesses()),
+                static_cast<unsigned long long>(
+                    (ib->metrics() - before_b).segment_comps),
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+    std::fflush(stdout);
+    return true;
+  };
+
+  if (!run("PMR merge join",
+           [&](uint64_t* pairs) {
+             return PmrMergeJoin(roads_exp.pmr(),
+                                 roads_exp.segment_table(),
+                                 streams_exp.pmr(),
+                                 streams_exp.segment_table(),
+                                 [pairs](SegmentId, SegmentId) {
+                                   ++*pairs;
+                                   return Status::OK();
+                                 });
+           },
+           roads_exp.pmr(), streams_exp.pmr())) {
+    return 1;
+  }
+  for (StructureKind kind : {StructureKind::kPmr, StructureKind::kRPlus,
+                             StructureKind::kRStar}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "nested loop over %s",
+                  StructureName(kind));
+    if (!run(name,
+             [&](uint64_t* pairs) {
+               return IndexNestedLoopJoin(roads_exp.segment_table(),
+                                          streams_exp.index(kind),
+                                          [pairs](SegmentId, SegmentId) {
+                                            ++*pairs;
+                                            return Status::OK();
+                                          });
+             },
+             roads_exp.pmr() /* A side unused by nested loop */,
+             streams_exp.index(kind))) {
+      return 1;
+    }
+  }
+  std::printf("\nAll algorithms must report the same pair count. The merge "
+              "join makes a single\nZ-ordered pass over map A and "
+              "block-local probes of map B (the aligned\ndecomposition "
+              "property of the paper's conclusion); the nested loops issue "
+              "one\nwindow query per A segment, so their costs scale with "
+              "|A| rather than with\nthe number of occupied blocks.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Table 1 of Hoel & Samet (SIGMOD 1992): data structure
+// building statistics — index size in KBytes, disk accesses during the
+// build, and CPU seconds — for the R*-tree, R+-tree, and PMR quadtree on
+// six ~50K-segment county maps (1K pages, 16-page LRU buffer pools, PMR
+// splitting threshold 4, R-tree m = 40% of M).
+//
+// Also prints the Section 7 occupancy observation: "the average number of
+// line segments in an R*-tree page was 36 while it was 32 in an R+-tree
+// page", and PMR bucket occupancy ~0.5 * splitting threshold.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+int main() {
+  std::printf("Table 1: data structure building statistics\n");
+  std::printf("(paper: SIGMOD'92 pp. 205-214; 1K pages, 16-frame LRU "
+              "buffer pool, PMR threshold 4, m = 0.4M)\n\n");
+  std::printf("%-13s %6s | %7s %7s %7s | %8s %8s %8s | %7s %7s %7s\n",
+              "map name", "segs", "R* KB", "R+ KB", "PMR KB", "R* d.a.",
+              "R+ d.a.", "PMR d.a.", "R* cpu", "R+ cpu", "PMR cpu");
+  PrintRule(118);
+
+  struct Row {
+    std::string name;
+    size_t segs;
+    double kb[3];
+    uint64_t da[3];
+    double cpu[3];
+    double occ[3];
+    uint32_t height[3];
+  };
+  std::vector<Row> rows;
+
+  for (const PolygonalMap& map : AllCountyMaps()) {
+    ExperimentOptions opt;  // paper defaults
+    Experiment exp(map, opt);
+    Status st = exp.BuildAll();
+    if (!st.ok()) {
+      std::fprintf(stderr, "build failed for %s: %s\n", map.name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    Row row;
+    row.name = map.name;
+    row.segs = map.segments.size();
+    for (const BuildStats& bs : exp.build_stats()) {
+      int i = 0;
+      switch (bs.kind) {
+        case StructureKind::kRStar: i = 0; break;
+        case StructureKind::kRPlus: i = 1; break;
+        case StructureKind::kPmr: i = 2; break;
+        default: continue;
+      }
+      row.kb[i] = static_cast<double>(bs.bytes) / 1024.0;
+      row.da[i] = bs.disk_accesses;
+      row.cpu[i] = bs.cpu_seconds;
+      row.occ[i] = bs.avg_occupancy;
+      row.height[i] = bs.height;
+    }
+    rows.push_back(row);
+    std::printf(
+        "%-13s %6zu | %7.0f %7.0f %7.0f | %8llu %8llu %8llu | %7.2f %7.2f "
+        "%7.2f\n",
+        row.name.c_str(), row.segs, row.kb[0], row.kb[1], row.kb[2],
+        static_cast<unsigned long long>(row.da[0]),
+        static_cast<unsigned long long>(row.da[1]),
+        static_cast<unsigned long long>(row.da[2]), row.cpu[0], row.cpu[1],
+        row.cpu[2]);
+    std::fflush(stdout);
+  }
+
+  PrintRule(118);
+  std::printf("\nDerived shape checks (paper expectations):\n");
+  double sum_rp = 0, sum_pmr = 0, sum_cpu_rstar = 0, sum_cpu_rp = 0,
+         sum_cpu_pmr = 0;
+  for (const Row& r : rows) {
+    sum_rp += r.kb[1] / r.kb[0];
+    sum_pmr += r.kb[2] / r.kb[0];
+    sum_cpu_rstar += r.cpu[0] / r.cpu[1];
+    sum_cpu_rp += 1.0;
+    sum_cpu_pmr += r.cpu[2] / r.cpu[1];
+  }
+  const double n = static_cast<double>(rows.size());
+  std::printf("  storage: R+/R* = %.2f (paper 1.26-1.43), PMR/R* = %.2f "
+              "(paper 1.13-1.43)\n",
+              sum_rp / n, sum_pmr / n);
+  std::printf("  build cpu: R*/R+ = %.1fx (paper 7.8-9.1x), PMR/R+ = %.1fx "
+              "(paper 1.5-1.7x)\n",
+              sum_cpu_rstar / n, sum_cpu_pmr / n);
+  std::printf("\nSection 7 occupancy (paper: R* ~36, R+ ~32, PMR bucket "
+              "~0.5 x threshold = 2):\n");
+  for (const Row& r : rows) {
+    std::printf("  %-13s R* %.1f  R+ %.1f  PMR %.2f   heights: %u/%u/%u\n",
+                r.name.c_str(), r.occ[0], r.occ[1], r.occ[2], r.height[0],
+                r.height[1], r.height[2]);
+  }
+  return 0;
+}

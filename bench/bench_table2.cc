@@ -1,0 +1,76 @@
+// Reproduces Table 2 of Hoel & Samet (SIGMOD 1992): per-query averages of
+// disk accesses, segment comparisons, and bounding box / bucket
+// computations for Charles county (rural), over 1000 executions of each of
+// the seven query workloads, for the PMR quadtree, R+-tree, and R*-tree.
+//
+// Paper values for orientation (PMR / R+ / R*):
+//   Point1 disk accesses:      1.55 /  2.07 /  2.74
+//   Nearest(2-stage) disk:     2.21 /  2.52 /  3.35
+//   Nearest(1-stage) disk:     7.18 /  6.75 /  3.38
+//   Polygon(2-stage) disk:    13.19 / 18.46 / 14.07
+//   Range disk accesses:       2.93 /  3.24 /  3.50
+//   bbox/bucket comps gap: PMR two orders of magnitude below the R-trees.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lsdb/harness/experiment.h"
+
+using namespace lsdb;        // NOLINT
+using namespace lsdb::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+  std::printf("Table 2: per-query metrics for %s county (%zu segments,"
+              " 1000 queries per workload)\n\n",
+              county.c_str(), map.segments.size());
+
+  ExperimentOptions opt;  // paper defaults: 1K pages, 16 frames, 1000 q
+  Experiment exp(map, opt);
+  Status st = exp.BuildAll();
+  if (!st.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::vector<QueryStats> stats;
+  st = exp.RunAllQueries(&stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "queries failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto find = [&stats](StructureKind k, Workload w) {
+    for (const QueryStats& qs : stats) {
+      if (qs.kind == k && qs.workload == w) return qs;
+    }
+    return QueryStats{};
+  };
+
+  std::printf("%-17s %-22s %10s %10s %10s\n", "query", "metric", "PMR",
+              "R+", "R*");
+  PrintRule(75);
+  for (Workload w : kAllWorkloads) {
+    const QueryStats pmr = find(StructureKind::kPmr, w);
+    const QueryStats rp = find(StructureKind::kRPlus, w);
+    const QueryStats rs = find(StructureKind::kRStar, w);
+    std::printf("%-17s %-22s %10.2f %10.2f %10.2f\n", WorkloadName(w),
+                "disk accesses", pmr.disk_accesses, rp.disk_accesses,
+                rs.disk_accesses);
+    std::printf("%-17s %-22s %10.2f %10.2f %10.2f\n", "",
+                "segment comps", pmr.segment_comps, rp.segment_comps,
+                rs.segment_comps);
+    std::printf("%-17s %-22s %10.2f %10.2f %10.2f\n", "",
+                "bbox / bucket comps", pmr.bucket_comps, rp.bbox_comps,
+                rs.bbox_comps);
+    std::printf("%-17s %-22s %10.2f %10.2f %10.2f\n", "",
+                "avg result size", pmr.avg_result_size, rp.avg_result_size,
+                rs.avg_result_size);
+    PrintRule(75);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the reproduction benches: county map cache and
+// fixed-width table printing in the style of the paper's tables.
+
+#ifndef LSDB_BENCH_BENCH_UTIL_H_
+#define LSDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/data/polygonal_map.h"
+
+namespace lsdb::bench {
+
+/// Generates all six Maryland county maps on the 16K grid (deterministic).
+inline std::vector<PolygonalMap> AllCountyMaps(uint32_t world_log2 = 14) {
+  std::vector<PolygonalMap> maps;
+  for (const CountyProfile& p : MarylandProfiles()) {
+    maps.push_back(GenerateCounty(p, world_log2));
+  }
+  return maps;
+}
+
+/// Generates one county by name (empty result if unknown).
+inline PolygonalMap CountyMap(const std::string& name,
+                              uint32_t world_log2 = 14) {
+  for (const CountyProfile& p : MarylandProfiles()) {
+    if (p.name == name) return GenerateCounty(p, world_log2);
+  }
+  return PolygonalMap{};
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace lsdb::bench
+
+#endif  // LSDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Index comparison: build all four structures (R*-tree, R+-tree, PMR
+// quadtree, uniform grid) over the same road network and compare storage
+// and query costs — a miniature of the paper's whole experiment.
+//
+//   $ ./examples/index_comparison [county]
+//
+// Counties: AnneArundel, Baltimore, Cecil, Charles, Garrett, Washington
+// (defaults to a reduced-size map for a fast run).
+
+#include <cstdio>
+#include <memory>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/grid/uniform_grid.h"
+#include "lsdb/harness/experiment.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+
+using namespace lsdb;  // NOLINT
+
+int main(int argc, char** argv) {
+  PolygonalMap map;
+  if (argc > 1) {
+    for (const CountyProfile& p : MarylandProfiles()) {
+      if (p.name == argv[1]) map = GenerateCounty(p, 14);
+    }
+    if (map.segments.empty()) {
+      std::fprintf(stderr, "unknown county %s\n", argv[1]);
+      return 1;
+    }
+  } else {
+    CountyProfile p;
+    p.name = "demo";
+    p.lattice = 28;
+    p.meander_steps = 5;
+    p.seed = 11;
+    map = GenerateCounty(p, 14);
+  }
+  std::printf("map %s: %zu segments\n\n", map.name.c_str(),
+              map.segments.size());
+
+  ExperimentOptions opt;
+  opt.include_grid = true;
+  opt.num_queries = 300;
+  Experiment exp(map, opt);
+  if (!exp.BuildAll().ok()) return 1;
+
+  std::printf("%-6s %10s %10s %8s %7s\n", "index", "size KB", "build da",
+              "cpu s", "height");
+  for (const BuildStats& bs : exp.build_stats()) {
+    std::printf("%-6s %10.0f %10llu %8.2f %7u\n", StructureName(bs.kind),
+                static_cast<double>(bs.bytes) / 1024.0,
+                static_cast<unsigned long long>(bs.disk_accesses),
+                bs.cpu_seconds, bs.height);
+  }
+
+  std::printf("\nper-query disk accesses (300 queries each):\n");
+  std::printf("%-18s", "workload");
+  const StructureKind kinds[] = {StructureKind::kRStar,
+                                 StructureKind::kRPlus, StructureKind::kPmr,
+                                 StructureKind::kGrid};
+  for (StructureKind k : kinds) std::printf(" %8s", StructureName(k));
+  std::printf("\n");
+  for (Workload w : kAllWorkloads) {
+    std::printf("%-18s", WorkloadName(w));
+    for (StructureKind k : kinds) {
+      QueryStats qs;
+      if (!exp.RunWorkload(k, w, &qs).ok()) return 1;
+      std::printf(" %8.2f", qs.disk_accesses);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(the structures return identical result sets; only their "
+              "costs differ)\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# table/figure of the paper plus the ablations. Outputs are written to
+# test_output.txt and bench_output.txt in the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $b ====="
+  "$b"
+  echo
+done) 2>&1 | tee bench_output.txt

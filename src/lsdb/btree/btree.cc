@@ -1,0 +1,556 @@
+#include "lsdb/btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace lsdb {
+
+namespace {
+
+constexpr uint8_t kLeafKind = 1;
+constexpr uint8_t kInternalKind = 2;
+constexpr size_t kHeaderSize = 12;
+
+void PutU16(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, 4); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint16_t GetU16(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+BTree::BTree(BufferPool* pool, uint32_t payload_size)
+    : pool_(pool), payload_size_(payload_size) {}
+
+uint32_t BTree::LeafCapacity() const {
+  return (pool_->page_size() - kHeaderSize) / (8 + payload_size_);
+}
+
+uint32_t BTree::InternalCapacity() const {
+  // Internal payload: one leading child (4 bytes) + count * (key + child).
+  return (pool_->page_size() - kHeaderSize - 4) / 12;
+}
+
+Status BTree::Init() {
+  assert(root_ == kInvalidPageId);
+  auto id = AllocNode();
+  if (!id.ok()) return id.status();
+  root_ = *id;
+  Node root;
+  root.leaf = true;
+  return StoreNode(root_, root);
+}
+
+StatusOr<PageId> BTree::AllocNode() {
+  auto ref = pool_->New();
+  if (!ref.ok()) return ref.status();
+  ++live_pages_;
+  return ref->id();
+}
+
+Status BTree::FreeNode(PageId id) {
+  --live_pages_;
+  return pool_->Free(id);
+}
+
+Status BTree::LoadNode(PageId id, Node* node) {
+  auto ref = pool_->Fetch(id);
+  if (!ref.ok()) return ref.status();
+  const uint8_t* p = ref->data();
+  const uint8_t kind = p[0];
+  const uint16_t count = GetU16(p + 2);
+  node->keys.clear();
+  node->children.clear();
+  node->payloads.clear();
+  if (kind == kLeafKind) {
+    node->leaf = true;
+    node->prev = GetU32(p + 4);
+    node->next = GetU32(p + 8);
+    node->keys.reserve(count);
+    node->payloads.resize(static_cast<size_t>(count) * payload_size_);
+    const uint8_t* q = p + kHeaderSize;
+    for (uint16_t i = 0; i < count; ++i) {
+      node->keys.push_back(GetU64(q));
+      q += 8;
+      if (payload_size_ > 0) {
+        std::memcpy(node->payloads.data() +
+                        static_cast<size_t>(i) * payload_size_,
+                    q, payload_size_);
+        q += payload_size_;
+      }
+    }
+  } else if (kind == kInternalKind) {
+    node->leaf = false;
+    node->prev = node->next = kInvalidPageId;
+    const uint8_t* q = p + kHeaderSize;
+    node->children.push_back(GetU32(q));
+    q += 4;
+    for (uint16_t i = 0; i < count; ++i, q += 12) {
+      node->keys.push_back(GetU64(q));
+      node->children.push_back(GetU32(q + 8));
+    }
+  } else {
+    return Status::Corruption("bad btree node kind");
+  }
+  return Status::OK();
+}
+
+Status BTree::StoreNode(PageId id, const Node& node) {
+  auto ref = pool_->Fetch(id);
+  if (!ref.ok()) return ref.status();
+  uint8_t* p = ref->data();
+  std::memset(p, 0, pool_->page_size());
+  p[0] = node.leaf ? kLeafKind : kInternalKind;
+  PutU16(p + 2, static_cast<uint16_t>(node.keys.size()));
+  if (node.leaf) {
+    assert(node.keys.size() <= LeafCapacity());
+    assert(node.payloads.size() == node.keys.size() * payload_size_);
+    PutU32(p + 4, node.prev);
+    PutU32(p + 8, node.next);
+    uint8_t* q = p + kHeaderSize;
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      PutU64(q, node.keys[i]);
+      q += 8;
+      if (payload_size_ > 0) {
+        std::memcpy(q, node.payloads.data() + i * payload_size_,
+                    payload_size_);
+        q += payload_size_;
+      }
+    }
+  } else {
+    assert(node.keys.size() <= InternalCapacity());
+    assert(node.children.size() == node.keys.size() + 1);
+    uint8_t* q = p + kHeaderSize;
+    PutU32(q, node.children[0]);
+    q += 4;
+    for (size_t i = 0; i < node.keys.size(); ++i, q += 12) {
+      PutU64(q, node.keys[i]);
+      PutU32(q + 8, node.children[i + 1]);
+    }
+  }
+  ref->MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Insert(uint64_t key, const void* payload) {
+  assert(payload_size_ == 0 || payload != nullptr);
+  SplitResult split;
+  LSDB_RETURN_IF_ERROR(InsertRec(
+      root_, key, static_cast<const uint8_t*>(payload), &split));
+  if (split.split) {
+    auto new_root_id = AllocNode();
+    if (!new_root_id.ok()) return new_root_id.status();
+    Node new_root;
+    new_root.leaf = false;
+    new_root.keys.push_back(split.sep_key);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(split.right);
+    LSDB_RETURN_IF_ERROR(StoreNode(*new_root_id, new_root));
+    root_ = *new_root_id;
+    ++height_;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status BTree::InsertRec(PageId node_id, uint64_t key,
+                        const uint8_t* payload, SplitResult* out) {
+  out->split = false;
+  Node node;
+  LSDB_RETURN_IF_ERROR(LoadNode(node_id, &node));
+  if (node.leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it != node.keys.end() && *it == key) {
+      return Status::InvalidArgument("duplicate btree key");
+    }
+    const size_t idx = static_cast<size_t>(it - node.keys.begin());
+    node.keys.insert(it, key);
+    if (payload_size_ > 0) {
+      node.payloads.insert(node.payloads.begin() + idx * payload_size_,
+                           payload, payload + payload_size_);
+    }
+    if (node.keys.size() <= LeafCapacity()) {
+      return StoreNode(node_id, node);
+    }
+    // Split the leaf; right sibling takes the upper half.
+    auto right_id = AllocNode();
+    if (!right_id.ok()) return right_id.status();
+    Node right;
+    right.leaf = true;
+    const size_t mid = node.keys.size() / 2;
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    node.keys.resize(mid);
+    if (payload_size_ > 0) {
+      right.payloads.assign(node.payloads.begin() + mid * payload_size_,
+                            node.payloads.end());
+      node.payloads.resize(mid * payload_size_);
+    }
+    right.prev = node_id;
+    right.next = node.next;
+    node.next = *right_id;
+    if (right.next != kInvalidPageId) {
+      Node after;
+      LSDB_RETURN_IF_ERROR(LoadNode(right.next, &after));
+      after.prev = *right_id;
+      LSDB_RETURN_IF_ERROR(StoreNode(right.next, after));
+    }
+    LSDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+    LSDB_RETURN_IF_ERROR(StoreNode(*right_id, right));
+    out->split = true;
+    out->sep_key = right.keys.front();
+    out->right = *right_id;
+    return Status::OK();
+  }
+
+  // Internal node: route to the child covering `key`.
+  const size_t idx =
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin();
+  SplitResult child_split;
+  LSDB_RETURN_IF_ERROR(
+      InsertRec(node.children[idx], key, payload, &child_split));
+  if (!child_split.split) return Status::OK();
+  node.keys.insert(node.keys.begin() + idx, child_split.sep_key);
+  node.children.insert(node.children.begin() + idx + 1, child_split.right);
+  if (node.keys.size() <= InternalCapacity()) {
+    return StoreNode(node_id, node);
+  }
+  // Split the internal node; the median separator moves up.
+  auto right_id = AllocNode();
+  if (!right_id.ok()) return right_id.status();
+  Node right;
+  right.leaf = false;
+  const size_t mid = node.keys.size() / 2;
+  out->sep_key = node.keys[mid];
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1,
+                        node.children.end());
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  LSDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+  LSDB_RETURN_IF_ERROR(StoreNode(*right_id, right));
+  out->split = true;
+  out->right = *right_id;
+  return Status::OK();
+}
+
+Status BTree::Erase(uint64_t key) {
+  bool underflow = false;
+  LSDB_RETURN_IF_ERROR(EraseRec(root_, key, &underflow));
+  --size_;
+  // Collapse the root if it is an internal node with a single child.
+  Node root;
+  LSDB_RETURN_IF_ERROR(LoadNode(root_, &root));
+  if (!root.leaf && root.keys.empty()) {
+    const PageId old_root = root_;
+    root_ = root.children[0];
+    LSDB_RETURN_IF_ERROR(FreeNode(old_root));
+    --height_;
+  }
+  return Status::OK();
+}
+
+Status BTree::EraseRec(PageId node_id, uint64_t key, bool* underflow) {
+  Node node;
+  LSDB_RETURN_IF_ERROR(LoadNode(node_id, &node));
+  if (node.leaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it == node.keys.end() || *it != key) {
+      return Status::NotFound("btree key");
+    }
+    const size_t idx = static_cast<size_t>(it - node.keys.begin());
+    node.keys.erase(it);
+    if (payload_size_ > 0) {
+      node.payloads.erase(
+          node.payloads.begin() + idx * payload_size_,
+          node.payloads.begin() + (idx + 1) * payload_size_);
+    }
+    LSDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+    *underflow = node.keys.size() < LeafCapacity() / 2;
+    return Status::OK();
+  }
+  const size_t idx =
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin();
+  bool child_underflow = false;
+  LSDB_RETURN_IF_ERROR(EraseRec(node.children[idx], key, &child_underflow));
+  bool dirty = false;
+  if (child_underflow) {
+    LSDB_RETURN_IF_ERROR(FixUnderflow(node_id, &node, idx, &dirty));
+  }
+  if (dirty) {
+    LSDB_RETURN_IF_ERROR(StoreNode(node_id, node));
+  }
+  *underflow = node.keys.size() < InternalCapacity() / 2;
+  return Status::OK();
+}
+
+Status BTree::FixUnderflow(PageId parent_id, Node* parent, size_t idx,
+                           bool* parent_dirty) {
+  (void)parent_id;
+  Node child;
+  LSDB_RETURN_IF_ERROR(LoadNode(parent->children[idx], &child));
+  const uint32_t min_keys =
+      child.leaf ? LeafCapacity() / 2 : InternalCapacity() / 2;
+  const size_t ps = payload_size_;
+
+  // Try borrowing from the left sibling.
+  if (idx > 0) {
+    Node left;
+    LSDB_RETURN_IF_ERROR(LoadNode(parent->children[idx - 1], &left));
+    if (left.keys.size() > min_keys) {
+      if (child.leaf) {
+        child.keys.insert(child.keys.begin(), left.keys.back());
+        left.keys.pop_back();
+        if (ps > 0) {
+          child.payloads.insert(child.payloads.begin(),
+                                left.payloads.end() - ps,
+                                left.payloads.end());
+          left.payloads.resize(left.payloads.size() - ps);
+        }
+        parent->keys[idx - 1] = child.keys.front();
+      } else {
+        child.keys.insert(child.keys.begin(), parent->keys[idx - 1]);
+        parent->keys[idx - 1] = left.keys.back();
+        left.keys.pop_back();
+        child.children.insert(child.children.begin(), left.children.back());
+        left.children.pop_back();
+      }
+      LSDB_RETURN_IF_ERROR(StoreNode(parent->children[idx - 1], left));
+      LSDB_RETURN_IF_ERROR(StoreNode(parent->children[idx], child));
+      *parent_dirty = true;
+      return Status::OK();
+    }
+  }
+  // Try borrowing from the right sibling.
+  if (idx + 1 < parent->children.size()) {
+    Node right;
+    LSDB_RETURN_IF_ERROR(LoadNode(parent->children[idx + 1], &right));
+    if (right.keys.size() > min_keys) {
+      if (child.leaf) {
+        child.keys.push_back(right.keys.front());
+        right.keys.erase(right.keys.begin());
+        if (ps > 0) {
+          child.payloads.insert(child.payloads.end(),
+                                right.payloads.begin(),
+                                right.payloads.begin() + ps);
+          right.payloads.erase(right.payloads.begin(),
+                               right.payloads.begin() + ps);
+        }
+        parent->keys[idx] = right.keys.front();
+      } else {
+        child.keys.push_back(parent->keys[idx]);
+        parent->keys[idx] = right.keys.front();
+        right.keys.erase(right.keys.begin());
+        child.children.push_back(right.children.front());
+        right.children.erase(right.children.begin());
+      }
+      LSDB_RETURN_IF_ERROR(StoreNode(parent->children[idx + 1], right));
+      LSDB_RETURN_IF_ERROR(StoreNode(parent->children[idx], child));
+      *parent_dirty = true;
+      return Status::OK();
+    }
+  }
+
+  // Merge with a sibling. Normalize to merging children (li, li+1).
+  const size_t li = idx > 0 ? idx - 1 : idx;
+  Node left, right;
+  LSDB_RETURN_IF_ERROR(LoadNode(parent->children[li], &left));
+  LSDB_RETURN_IF_ERROR(LoadNode(parent->children[li + 1], &right));
+  const PageId right_id = parent->children[li + 1];
+  if (left.leaf) {
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.payloads.insert(left.payloads.end(), right.payloads.begin(),
+                         right.payloads.end());
+    left.next = right.next;
+    if (right.next != kInvalidPageId) {
+      Node after;
+      LSDB_RETURN_IF_ERROR(LoadNode(right.next, &after));
+      after.prev = parent->children[li];
+      LSDB_RETURN_IF_ERROR(StoreNode(right.next, after));
+    }
+  } else {
+    left.keys.push_back(parent->keys[li]);
+    left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+    left.children.insert(left.children.end(), right.children.begin(),
+                         right.children.end());
+  }
+  LSDB_RETURN_IF_ERROR(StoreNode(parent->children[li], left));
+  LSDB_RETURN_IF_ERROR(FreeNode(right_id));
+  parent->keys.erase(parent->keys.begin() + li);
+  parent->children.erase(parent->children.begin() + li + 1);
+  *parent_dirty = true;
+  return Status::OK();
+}
+
+StatusOr<PageId> BTree::FindLeaf(uint64_t key) {
+  PageId id = root_;
+  for (;;) {
+    Node node;
+    LSDB_RETURN_IF_ERROR(LoadNode(id, &node));
+    if (node.leaf) return id;
+    const size_t idx =
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin();
+    id = node.children[idx];
+  }
+}
+
+StatusOr<bool> BTree::Contains(uint64_t key) {
+  auto leaf_id = FindLeaf(key);
+  if (!leaf_id.ok()) return leaf_id.status();
+  Node leaf;
+  LSDB_RETURN_IF_ERROR(LoadNode(*leaf_id, &leaf));
+  return std::binary_search(leaf.keys.begin(), leaf.keys.end(), key);
+}
+
+StatusOr<uint64_t> BTree::SeekLE(uint64_t key) {
+  auto leaf_id = FindLeaf(key);
+  if (!leaf_id.ok()) return leaf_id.status();
+  Node leaf;
+  LSDB_RETURN_IF_ERROR(LoadNode(*leaf_id, &leaf));
+  auto it = std::upper_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it != leaf.keys.begin()) return *(it - 1);
+  // All keys here exceed `key`; the predecessor (if any) is the last key of
+  // the previous leaf (non-root leaves are never empty).
+  PageId prev = leaf.prev;
+  while (prev != kInvalidPageId) {
+    Node p;
+    LSDB_RETURN_IF_ERROR(LoadNode(prev, &p));
+    if (!p.keys.empty()) return p.keys.back();
+    prev = p.prev;
+  }
+  return Status::NotFound("no key <= probe");
+}
+
+StatusOr<uint64_t> BTree::SeekGE(uint64_t key) {
+  auto leaf_id = FindLeaf(key);
+  if (!leaf_id.ok()) return leaf_id.status();
+  Node leaf;
+  LSDB_RETURN_IF_ERROR(LoadNode(*leaf_id, &leaf));
+  auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  if (it != leaf.keys.end()) return *it;
+  PageId next = leaf.next;
+  while (next != kInvalidPageId) {
+    Node n;
+    LSDB_RETURN_IF_ERROR(LoadNode(next, &n));
+    if (!n.keys.empty()) return n.keys.front();
+    next = n.next;
+  }
+  return Status::NotFound("no key >= probe");
+}
+
+Status BTree::Scan(uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, const uint8_t*)>& fn) {
+  if (lo > hi) return Status::OK();
+  auto leaf_id = FindLeaf(lo);
+  if (!leaf_id.ok()) return leaf_id.status();
+  PageId id = *leaf_id;
+  bool first = true;
+  while (id != kInvalidPageId) {
+    Node leaf;
+    LSDB_RETURN_IF_ERROR(LoadNode(id, &leaf));
+    size_t i = 0;
+    if (first) {
+      i = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), lo) -
+          leaf.keys.begin();
+      first = false;
+    }
+    for (; i < leaf.keys.size(); ++i) {
+      if (leaf.keys[i] > hi) return Status::OK();
+      const uint8_t* payload =
+          payload_size_ > 0 ? leaf.payloads.data() + i * payload_size_
+                            : nullptr;
+      if (!fn(leaf.keys[i], payload)) return Status::OK();
+    }
+    id = leaf.next;
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckInvariants() {
+  uint32_t leaf_depth = 0;
+  uint64_t key_count = 0;
+  uint32_t page_count = 0;
+  LSDB_RETURN_IF_ERROR(
+      CheckRec(root_, 1, 0, false, 0, false, &leaf_depth, &key_count,
+               &page_count));
+  if (key_count != size_) return Status::Corruption("size mismatch");
+  if (leaf_depth != height_) return Status::Corruption("height mismatch");
+  if (page_count != live_pages_) {
+    return Status::Corruption("live page count mismatch");
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckRec(PageId id, uint32_t depth, uint64_t lo, bool has_lo,
+                       uint64_t hi, bool has_hi, uint32_t* leaf_depth,
+                       uint64_t* key_count, uint32_t* page_count) {
+  Node node;
+  LSDB_RETURN_IF_ERROR(LoadNode(id, &node));
+  ++*page_count;
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+    return Status::Corruption("unsorted keys");
+  }
+  for (uint64_t k : node.keys) {
+    if ((has_lo && k < lo) || (has_hi && k >= hi)) {
+      return Status::Corruption("key outside separator bounds");
+    }
+  }
+  if (node.leaf) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at unequal depth");
+    }
+    if (id != root_ && node.keys.size() < LeafCapacity() / 2) {
+      return Status::Corruption("leaf underflow");
+    }
+    if (node.keys.size() > LeafCapacity()) {
+      return Status::Corruption("leaf overflow");
+    }
+    if (node.payloads.size() != node.keys.size() * payload_size_) {
+      return Status::Corruption("payload size mismatch");
+    }
+    *key_count += node.keys.size();
+    return Status::OK();
+  }
+  if (node.children.size() != node.keys.size() + 1) {
+    return Status::Corruption("child count mismatch");
+  }
+  if (id != root_ && node.keys.size() < InternalCapacity() / 2) {
+    return Status::Corruption("internal underflow");
+  }
+  if (node.keys.size() > InternalCapacity()) {
+    return Status::Corruption("internal overflow");
+  }
+  if (id == root_ && node.keys.empty()) {
+    return Status::Corruption("internal root without separator");
+  }
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const bool c_has_lo = i > 0 || has_lo;
+    const uint64_t c_lo = i > 0 ? node.keys[i - 1] : lo;
+    const bool c_has_hi = i < node.keys.size() || has_hi;
+    const uint64_t c_hi = i < node.keys.size() ? node.keys[i] : hi;
+    LSDB_RETURN_IF_ERROR(CheckRec(node.children[i], depth + 1, c_lo, c_has_lo,
+                                  c_hi, c_has_hi, leaf_depth, key_count,
+                                  page_count));
+  }
+  return Status::OK();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,145 @@
+#include "lsdb/data/county_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "lsdb/util/random.h"
+
+namespace lsdb {
+
+namespace {
+
+struct VertexGrid {
+  uint32_t lattice;
+  std::vector<Point> pos;  // (lattice+1)^2 vertices
+
+  const Point& at(uint32_t i, uint32_t j) const {
+    return pos[j * (lattice + 1) + i];
+  }
+};
+
+/// Jittered lattice vertex positions. Boundary vertices stay on the frame
+/// (jittered only along it); corners are fixed, so the frame is closed.
+VertexGrid MakeVertices(const CountyProfile& p, Coord world_max, Rng* rng) {
+  VertexGrid g;
+  g.lattice = p.lattice;
+  g.pos.resize((p.lattice + 1) * (p.lattice + 1));
+  const double cell = static_cast<double>(world_max) / p.lattice;
+  for (uint32_t j = 0; j <= p.lattice; ++j) {
+    for (uint32_t i = 0; i <= p.lattice; ++i) {
+      double x = i * cell;
+      double y = j * cell;
+      const bool x_edge = i == 0 || i == p.lattice;
+      const bool y_edge = j == 0 || j == p.lattice;
+      if (!x_edge) x += (rng->UniformDouble() * 2 - 1) * p.jitter * cell;
+      if (!y_edge) y += (rng->UniformDouble() * 2 - 1) * p.jitter * cell;
+      x = std::clamp(x, 0.0, static_cast<double>(world_max));
+      y = std::clamp(y, 0.0, static_cast<double>(world_max));
+      g.pos[j * (p.lattice + 1) + i] =
+          Point{static_cast<Coord>(std::lround(x)),
+                static_cast<Coord>(std::lround(y))};
+    }
+  }
+  return g;
+}
+
+/// Appends a meandering polyline from a to b as `steps` segments. `frac`
+/// limits the polyline to the first part of the edge (dead-end spurs).
+void AppendMeander(const Point& a, const Point& b, uint32_t steps,
+                   double amp_pixels, double frac, Coord world_max,
+                   Rng* rng, std::vector<Segment>* out) {
+  const double dx = static_cast<double>(b.x) - a.x;
+  const double dy = static_cast<double>(b.y) - a.y;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  if (len < 1.0) return;
+  // Unit perpendicular.
+  const double nx = -dy / len;
+  const double ny = dx / len;
+  // Two random harmonics; sin(pi t) vanishes at both endpoints so the
+  // polyline meets the lattice vertices exactly.
+  const double w1 = rng->UniformDouble() * 2 - 1;
+  const double w2 = rng->UniformDouble() * 2 - 1;
+  const uint32_t n = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::lround(steps * frac)));
+  Point prev = a;
+  for (uint32_t k = 1; k <= n; ++k) {
+    const double t = frac * static_cast<double>(k) / n;
+    double x = a.x + dx * t;
+    double y = a.y + dy * t;
+    const double off = amp_pixels * (w1 * std::sin(M_PI * t) +
+                                     0.5 * w2 * std::sin(2 * M_PI * t));
+    x += nx * off;
+    y += ny * off;
+    Point cur{static_cast<Coord>(std::lround(
+                  std::clamp(x, 0.0, static_cast<double>(world_max)))),
+              static_cast<Coord>(std::lround(
+                  std::clamp(y, 0.0, static_cast<double>(world_max))))};
+    if (k == n && frac >= 1.0) cur = b;  // land exactly on the vertex
+    if (!(cur == prev)) {
+      out->push_back(Segment{prev, cur});
+      prev = cur;
+    }
+  }
+}
+
+}  // namespace
+
+PolygonalMap GenerateCounty(const CountyProfile& p, uint32_t world_log2) {
+  assert(p.lattice >= 2);
+  assert(p.meander_steps >= 1);
+  PolygonalMap map;
+  map.name = p.name;
+  Rng rng(p.seed);
+  const Coord world_max = (Coord{1} << world_log2) - 1;
+  const VertexGrid grid = MakeVertices(p, world_max, &rng);
+  const double cell = static_cast<double>(world_max) / p.lattice;
+  const double amp_pixels = p.meander_amp * cell;
+
+  auto emit_edge = [&](const Point& a, const Point& b, bool boundary) {
+    if (!boundary && rng.Bernoulli(p.delete_prob)) {
+      if (rng.Bernoulli(p.spur_prob)) {
+        // Keep the first ~40% as a dead-end street.
+        AppendMeander(a, b, p.meander_steps, amp_pixels, 0.4, world_max,
+                      &rng, &map.segments);
+      }
+      return;
+    }
+    AppendMeander(a, b, p.meander_steps, amp_pixels, 1.0, world_max, &rng,
+                  &map.segments);
+  };
+
+  for (uint32_t j = 0; j <= p.lattice; ++j) {
+    for (uint32_t i = 0; i <= p.lattice; ++i) {
+      if (i < p.lattice) {
+        emit_edge(grid.at(i, j), grid.at(i + 1, j),
+                  j == 0 || j == p.lattice);
+      }
+      if (j < p.lattice) {
+        emit_edge(grid.at(i, j), grid.at(i, j + 1),
+                  i == 0 || i == p.lattice);
+      }
+    }
+  }
+  map.Canonicalize();
+  map.SortSpatially();  // TIGER-like spatially clustered record order
+  return map;
+}
+
+std::vector<CountyProfile> MarylandProfiles() {
+  // Tuned so segment counts land in the paper's 46K-51K band and polygon
+  // sizes span the urban (small) to rural (large) range.
+  return {
+      // Suburban: medium blocks, moderate meander, cul-de-sac spurs.
+      CountyProfile{"AnneArundel", 64, 6, 0.10, 0.15, 0.10, 0.5, 0xA41},
+      // Urban: dense grid, short straight blocks.
+      CountyProfile{"Baltimore", 89, 3, 0.05, 0.15, 0.06, 0.3, 0xBA1},
+      // Rural profiles: sparse lattices, long meandering roads/streams.
+      CountyProfile{"Cecil", 36, 18, 0.14, 0.12, 0.12, 0.2, 0xCEC},
+      CountyProfile{"Charles", 28, 32, 0.15, 0.12, 0.12, 0.2, 0xC4A},
+      CountyProfile{"Garrett", 30, 28, 0.15, 0.12, 0.10, 0.2, 0x6A2},
+      CountyProfile{"Washington", 33, 22, 0.14, 0.12, 0.08, 0.2, 0x3A5},
+  };
+}
+
+}  // namespace lsdb

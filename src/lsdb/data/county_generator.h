@@ -1,0 +1,54 @@
+// Synthetic TIGER-like county road network generator.
+//
+// Substitute for the TIGER/Line precensus files used in the paper (see
+// DESIGN.md §2). The paper's experiments depend on three properties of the
+// county maps, all reproduced here by construction:
+//
+//  * ~50,000 line segments per map (paper: 46,335 - 50,998);
+//  * profile-dependent spatial structure: urban maps are dense grids whose
+//    polygons have few segments (Baltimore: avg 19), rural maps are sparse
+//    with long meandering roads/streams whose polygons have many segments
+//    (Charles: avg 132);
+//  * planar subdivisions with a closed boundary frame, so the enclosing
+//    polygon query terminates.
+//
+// The generator builds a jittered lattice, deletes some interior edges
+// (larger blocks, optionally leaving dead-end spurs), and replaces each
+// remaining lattice edge with a meandering polyline. Meander amplitude and
+// vertex jitter are bounded so corridors of adjacent edges cannot cross.
+// Everything is deterministic given the profile's seed.
+
+#ifndef LSDB_DATA_COUNTY_GENERATOR_H_
+#define LSDB_DATA_COUNTY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsdb/data/polygonal_map.h"
+
+namespace lsdb {
+
+struct CountyProfile {
+  std::string name;
+  uint32_t lattice = 32;        ///< Lattice cells per axis.
+  uint32_t meander_steps = 8;   ///< Sub-segments per lattice edge.
+  double meander_amp = 0.12;    ///< Perpendicular amplitude (cell frac).
+  double jitter = 0.12;         ///< Vertex jitter (cell fraction).
+  double delete_prob = 0.08;    ///< Interior edge deletion probability.
+  double spur_prob = 0.3;       ///< P(deleted edge leaves a dead-end spur).
+  uint64_t seed = 1;
+};
+
+/// Generates a county map on the 2^world_log2 grid.
+PolygonalMap GenerateCounty(const CountyProfile& profile,
+                            uint32_t world_log2);
+
+/// The six Maryland county profiles of the study, tuned to the paper's
+/// segment counts: urban (Baltimore), suburban (Anne Arundel), and rural
+/// (Cecil, Charles, Garrett, Washington).
+std::vector<CountyProfile> MarylandProfiles();
+
+}  // namespace lsdb
+
+#endif  // LSDB_DATA_COUNTY_GENERATOR_H_

@@ -1,0 +1,100 @@
+#include "lsdb/data/polygonal_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "lsdb/geom/morton.h"
+
+namespace lsdb {
+
+Rect PolygonalMap::Bounds() const {
+  Rect r;
+  for (const Segment& s : segments) r = r.Union(s.Mbr());
+  return r;
+}
+
+void PolygonalMap::Canonicalize() {
+  for (Segment& s : segments) {
+    if (s.b < s.a) std::swap(s.a, s.b);
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& x, const Segment& y) {
+              if (!(x.a == y.a)) return x.a < y.a;
+              return x.b < y.b;
+            });
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  segments.erase(std::remove_if(segments.begin(), segments.end(),
+                                [](const Segment& s) {
+                                  return s.IsDegenerate();
+                                }),
+                 segments.end());
+}
+
+void PolygonalMap::SortSpatially() {
+  auto key = [](const Segment& s) {
+    const uint32_t mx = static_cast<uint32_t>(
+                            (static_cast<int64_t>(s.a.x) + s.b.x) / 2) &
+                        0xffffu;
+    const uint32_t my = static_cast<uint32_t>(
+                            (static_cast<int64_t>(s.a.y) + s.b.y) / 2) &
+                        0xffffu;
+    return MortonEncode(mx, my);
+  };
+  std::stable_sort(segments.begin(), segments.end(),
+                   [&key](const Segment& x, const Segment& y) {
+                     return key(x) < key(y);
+                   });
+}
+
+MapStatistics PolygonalMap::Statistics() const {
+  MapStatistics st;
+  st.segment_count = segments.size();
+  st.bounds = Bounds();
+  std::unordered_map<uint64_t, uint32_t> degree;
+  double total_len = 0.0;
+  for (const Segment& s : segments) {
+    total_len += std::sqrt(static_cast<double>(SquaredDistance(s.a, s.b)));
+    for (const Point& p : {s.a, s.b}) {
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(p.x)) << 32) |
+          static_cast<uint32_t>(p.y);
+      ++degree[key];
+    }
+  }
+  st.vertex_count = degree.size();
+  if (!segments.empty()) {
+    st.avg_segment_length = total_len / static_cast<double>(segments.size());
+  }
+  if (!degree.empty()) {
+    st.avg_vertex_degree = 2.0 * static_cast<double>(segments.size()) /
+                           static_cast<double>(degree.size());
+  }
+  return st;
+}
+
+PolygonalMap PolygonalMap::Normalize(uint32_t world_log2) const {
+  PolygonalMap out;
+  out.name = name;
+  if (segments.empty()) return out;
+  const Rect b = Bounds();
+  const int64_t side = std::max<int64_t>(
+      1, std::max(b.Width(), b.Height()));  // minimum bounding square
+  const double target = static_cast<double>((int64_t{1} << world_log2) - 1);
+  const double scale = target / static_cast<double>(side);
+  out.segments.reserve(segments.size());
+  auto map_point = [&](const Point& p) {
+    const double x = (static_cast<double>(p.x) - b.xmin) * scale;
+    const double y = (static_cast<double>(p.y) - b.ymin) * scale;
+    return Point{static_cast<Coord>(std::lround(std::min(x, target))),
+                 static_cast<Coord>(std::lround(std::min(y, target)))};
+  };
+  for (const Segment& s : segments) {
+    out.segments.push_back(Segment{map_point(s.a), map_point(s.b)});
+  }
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace lsdb

@@ -1,0 +1,55 @@
+// Polygonal map container.
+//
+// "We use the term polygonal map to refer to such a line segment database,
+// consisting of vertices and edges, regardless of whether or not the line
+// segments are connected to each other."
+
+#ifndef LSDB_DATA_POLYGONAL_MAP_H_
+#define LSDB_DATA_POLYGONAL_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "lsdb/geom/rect.h"
+#include "lsdb/geom/segment.h"
+
+namespace lsdb {
+
+struct MapStatistics {
+  size_t segment_count = 0;
+  size_t vertex_count = 0;
+  double avg_segment_length = 0.0;
+  double avg_vertex_degree = 0.0;
+  Rect bounds;
+};
+
+struct PolygonalMap {
+  std::string name;
+  std::vector<Segment> segments;
+
+  /// MBR of all segments.
+  Rect Bounds() const;
+
+  /// Removes zero-length segments and exact duplicates (either
+  /// orientation); canonicalizes each segment so a <= b.
+  void Canonicalize();
+
+  /// Orders segments by the Morton code of their midpoints. TIGER/Line
+  /// files enumerate chains grouped by census block, so consecutive
+  /// records are spatially adjacent; Z-ordering reproduces that locality,
+  /// which the paper's low build disk-access counts depend on.
+  void SortSpatially();
+
+  /// Summary statistics (vertex set derived from endpoints).
+  MapStatistics Statistics() const;
+
+  /// Scales raw coordinates into the world grid: computes the minimum
+  /// bounding square and maps it onto [0, 2^world_log2 - 1] (paper: "a
+  /// minimum bounding square was computed for each map, and all coordinate
+  /// values were normalized with respect to a 16K by 16K region").
+  PolygonalMap Normalize(uint32_t world_log2) const;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_DATA_POLYGONAL_MAP_H_

@@ -1,0 +1,125 @@
+#include "lsdb/data/tiger.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace lsdb {
+
+namespace {
+
+constexpr size_t kRecordLength = 228;
+
+// 0-based [start, end) column ranges of the geometric fields.
+constexpr size_t kTlidStart = 5, kTlidEnd = 15;
+constexpr size_t kFrLongStart = 190, kFrLongEnd = 200;
+constexpr size_t kFrLatStart = 200, kFrLatEnd = 209;
+constexpr size_t kToLongStart = 209, kToLongEnd = 219;
+constexpr size_t kToLatStart = 219, kToLatEnd = 228;
+
+/// Writes a signed fixed-width integer, zero padded ("+0770123456").
+void PutSigned(char* rec, size_t start, size_t end, int64_t value) {
+  const size_t width = end - start;
+  rec[start] = value < 0 ? '-' : '+';
+  uint64_t mag = static_cast<uint64_t>(value < 0 ? -value : value);
+  for (size_t i = end; i-- > start + 1;) {
+    rec[i] = static_cast<char>('0' + (mag % 10));
+    mag /= 10;
+  }
+  (void)width;
+}
+
+bool ParseSigned(const std::string& line, size_t start, size_t end,
+                 int64_t* out) {
+  if (line.size() < end) return false;
+  int64_t sign = 1;
+  size_t i = start;
+  if (line[i] == '-') {
+    sign = -1;
+    ++i;
+  } else if (line[i] == '+') {
+    ++i;
+  }
+  int64_t v = 0;
+  bool any = false;
+  for (; i < end; ++i) {
+    const char c = line[i];
+    if (c == ' ') continue;
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+    any = true;
+  }
+  if (!any) return false;
+  *out = sign * v;
+  return true;
+}
+
+}  // namespace
+
+Status WriteTigerRT1(const PolygonalMap& map, const std::string& path,
+                     const TigerProjection& proj) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  char rec[kRecordLength + 1];
+  uint64_t tlid = 1;
+  for (const Segment& s : map.segments) {
+    std::memset(rec, ' ', kRecordLength);
+    rec[kRecordLength] = '\n';
+    rec[0] = '1';
+    std::memcpy(rec + 1, "0002", 4);  // version
+    // TLID, right-justified zero padded.
+    uint64_t t = tlid++;
+    for (size_t i = kTlidEnd; i-- > kTlidStart;) {
+      rec[i] = static_cast<char>('0' + (t % 10));
+      t /= 10;
+    }
+    PutSigned(rec, kFrLongStart, kFrLongEnd,
+              proj.base_long_udeg + s.a.x * proj.udeg_per_pixel);
+    PutSigned(rec, kFrLatStart, kFrLatEnd,
+              proj.base_lat_udeg + s.a.y * proj.udeg_per_pixel);
+    PutSigned(rec, kToLongStart, kToLongEnd,
+              proj.base_long_udeg + s.b.x * proj.udeg_per_pixel);
+    PutSigned(rec, kToLatStart, kToLatEnd,
+              proj.base_lat_udeg + s.b.y * proj.udeg_per_pixel);
+    out.write(rec, kRecordLength + 1);
+  }
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<PolygonalMap> ReadTigerRT1(const std::string& path,
+                                    const TigerProjection& proj) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  PolygonalMap map;
+  map.name = path;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] != '1') continue;  // only RT1 records carry geometry
+    int64_t fr_long, fr_lat, to_long, to_lat;
+    if (!ParseSigned(line, kFrLongStart, kFrLongEnd, &fr_long) ||
+        !ParseSigned(line, kFrLatStart, kFrLatEnd, &fr_lat) ||
+        !ParseSigned(line, kToLongStart, kToLongEnd, &to_long) ||
+        !ParseSigned(line, kToLatStart, kToLatEnd, &to_lat)) {
+      std::ostringstream msg;
+      msg << "malformed RT1 record at line " << lineno;
+      return Status::Corruption(msg.str());
+    }
+    auto to_grid = [&proj](int64_t udeg, int64_t base) {
+      return static_cast<Coord>((udeg - base) / proj.udeg_per_pixel);
+    };
+    map.segments.push_back(Segment{
+        Point{to_grid(fr_long, proj.base_long_udeg),
+              to_grid(fr_lat, proj.base_lat_udeg)},
+        Point{to_grid(to_long, proj.base_long_udeg),
+              to_grid(to_lat, proj.base_lat_udeg)}});
+  }
+  return map;
+}
+
+}  // namespace lsdb

@@ -1,0 +1,52 @@
+// TIGER/Line 1990 Record Type 1 reader/writer.
+//
+// The paper draws its data from "the TIGER/Line files used by the Bureau
+// of the Census". Record Type 1 ("complete chain basic data record") is a
+// fixed-width 228-column record whose tail carries the chain's endpoints
+// as signed longitude/latitude values with six implied decimal places:
+//
+//   col 1       record type '1'
+//   cols 2-5    version
+//   cols 6-15   TLID (TIGER/Line id)
+//   cols 191-200  FRLONG (from-longitude, sign + 9 digits)
+//   cols 201-209  FRLAT  (from-latitude,  sign + 8 digits)
+//   cols 210-219  TOLONG (to-longitude)
+//   cols 220-228  TOLAT  (to-latitude)
+//
+// This module writes synthetic county maps in that format and reads RT1
+// files back (real TIGER/Line 1990 files parse with the same code since
+// only the geometric fields are used). Coordinates are mapped linearly
+// between grid pixels and microdegrees around a base position in Maryland.
+
+#ifndef LSDB_DATA_TIGER_H_
+#define LSDB_DATA_TIGER_H_
+
+#include <string>
+
+#include "lsdb/data/polygonal_map.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+/// Geographic anchor for grid <-> lat/long conversion.
+struct TigerProjection {
+  int64_t base_long_udeg = -77000000;  ///< Microdegrees (Maryland).
+  int64_t base_lat_udeg = 38000000;
+  int64_t udeg_per_pixel = 10;
+};
+
+/// Writes `map` to `path` as TIGER/Line RT1 records.
+Status WriteTigerRT1(const PolygonalMap& map, const std::string& path,
+                     const TigerProjection& proj = TigerProjection{});
+
+/// Reads an RT1 file. Coordinates are returned in raw microdegree space
+/// offset by the projection base (i.e. grid pixels if written by
+/// WriteTigerRT1 with the same projection); use PolygonalMap::Normalize to
+/// map arbitrary data onto the world grid.
+StatusOr<PolygonalMap> ReadTigerRT1(const std::string& path,
+                                    const TigerProjection& proj =
+                                        TigerProjection{});
+
+}  // namespace lsdb
+
+#endif  // LSDB_DATA_TIGER_H_

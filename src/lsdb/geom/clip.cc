@@ -1,0 +1,85 @@
+#include "lsdb/geom/clip.h"
+
+#include <cmath>
+
+namespace lsdb {
+
+namespace {
+constexpr uint8_t kLeft = 1;
+constexpr uint8_t kRight = 2;
+constexpr uint8_t kBottom = 4;
+constexpr uint8_t kTop = 8;
+}  // namespace
+
+uint8_t Outcode(const Point& p, const Rect& r) {
+  uint8_t code = 0;
+  if (p.x < r.xmin) {
+    code |= kLeft;
+  } else if (p.x > r.xmax) {
+    code |= kRight;
+  }
+  if (p.y < r.ymin) {
+    code |= kBottom;
+  } else if (p.y > r.ymax) {
+    code |= kTop;
+  }
+  return code;
+}
+
+bool ClipSegment(const Segment& s, const Rect& r, Segment* out) {
+  double x0 = s.a.x, y0 = s.a.y, x1 = s.b.x, y1 = s.b.y;
+  auto outcode = [&r](double x, double y) {
+    uint8_t code = 0;
+    if (x < r.xmin) {
+      code |= kLeft;
+    } else if (x > r.xmax) {
+      code |= kRight;
+    }
+    if (y < r.ymin) {
+      code |= kBottom;
+    } else if (y > r.ymax) {
+      code |= kTop;
+    }
+    return code;
+  };
+
+  uint8_t c0 = outcode(x0, y0);
+  uint8_t c1 = outcode(x1, y1);
+  for (int iter = 0; iter < 32; ++iter) {
+    if ((c0 | c1) == 0) {
+      out->a = Point{static_cast<Coord>(std::lround(x0)),
+                     static_cast<Coord>(std::lround(y0))};
+      out->b = Point{static_cast<Coord>(std::lround(x1)),
+                     static_cast<Coord>(std::lround(y1))};
+      return true;
+    }
+    if ((c0 & c1) != 0) return false;
+    const uint8_t c = c0 != 0 ? c0 : c1;
+    double x = 0, y = 0;
+    if (c & kTop) {
+      x = x0 + (x1 - x0) * (r.ymax - y0) / (y1 - y0);
+      y = r.ymax;
+    } else if (c & kBottom) {
+      x = x0 + (x1 - x0) * (r.ymin - y0) / (y1 - y0);
+      y = r.ymin;
+    } else if (c & kRight) {
+      y = y0 + (y1 - y0) * (r.xmax - x0) / (x1 - x0);
+      x = r.xmax;
+    } else {  // kLeft
+      y = y0 + (y1 - y0) * (r.xmin - x0) / (x1 - x0);
+      x = r.xmin;
+    }
+    if (c == c0) {
+      x0 = x;
+      y0 = y;
+      c0 = outcode(x0, y0);
+    } else {
+      x1 = x;
+      y1 = y;
+      c1 = outcode(x1, y1);
+    }
+  }
+  return false;  // Pathological numeric loop; treat as miss.
+}
+
+}  // namespace lsdb

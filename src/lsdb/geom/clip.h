@@ -1,0 +1,32 @@
+// Cohen-Sutherland style segment clipping.
+//
+// The paper notes that q-edges (the part of a segment inside a quadtree
+// block) are never stored explicitly — they are recomputed by clipping the
+// original segment to the block when needed. This module provides that
+// clipping for diagnostics and for split-cut counting in the R+-tree.
+
+#ifndef LSDB_GEOM_CLIP_H_
+#define LSDB_GEOM_CLIP_H_
+
+#include <cstdint>
+
+#include "lsdb/geom/rect.h"
+#include "lsdb/geom/segment.h"
+
+namespace lsdb {
+
+/// Cohen-Sutherland outcode of p relative to r.
+uint8_t Outcode(const Point& p, const Rect& r);
+
+/// Clips `s` to the closed rectangle `r` using double intermediates with
+/// rounding back to the grid. Returns false if the segment misses the
+/// rectangle. The clipped result is written to *out (may alias &s).
+///
+/// Note: because results are rounded back to integer coordinates the
+/// clipped segment is an approximation of the q-edge; the exact predicate
+/// Segment::IntersectsRect must be used for containment decisions.
+bool ClipSegment(const Segment& s, const Rect& r, Segment* out);
+
+}  // namespace lsdb
+
+#endif  // LSDB_GEOM_CLIP_H_

@@ -1,0 +1,161 @@
+#include "lsdb/geom/morton.h"
+
+#include <cassert>
+
+namespace lsdb {
+
+namespace {
+/// Spreads the low 16 bits of v to even bit positions.
+uint32_t Part1By1(uint32_t v) {
+  v &= 0x0000ffffu;
+  v = (v | (v << 8)) & 0x00ff00ffu;
+  v = (v | (v << 4)) & 0x0f0f0f0fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+/// Compacts even bit positions of v into the low 16 bits.
+uint32_t Compact1By1(uint32_t v) {
+  v &= 0x55555555u;
+  v = (v | (v >> 1)) & 0x33333333u;
+  v = (v | (v >> 2)) & 0x0f0f0f0fu;
+  v = (v | (v >> 4)) & 0x00ff00ffu;
+  v = (v | (v >> 8)) & 0x0000ffffu;
+  return v;
+}
+}  // namespace
+
+uint32_t MortonEncode(uint32_t x, uint32_t y) {
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+void MortonDecode(uint32_t code, uint32_t* x, uint32_t* y) {
+  *x = Compact1By1(code);
+  *y = Compact1By1(code >> 1);
+}
+
+namespace {
+/// Mask of the bits below `bit` that belong to the same dimension
+/// (bit-2, bit-4, ...).
+uint32_t SameDimLowerMask(int bit) {
+  uint32_t mask = 0;
+  for (int b = bit - 2; b >= 0; b -= 2) mask |= 1u << b;
+  return mask;
+}
+}  // namespace
+
+bool ZOrderBigMin(uint32_t zmin, uint32_t zmax, uint32_t z, uint32_t* out) {
+  uint32_t bigmin = 0;
+  bool have_bigmin = false;
+  uint32_t minv = zmin, maxv = zmax;
+  for (int bit = 31; bit >= 0; --bit) {
+    const uint32_t mask = 1u << bit;
+    const uint32_t low = SameDimLowerMask(bit);
+    const int zb = (z >> bit) & 1;
+    const int minb = (minv >> bit) & 1;
+    const int maxb = (maxv >> bit) & 1;
+    const int code = (zb << 2) | (minb << 1) | maxb;
+    switch (code) {
+      case 0b000:
+        break;
+      case 0b001:
+        // z can stay 0 here; remember the smallest in-rect value with this
+        // bit set, then cap the search space below it.
+        bigmin = (minv & ~(mask | low)) | mask;
+        have_bigmin = true;
+        maxv = (maxv & ~(mask | low)) | low;
+        break;
+      case 0b011:
+        // Every in-rect value with this prefix exceeds z.
+        *out = minv;
+        return true;
+      case 0b100:
+        // No in-rect value with this prefix exceeds z.
+        if (have_bigmin) {
+          *out = bigmin;
+          return true;
+        }
+        return false;
+      case 0b101:
+        // z has the bit set; raise the floor of the search space.
+        minv = (minv & ~(mask | low)) | mask;
+        break;
+      case 0b111:
+        break;
+      default:
+        // (0,1,0) and (1,1,0) imply min > max: invalid rectangle.
+        return false;
+    }
+  }
+  // z itself lies in the rectangle; the answer is the saved candidate.
+  if (have_bigmin) {
+    *out = bigmin;
+    return true;
+  }
+  return false;
+}
+
+QuadGeometry::QuadGeometry(uint32_t world_log2, uint32_t max_depth)
+    : world_log2_(world_log2), max_depth_(max_depth) {
+  assert(world_log2 >= 1 && world_log2 <= 16);
+  assert(max_depth >= 1 && max_depth <= world_log2 &&
+         max_depth <= kMaxQuadDepth);
+}
+
+Rect QuadGeometry::BlockRegion(const QuadBlock& b) const {
+  assert(b.depth <= max_depth_);
+  uint32_t cx, cy;
+  MortonDecode(b.morton, &cx, &cy);
+  const Coord side = Coord{1} << (world_log2_ - b.depth);
+  const Coord x0 = static_cast<Coord>(cx) * side;
+  const Coord y0 = static_cast<Coord>(cy) * side;
+  // Blocks are closed and share edges with their neighbours: the union of
+  // sibling regions is exactly the parent region with no continuous gaps,
+  // so a segment crossing between lattice lines always intersects at least
+  // one block. Objects on a shared edge belong to both blocks.
+  return Rect::Of(x0, y0, x0 + side, y0 + side);
+}
+
+QuadBlock QuadGeometry::MaxDepthBlockAt(const Point& p) const {
+  assert(p.x >= 0 && p.x < world_size() && p.y >= 0 && p.y < world_size());
+  const uint32_t shift = world_log2_ - max_depth_;
+  const uint32_t cx = static_cast<uint32_t>(p.x) >> shift;
+  const uint32_t cy = static_cast<uint32_t>(p.y) >> shift;
+  return QuadBlock{MortonEncode(cx, cy), static_cast<uint8_t>(max_depth_)};
+}
+
+uint64_t QuadGeometry::PackKey(const QuadBlock& b, uint32_t segid) const {
+  assert(b.depth <= max_depth_);
+  const uint64_t full = FullMorton(b);
+  return (full << 36) | (static_cast<uint64_t>(b.depth) << 32) | segid;
+}
+
+void QuadGeometry::UnpackKey(uint64_t key, QuadBlock* b,
+                             uint32_t* segid) const {
+  *segid = static_cast<uint32_t>(key & 0xffffffffu);
+  const uint32_t depth = static_cast<uint32_t>((key >> 32) & 0xfu);
+  const uint32_t full = static_cast<uint32_t>(key >> 36);
+  b->depth = static_cast<uint8_t>(depth);
+  b->morton = full >> (2 * (max_depth_ - depth));
+}
+
+uint64_t QuadGeometry::SubtreeKeyLow(const QuadBlock& b) const {
+  return static_cast<uint64_t>(FullMorton(b)) << 36;
+}
+
+uint64_t QuadGeometry::SubtreeKeyHigh(const QuadBlock& b) const {
+  const uint64_t cells = uint64_t{1} << (2 * (max_depth_ - b.depth));
+  const uint64_t end = (static_cast<uint64_t>(FullMorton(b)) + cells) << 36;
+  return end - 1;  // inclusive upper bound of the subtree key range
+}
+
+uint64_t QuadGeometry::PointProbeKey(const Point& p) const {
+  const QuadBlock b = MaxDepthBlockAt(p);
+  // Any real tuple in the leaf containing p sorts at or before this key:
+  // the deepest possible block at p's cell, maximal depth and segid fields.
+  return (static_cast<uint64_t>(b.morton) << 36) | (uint64_t{0xf} << 32) |
+         0xffffffffu;
+}
+
+}  // namespace lsdb

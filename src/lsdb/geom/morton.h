@@ -1,0 +1,117 @@
+// Morton (Z-order) locational codes for the linear PMR quadtree.
+//
+// The paper's PMR quadtree is implemented (as in QUILT) as a *linear
+// quadtree*: each q-edge is a 2-tuple (L, O) where L is a locational code —
+// the depth of the block plus the bit-interleaved coordinates of its lower
+// left corner — and O a segment id. Tuples are packed into a single uint64
+// B-tree key:
+//
+//   [ full-resolution Morton : 28 bits ][ depth : 4 bits ][ seg id : 32 ]
+//
+// "Full-resolution Morton" is the block's Morton code shifted up to the
+// maximum depth (14), so that a parent block and its NW-most descendant
+// share the same prefix and Z-order is the B-tree key order. Point location
+// is a single predecessor search on (morton(p) at depth 14, depth 15).
+
+#ifndef LSDB_GEOM_MORTON_H_
+#define LSDB_GEOM_MORTON_H_
+
+#include <cstdint>
+
+#include "lsdb/geom/point.h"
+#include "lsdb/geom/rect.h"
+
+namespace lsdb {
+
+/// Maximum quadtree depth supported by the 64-bit packed code. The paper
+/// uses exactly 14 (a 16K x 16K image).
+inline constexpr uint32_t kMaxQuadDepth = 14;
+
+/// Interleaves the low 16 bits of x (even positions) and y (odd positions).
+uint32_t MortonEncode(uint32_t x, uint32_t y);
+
+/// Inverse of MortonEncode.
+void MortonDecode(uint32_t code, uint32_t* x, uint32_t* y);
+
+/// BIGMIN (Tropf & Herzog 1981): the smallest Morton code z' > z whose
+/// decoded point lies in the rectangle spanned component-wise by
+/// Decode(zmin)..Decode(zmax). Returns false when no such code exists.
+/// This is the jump operator that lets a Z-ordered scan skip the gaps a
+/// rectangle leaves in Morton order.
+bool ZOrderBigMin(uint32_t zmin, uint32_t zmax, uint32_t z, uint32_t* out);
+
+/// A quadtree block: Morton code of its cell at `depth` levels below the
+/// root. The root block is {0, 0}. Depth d partitions the world into 2^d x
+/// 2^d cells.
+struct QuadBlock {
+  uint32_t morton = 0;  ///< Bit-interleaved cell coords at this depth.
+  uint8_t depth = 0;
+
+  QuadBlock Child(int quadrant) const {  // quadrant in 0..3 (Z order)
+    return QuadBlock{(morton << 2) | static_cast<uint32_t>(quadrant),
+                     static_cast<uint8_t>(depth + 1)};
+  }
+  QuadBlock Parent() const {
+    return QuadBlock{morton >> 2, static_cast<uint8_t>(depth - 1)};
+  }
+  /// Index of this block among its siblings (0..3).
+  int Quadrant() const { return static_cast<int>(morton & 3u); }
+
+  friend bool operator==(const QuadBlock& a, const QuadBlock& b) {
+    return a.morton == b.morton && a.depth == b.depth;
+  }
+};
+
+/// Geometry of quadtree blocks over a world of side 2^world_log2 pixels,
+/// with blocks no deeper than max_depth (cell side = 2^(world_log2-depth)).
+class QuadGeometry {
+ public:
+  /// world_log2 in [1, 16]; max_depth in [1, min(world_log2, 14)].
+  QuadGeometry(uint32_t world_log2, uint32_t max_depth);
+
+  uint32_t world_log2() const { return world_log2_; }
+  uint32_t max_depth() const { return max_depth_; }
+  Coord world_size() const { return Coord{1} << world_log2_; }
+  /// Closed world region. Data coordinates live in [0, world_size - 1];
+  /// the region extends to world_size so that boundary blocks close.
+  Rect WorldRect() const { return Rect::Of(0, 0, world_size(), world_size()); }
+
+  /// Closed region covered by a block. Neighbouring blocks share their
+  /// boundary edges (no continuous gaps between blocks).
+  Rect BlockRegion(const QuadBlock& b) const;
+
+  /// The unique depth-max block whose half-open cell contains p.
+  /// p must have coordinates in [0, world_size - 1].
+  QuadBlock MaxDepthBlockAt(const Point& p) const;
+
+  /// Packs a block + segment id into a B-tree key.
+  uint64_t PackKey(const QuadBlock& b, uint32_t segid) const;
+  /// Inverse of PackKey.
+  void UnpackKey(uint64_t key, QuadBlock* b, uint32_t* segid) const;
+
+  /// Smallest key of any tuple stored for block b itself.
+  uint64_t BlockKeyLow(const QuadBlock& b) const { return PackKey(b, 0); }
+  /// Largest key of any tuple stored for block b itself.
+  uint64_t BlockKeyHigh(const QuadBlock& b) const {
+    return PackKey(b, 0xffffffffu);
+  }
+  /// Smallest key of any tuple stored in b's subtree (b or descendants).
+  uint64_t SubtreeKeyLow(const QuadBlock& b) const;
+  /// Largest key of any tuple stored in b's subtree.
+  uint64_t SubtreeKeyHigh(const QuadBlock& b) const;
+
+  /// Key used for predecessor search when locating the leaf containing p.
+  uint64_t PointProbeKey(const Point& p) const;
+
+ private:
+  uint32_t FullMorton(const QuadBlock& b) const {
+    return b.morton << (2 * (max_depth_ - b.depth));
+  }
+
+  uint32_t world_log2_;
+  uint32_t max_depth_;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_GEOM_MORTON_H_

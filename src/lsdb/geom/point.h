@@ -1,0 +1,62 @@
+// Integer point type on the normalized world grid.
+//
+// Following the paper, every map is normalized to a 16K x 16K pixel grid
+// (world coordinates are int32 in [0, 16384)). Exact integer arithmetic on
+// these coordinates keeps every containment / intersection predicate
+// consistent between index construction and query evaluation.
+
+#ifndef LSDB_GEOM_POINT_H_
+#define LSDB_GEOM_POINT_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace lsdb {
+
+/// World coordinate. int32 is ample for the 16K grid and lets cross
+/// products fit exactly in int64.
+using Coord = int32_t;
+
+/// A point on the world grid.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+  /// Lexicographic (x, then y); used for canonical segment orientation.
+  friend bool operator<(const Point& a, const Point& b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  }
+};
+
+/// 2D cross product (b - a) x (c - a); exact in int64.
+/// Positive if a->b->c is a counterclockwise turn.
+inline int64_t Cross(const Point& a, const Point& b, const Point& c) {
+  return static_cast<int64_t>(b.x - a.x) * (c.y - a.y) -
+         static_cast<int64_t>(b.y - a.y) * (c.x - a.x);
+}
+
+/// Squared Euclidean distance between two points (exact in int64).
+inline int64_t SquaredDistance(const Point& a, const Point& b) {
+  const int64_t dx = static_cast<int64_t>(a.x) - b.x;
+  const int64_t dy = static_cast<int64_t>(a.y) - b.y;
+  return dx * dx + dy * dy;
+}
+
+struct PointHash {
+  size_t operator()(const Point& p) const {
+    uint64_t v = (static_cast<uint64_t>(static_cast<uint32_t>(p.x)) << 32) |
+                 static_cast<uint32_t>(p.y);
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<size_t>(v);
+  }
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_GEOM_POINT_H_

@@ -1,0 +1,50 @@
+#include "lsdb/geom/rect.h"
+
+#include <sstream>
+
+namespace lsdb {
+
+Rect Rect::Union(const Rect& r) const {
+  if (empty()) return r;
+  if (r.empty()) return *this;
+  return Rect{std::min(xmin, r.xmin), std::min(ymin, r.ymin),
+              std::max(xmax, r.xmax), std::max(ymax, r.ymax)};
+}
+
+Rect Rect::Intersection(const Rect& r) const {
+  if (!Intersects(r)) return Rect{};
+  return Rect{std::max(xmin, r.xmin), std::max(ymin, r.ymin),
+              std::min(xmax, r.xmax), std::min(ymax, r.ymax)};
+}
+
+int64_t Rect::OverlapArea(const Rect& r) const {
+  return Intersection(r).Area();
+}
+
+int64_t Rect::Enlargement(const Rect& r) const {
+  return Union(r).Area() - Area();
+}
+
+int64_t Rect::SquaredDistanceTo(const Point& p) const {
+  int64_t dx = 0;
+  if (p.x < xmin) {
+    dx = static_cast<int64_t>(xmin) - p.x;
+  } else if (p.x > xmax) {
+    dx = static_cast<int64_t>(p.x) - xmax;
+  }
+  int64_t dy = 0;
+  if (p.y < ymin) {
+    dy = static_cast<int64_t>(ymin) - p.y;
+  } else if (p.y > ymax) {
+    dy = static_cast<int64_t>(p.y) - ymax;
+  }
+  return dx * dx + dy * dy;
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << "[" << xmin << "," << ymin << " .. " << xmax << "," << ymax << "]";
+  return os.str();
+}
+
+}  // namespace lsdb

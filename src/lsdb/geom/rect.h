@@ -1,0 +1,88 @@
+// Axis-aligned integer rectangle (closed on all sides).
+//
+// Rectangles serve both as minimum bounding rectangles (R-tree entries) and
+// as space-partition regions (R+-tree, quadtree blocks, query windows). A
+// rectangle is closed: points on its boundary are contained. Degenerate
+// rectangles (zero width/height) are valid — a vertical segment's MBR is a
+// degenerate rectangle, and a point query uses a degenerate window.
+
+#ifndef LSDB_GEOM_RECT_H_
+#define LSDB_GEOM_RECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "lsdb/geom/point.h"
+
+namespace lsdb {
+
+struct Rect {
+  Coord xmin = 0;
+  Coord ymin = 0;
+  Coord xmax = -1;  ///< Default-constructed rect is empty (xmax < xmin).
+  Coord ymax = -1;
+
+  static Rect Of(Coord xmin, Coord ymin, Coord xmax, Coord ymax) {
+    return Rect{xmin, ymin, xmax, ymax};
+  }
+  /// MBR of two points (any order).
+  static Rect Bound(const Point& a, const Point& b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                std::max(a.y, b.y)};
+  }
+  /// Degenerate rectangle covering exactly one point.
+  static Rect AtPoint(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+
+  bool empty() const { return xmax < xmin || ymax < ymin; }
+
+  int64_t Width() const { return static_cast<int64_t>(xmax) - xmin; }
+  int64_t Height() const { return static_cast<int64_t>(ymax) - ymin; }
+  /// Area of the closed rectangle treated as a continuous region.
+  int64_t Area() const { return empty() ? 0 : Width() * Height(); }
+  /// Half perimeter (margin), the R*-tree split metric.
+  int64_t Margin() const { return empty() ? 0 : Width() + Height(); }
+
+  Point Center() const {
+    return Point{static_cast<Coord>((static_cast<int64_t>(xmin) + xmax) / 2),
+                 static_cast<Coord>((static_cast<int64_t>(ymin) + ymax) / 2)};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+  bool Contains(const Rect& r) const {
+    return !r.empty() && r.xmin >= xmin && r.xmax <= xmax && r.ymin >= ymin &&
+           r.ymax <= ymax;
+  }
+  /// Closed-rectangle intersection test (shared edges intersect).
+  bool Intersects(const Rect& r) const {
+    return !empty() && !r.empty() && r.xmin <= xmax && r.xmax >= xmin &&
+           r.ymin <= ymax && r.ymax >= ymin;
+  }
+
+  /// Smallest rectangle covering both (empty operands are identities).
+  Rect Union(const Rect& r) const;
+  /// Intersection region; empty rect if disjoint.
+  Rect Intersection(const Rect& r) const;
+  /// Area of overlap with r (0 when disjoint). Degenerate overlap regions
+  /// (shared edges) have zero area.
+  int64_t OverlapArea(const Rect& r) const;
+  /// How much this rect's area grows if extended to include r.
+  int64_t Enlargement(const Rect& r) const;
+
+  /// Squared Euclidean distance from p to the closed rectangle (0 inside).
+  int64_t SquaredDistanceTo(const Point& p) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xmin == b.xmin && a.ymin == b.ymin && a.xmax == b.xmax &&
+           a.ymax == b.ymax;
+  }
+  friend bool operator!=(const Rect& a, const Rect& b) { return !(a == b); }
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_GEOM_RECT_H_

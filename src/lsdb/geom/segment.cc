@@ -1,0 +1,88 @@
+#include "lsdb/geom/segment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace lsdb {
+
+bool Segment::ContainsPoint(const Point& p) const {
+  if (Cross(a, b, p) != 0) return false;
+  return Mbr().Contains(p);
+}
+
+namespace {
+
+/// Exact segment-segment intersection via orientation tests, handling all
+/// collinear / touching configurations.
+bool SegmentsIntersect(const Point& p1, const Point& p2, const Point& q1,
+                       const Point& q2) {
+  const int64_t d1 = Cross(q1, q2, p1);
+  const int64_t d2 = Cross(q1, q2, p2);
+  const int64_t d3 = Cross(p1, p2, q1);
+  const int64_t d4 = Cross(p1, p2, q2);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  auto on = [](const Point& a, const Point& b, const Point& c, int64_t d) {
+    return d == 0 && Rect::Bound(a, b).Contains(c);
+  };
+  return on(q1, q2, p1, d1) || on(q1, q2, p2, d2) || on(p1, p2, q1, d3) ||
+         on(p1, p2, q2, d4);
+}
+
+}  // namespace
+
+bool Segment::IntersectsSegment(const Segment& s) const {
+  return SegmentsIntersect(a, b, s.a, s.b);
+}
+
+bool Segment::IntersectsRect(const Rect& r) const {
+  if (r.empty()) return false;
+  // Fast accept: an endpoint inside the rectangle.
+  if (r.Contains(a) || r.Contains(b)) return true;
+  // Fast reject: bounding boxes disjoint.
+  if (!r.Intersects(Mbr())) return false;
+  // Otherwise the segment intersects the rectangle iff it crosses one of
+  // the rectangle's four edges.
+  const Point c00{r.xmin, r.ymin};
+  const Point c10{r.xmax, r.ymin};
+  const Point c11{r.xmax, r.ymax};
+  const Point c01{r.xmin, r.ymax};
+  return SegmentsIntersect(a, b, c00, c10) ||
+         SegmentsIntersect(a, b, c10, c11) ||
+         SegmentsIntersect(a, b, c11, c01) ||
+         SegmentsIntersect(a, b, c01, c00);
+}
+
+double Segment::SquaredDistanceTo(const Point& p) const {
+  const int64_t dx = static_cast<int64_t>(b.x) - a.x;
+  const int64_t dy = static_cast<int64_t>(b.y) - a.y;
+  const int64_t len2 = dx * dx + dy * dy;
+  if (len2 == 0) {
+    return static_cast<double>(SquaredDistance(a, p));
+  }
+  // Projection parameter t = ((p-a).(b-a)) / |b-a|^2, clamped to [0,1].
+  const int64_t dot = static_cast<int64_t>(p.x - a.x) * dx +
+                      static_cast<int64_t>(p.y - a.y) * dy;
+  if (dot <= 0) return static_cast<double>(SquaredDistance(a, p));
+  if (dot >= len2) return static_cast<double>(SquaredDistance(b, p));
+  // Perpendicular distance^2 = cross^2 / len2, exact numerator.
+  const int64_t cross = Cross(a, b, p);
+  return static_cast<double>(cross) * static_cast<double>(cross) /
+         static_cast<double>(len2);
+}
+
+Point Segment::OtherEndpoint(const Point& p) const {
+  assert(p == a || p == b);
+  return p == a ? b : a;
+}
+
+std::string Segment::ToString() const {
+  std::ostringstream os;
+  os << "(" << a.x << "," << a.y << ")-(" << b.x << "," << b.y << ")";
+  return os.str();
+}
+
+}  // namespace lsdb

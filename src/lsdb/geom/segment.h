@@ -1,0 +1,56 @@
+// Line segment type and exact predicates.
+//
+// Segments are the primary data objects of the study ("polygonal maps" of
+// road networks). Predicates here are exact over int64 arithmetic; only the
+// distance *values* returned for nearest-neighbour ranking use double.
+
+#ifndef LSDB_GEOM_SEGMENT_H_
+#define LSDB_GEOM_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsdb/geom/point.h"
+#include "lsdb/geom/rect.h"
+
+namespace lsdb {
+
+/// Identifier of a segment in the segment table.
+using SegmentId = uint32_t;
+inline constexpr SegmentId kInvalidSegmentId = 0xffffffffu;
+
+struct Segment {
+  Point a;
+  Point b;
+
+  Rect Mbr() const { return Rect::Bound(a, b); }
+
+  bool IsDegenerate() const { return a == b; }
+
+  /// True iff p lies on the closed segment (exact).
+  bool ContainsPoint(const Point& p) const;
+
+  /// True iff the closed segment intersects the closed rectangle (exact).
+  /// A segment touching only the rectangle boundary intersects it.
+  bool IntersectsRect(const Rect& r) const;
+
+  /// True iff the two closed segments share at least one point (exact).
+  bool IntersectsSegment(const Segment& s) const;
+
+  /// Squared Euclidean distance from p to the closed segment.
+  double SquaredDistanceTo(const Point& p) const;
+
+  /// Given one endpoint of the segment, return the other. Requires p to be
+  /// an endpoint (asserts in debug builds).
+  Point OtherEndpoint(const Point& p) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Segment& x, const Segment& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_GEOM_SEGMENT_H_

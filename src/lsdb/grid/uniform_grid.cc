@@ -1,0 +1,321 @@
+#include "lsdb/grid/uniform_grid.h"
+
+#include "lsdb/storage/superblock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <queue>
+
+namespace lsdb {
+
+namespace {
+constexpr uint32_t kBucketHeader = 8;  // count u16 + pad u16 + next u32
+
+uint16_t GetCount(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void SetCount(uint8_t* p, uint16_t v) { std::memcpy(p, &v, 2); }
+PageId GetNext(const uint8_t* p) {
+  PageId v;
+  std::memcpy(&v, p + 4, 4);
+  return v;
+}
+void SetNext(uint8_t* p, PageId v) { std::memcpy(p + 4, &v, 4); }
+}  // namespace
+
+UniformGrid::UniformGrid(const IndexOptions& options, PageFile* file,
+                         SegmentTable* segs)
+    : options_(options),
+      pool_(file, options.buffer_frames, &metrics_),
+      segs_(segs) {
+  assert(options.grid_log2_cells <= options.world_log2);
+  cells_ = 1u << options.grid_log2_cells;
+  cell_shift_ = options.world_log2 - options.grid_log2_cells;
+  slots_per_dir_page_ = options.page_size / 4;
+  bucket_capacity_ = (options.page_size - kBucketHeader) / 4;
+}
+
+Status UniformGrid::Init() {
+  auto sb = pool_.New();
+  if (!sb.ok()) return sb.status();
+  if (sb->id() != 0) {
+    return Status::InvalidArgument("Init() requires a fresh page file");
+  }
+  sb->Release();
+  const uint32_t total_cells = cells_ * cells_;
+  dir_pages_ = (total_cells + slots_per_dir_page_ - 1) / slots_per_dir_page_;
+  for (uint32_t i = 0; i < dir_pages_; ++i) {
+    auto ref = pool_.New();
+    if (!ref.ok()) return ref.status();
+    ++live_pages_;
+    // Initialize every slot to "no bucket".
+    uint8_t* p = ref->data();
+    for (uint32_t s = 0; s < slots_per_dir_page_; ++s) {
+      const PageId none = kInvalidPageId;
+      std::memcpy(p + s * 4, &none, 4);
+    }
+    ref->MarkDirty();
+  }
+  return Status::OK();
+}
+
+Status UniformGrid::Open() {
+  auto fields = ReadSuperblock(&pool_, 0, SuperblockKind::kUniformGrid);
+  if (!fields.ok()) return fields.status();
+  const SuperblockFields& f = *fields;
+  if (f[2] != cells_ || f[3] != options_.world_log2) {
+    return Status::InvalidArgument("options do not match stored structure");
+  }
+  live_pages_ = static_cast<uint32_t>(f[0]);
+  size_ = f[1];
+  const uint32_t total_cells = cells_ * cells_;
+  dir_pages_ = (total_cells + slots_per_dir_page_ - 1) / slots_per_dir_page_;
+  return Status::OK();
+}
+
+Status UniformGrid::Flush() {
+  SuperblockFields f{};
+  f[0] = live_pages_;
+  f[1] = size_;
+  f[2] = cells_;
+  f[3] = options_.world_log2;
+  LSDB_RETURN_IF_ERROR(
+      WriteSuperblock(&pool_, 0, SuperblockKind::kUniformGrid, f));
+  return pool_.FlushAll();
+}
+
+Rect UniformGrid::CellRegion(uint32_t cx, uint32_t cy) const {
+  const Coord side = Coord{1} << cell_shift_;
+  const Coord x0 = static_cast<Coord>(cx) * side;
+  const Coord y0 = static_cast<Coord>(cy) * side;
+  return Rect::Of(x0, y0, x0 + side, y0 + side);
+}
+
+void UniformGrid::CellRange(const Rect& r, uint32_t* cx0, uint32_t* cy0,
+                            uint32_t* cx1, uint32_t* cy1) const {
+  const Coord world_max = (Coord{1} << options_.world_log2) - 1;
+  auto clamp = [world_max](Coord v) {
+    return std::min(std::max<Coord>(v, 0), world_max);
+  };
+  *cx0 = static_cast<uint32_t>(clamp(r.xmin)) >> cell_shift_;
+  *cy0 = static_cast<uint32_t>(clamp(r.ymin)) >> cell_shift_;
+  *cx1 = static_cast<uint32_t>(clamp(r.xmax)) >> cell_shift_;
+  *cy1 = static_cast<uint32_t>(clamp(r.ymax)) >> cell_shift_;
+}
+
+StatusOr<PageId> UniformGrid::CellHead(uint32_t cell) {
+  auto ref = pool_.Fetch(1 + cell / slots_per_dir_page_);
+  if (!ref.ok()) return ref.status();
+  PageId head;
+  std::memcpy(&head, ref->data() + (cell % slots_per_dir_page_) * 4, 4);
+  return head;
+}
+
+Status UniformGrid::SetCellHead(uint32_t cell, PageId head) {
+  auto ref = pool_.Fetch(1 + cell / slots_per_dir_page_);
+  if (!ref.ok()) return ref.status();
+  std::memcpy(ref->data() + (cell % slots_per_dir_page_) * 4, &head, 4);
+  ref->MarkDirty();
+  return Status::OK();
+}
+
+Status UniformGrid::AppendToCell(uint32_t cell, SegmentId id) {
+  auto head = CellHead(cell);
+  if (!head.ok()) return head.status();
+  if (*head != kInvalidPageId) {
+    auto ref = pool_.Fetch(*head);
+    if (!ref.ok()) return ref.status();
+    const uint16_t count = GetCount(ref->data());
+    if (count < bucket_capacity_) {
+      std::memcpy(ref->data() + kBucketHeader + count * 4, &id, 4);
+      SetCount(ref->data(), count + 1);
+      ref->MarkDirty();
+      return Status::OK();
+    }
+  }
+  // Head missing or full: a fresh page becomes the new head.
+  auto ref = pool_.New();
+  if (!ref.ok()) return ref.status();
+  ++live_pages_;
+  SetCount(ref->data(), 1);
+  SetNext(ref->data(), *head);
+  std::memcpy(ref->data() + kBucketHeader, &id, 4);
+  const PageId new_head = ref->id();
+  ref->MarkDirty();
+  ref->Release();
+  return SetCellHead(cell, new_head);
+}
+
+Status UniformGrid::RemoveFromCell(uint32_t cell, SegmentId id,
+                                   bool* removed) {
+  auto head = CellHead(cell);
+  if (!head.ok()) return head.status();
+  PageId pid = *head;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_.Fetch(pid);
+    if (!ref.ok()) return ref.status();
+    uint8_t* p = ref->data();
+    const uint16_t count = GetCount(p);
+    for (uint16_t i = 0; i < count; ++i) {
+      SegmentId v;
+      std::memcpy(&v, p + kBucketHeader + i * 4, 4);
+      if (v == id) {
+        // Swap-remove with the last id on this page.
+        std::memcpy(p + kBucketHeader + i * 4,
+                    p + kBucketHeader + (count - 1) * 4, 4);
+        SetCount(p, count - 1);
+        ref->MarkDirty();
+        *removed = true;
+        return Status::OK();
+      }
+    }
+    pid = GetNext(p);
+  }
+  return Status::OK();
+}
+
+Status UniformGrid::ScanCell(uint32_t cell, std::vector<SegmentId>* out) {
+  auto head = CellHead(cell);
+  if (!head.ok()) return head.status();
+  PageId pid = *head;
+  while (pid != kInvalidPageId) {
+    auto ref = pool_.Fetch(pid);
+    if (!ref.ok()) return ref.status();
+    const uint8_t* p = ref->data();
+    const uint16_t count = GetCount(p);
+    for (uint16_t i = 0; i < count; ++i) {
+      SegmentId v;
+      std::memcpy(&v, p + kBucketHeader + i * 4, 4);
+      out->push_back(v);
+    }
+    pid = GetNext(p);
+  }
+  return Status::OK();
+}
+
+Status UniformGrid::Insert(SegmentId id, const Segment& s) {
+  uint32_t cx0, cy0, cx1, cy1;
+  CellRange(s.Mbr(), &cx0, &cy0, &cx1, &cy1);
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      ++metrics_.bucket_comps;
+      if (!s.IntersectsRect(CellRegion(cx, cy))) continue;
+      LSDB_RETURN_IF_ERROR(AppendToCell(cy * cells_ + cx, id));
+    }
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Status UniformGrid::Erase(SegmentId id, const Segment& s) {
+  uint32_t cx0, cy0, cx1, cy1;
+  CellRange(s.Mbr(), &cx0, &cy0, &cx1, &cy1);
+  bool removed_any = false;
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      ++metrics_.bucket_comps;
+      if (!s.IntersectsRect(CellRegion(cx, cy))) continue;
+      bool removed = false;
+      LSDB_RETURN_IF_ERROR(RemoveFromCell(cy * cells_ + cx, id, &removed));
+      removed_any |= removed;
+    }
+  }
+  if (!removed_any) return Status::NotFound("segment not in grid");
+  --size_;
+  return Status::OK();
+}
+
+Status UniformGrid::WindowQueryEx(const Rect& w,
+                                  std::vector<SegmentHit>* out) {
+  uint32_t cx0, cy0, cx1, cy1;
+  CellRange(w, &cx0, &cy0, &cx1, &cy1);
+  std::unordered_set<SegmentId> seen;
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      ++metrics_.bucket_comps;
+      if (!CellRegion(cx, cy).Intersects(w)) continue;
+      std::vector<SegmentId> ids;
+      LSDB_RETURN_IF_ERROR(ScanCell(cy * cells_ + cx, &ids));
+      for (SegmentId id : ids) {
+        if (!seen.insert(id).second) continue;
+        Segment s;
+        LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
+        ++metrics_.segment_comps;
+        if (s.IntersectsRect(w)) out->push_back(SegmentHit{id, s});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<NearestResult> UniformGrid::Nearest(const Point& p) {
+  if (size_ == 0) return Status::NotFound("empty index");
+  // Expanding-ring search: visit cells in rings of increasing Chebyshev
+  // radius around p's cell; stop once the nearest unvisited ring cannot
+  // beat the best exact distance found so far.
+  const uint32_t pcx =
+      static_cast<uint32_t>(std::min<Coord>(
+          std::max<Coord>(p.x, 0), (Coord{1} << options_.world_log2) - 1)) >>
+      cell_shift_;
+  const uint32_t pcy =
+      static_cast<uint32_t>(std::min<Coord>(
+          std::max<Coord>(p.y, 0), (Coord{1} << options_.world_log2) - 1)) >>
+      cell_shift_;
+  std::unordered_set<SegmentId> refined;
+  NearestResult best;
+  bool have_best = false;
+  const Coord side = Coord{1} << cell_shift_;
+  for (uint32_t radius = 0; radius < cells_; ++radius) {
+    // Minimum possible distance from p to any cell in this ring.
+    if (have_best && radius > 0) {
+      const double ring_min =
+          static_cast<double>(radius - 1) * static_cast<double>(side);
+      if (ring_min * ring_min > best.squared_distance) break;
+    }
+    bool ring_in_world = false;
+    auto visit = [&](int64_t cx, int64_t cy) -> Status {
+      if (cx < 0 || cy < 0 || cx >= cells_ || cy >= cells_) {
+        return Status::OK();
+      }
+      ring_in_world = true;
+      ++metrics_.bucket_comps;
+      std::vector<SegmentId> ids;
+      LSDB_RETURN_IF_ERROR(ScanCell(
+          static_cast<uint32_t>(cy) * cells_ + static_cast<uint32_t>(cx),
+          &ids));
+      for (SegmentId id : ids) {
+        if (!refined.insert(id).second) continue;
+        Segment s;
+        LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
+        ++metrics_.segment_comps;
+        const double d = s.SquaredDistanceTo(p);
+        if (!have_best || d < best.squared_distance) {
+          have_best = true;
+          best = NearestResult{id, d, s};
+        }
+      }
+      return Status::OK();
+    };
+    const int64_t r = radius;
+    if (r == 0) {
+      LSDB_RETURN_IF_ERROR(visit(pcx, pcy));
+    } else {
+      for (int64_t dx = -r; dx <= r; ++dx) {
+        LSDB_RETURN_IF_ERROR(visit(pcx + dx, static_cast<int64_t>(pcy) - r));
+        LSDB_RETURN_IF_ERROR(visit(pcx + dx, static_cast<int64_t>(pcy) + r));
+      }
+      for (int64_t dy = -r + 1; dy <= r - 1; ++dy) {
+        LSDB_RETURN_IF_ERROR(visit(static_cast<int64_t>(pcx) - r, pcy + dy));
+        LSDB_RETURN_IF_ERROR(visit(static_cast<int64_t>(pcx) + r, pcy + dy));
+      }
+    }
+    if (!ring_in_world && radius > 0 && have_best) break;
+  }
+  if (!have_best) return Status::NotFound("empty index");
+  return best;
+}
+
+}  // namespace lsdb

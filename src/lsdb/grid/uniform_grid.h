@@ -1,0 +1,81 @@
+// Uniform grid spatial index (Franklin's adaptive grid, simplified).
+//
+// The paper's Section 2 discusses the uniform grid as the fourth bucketing
+// approach: "ideal for uniformly distributed data", against which the
+// quadtree's adaptivity is motivated. We include it as a baseline: a fixed
+// 2^g x 2^g array of cells, each cell holding a chain of bucket pages of
+// segment ids; a segment is stored in every cell it intersects (the
+// uniform-grid analogue of q-edges, see Figure 1 of the paper).
+//
+// The cell directory itself is paged (cell id -> head bucket page), so
+// disk accesses are accounted the same way as for the other structures.
+
+#ifndef LSDB_GRID_UNIFORM_GRID_H_
+#define LSDB_GRID_UNIFORM_GRID_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lsdb/index/spatial_index.h"
+#include "lsdb/seg/segment_table.h"
+#include "lsdb/storage/buffer_pool.h"
+#include "lsdb/storage/page_file.h"
+
+namespace lsdb {
+
+class UniformGrid : public SpatialIndex {
+ public:
+  UniformGrid(const IndexOptions& options, PageFile* file,
+              SegmentTable* segs);
+
+  /// Creates a fresh grid. Requires an empty page file (superblock at 0).
+  Status Init();
+  /// Reopens a grid previously built and Flush()ed into this page file.
+  Status Open();
+
+  std::string Name() const override { return "grid"; }
+  Status Insert(SegmentId id, const Segment& s) override;
+  Status Erase(SegmentId id, const Segment& s) override;
+  Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
+  StatusOr<NearestResult> Nearest(const Point& p) override;
+  /// Persists the superblock and all dirty pages.
+  Status Flush() override;
+  uint64_t bytes() const override {
+    return static_cast<uint64_t>(live_pages_) * options_.page_size;
+  }
+  const MetricCounters& metrics() const override { return metrics_; }
+
+  uint64_t size() const { return size_; }
+  uint32_t cells_per_axis() const { return cells_; }
+
+ private:
+  /// Closed region of cell (cx, cy); neighbours share edges.
+  Rect CellRegion(uint32_t cx, uint32_t cy) const;
+  /// Cell range [cx0..cx1] x [cy0..cy1] whose regions may intersect r.
+  void CellRange(const Rect& r, uint32_t* cx0, uint32_t* cy0, uint32_t* cx1,
+                 uint32_t* cy1) const;
+
+  StatusOr<PageId> CellHead(uint32_t cell);
+  Status SetCellHead(uint32_t cell, PageId head);
+  Status AppendToCell(uint32_t cell, SegmentId id);
+  Status RemoveFromCell(uint32_t cell, SegmentId id, bool* removed);
+  Status ScanCell(uint32_t cell, std::vector<SegmentId>* out);
+
+  IndexOptions options_;
+  MetricCounters metrics_;
+  BufferPool pool_;
+  SegmentTable* segs_;
+
+  uint32_t cells_;       ///< Cells per axis.
+  uint32_t cell_shift_;  ///< log2(world / cells).
+  uint32_t dir_pages_ = 0;
+  uint32_t slots_per_dir_page_;
+  uint32_t bucket_capacity_;
+  uint32_t live_pages_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_GRID_UNIFORM_GRID_H_

@@ -1,0 +1,129 @@
+// Experiment harness reproducing the paper's measurement methodology.
+//
+// For one polygonal map it builds the structures under study over a shared
+// disk-resident segment table (each structure behind its own page file and
+// 16-page LRU buffer pool), then runs the seven query workloads of Section
+// 6 — Point1, Point2, Nearest (2-stage and 1-stage random points), Polygon
+// (2-stage and 1-stage), and Range — with *identical* query sequences for
+// every structure, and reports per-query averages of the three metrics:
+// disk accesses, segment comparisons, and bounding box / bucket
+// computations.
+
+#ifndef LSDB_HARNESS_EXPERIMENT_H_
+#define LSDB_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsdb/data/polygonal_map.h"
+#include "lsdb/grid/uniform_grid.h"
+#include "lsdb/index/spatial_index.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/rplus/rplus_tree.h"
+#include "lsdb/rtree/rstar_tree.h"
+#include "lsdb/seg/segment_table.h"
+#include "lsdb/util/random.h"
+
+namespace lsdb {
+
+enum class StructureKind { kRStar, kRPlus, kPmr, kGrid };
+const char* StructureName(StructureKind k);
+
+enum class Workload {
+  kPoint1,
+  kPoint2,
+  kNearest2Stage,
+  kNearest1Stage,
+  kPolygon2Stage,
+  kPolygon1Stage,
+  kRange,
+};
+const char* WorkloadName(Workload w);
+inline constexpr Workload kAllWorkloads[] = {
+    Workload::kPoint1,        Workload::kPoint2,
+    Workload::kNearest2Stage, Workload::kNearest1Stage,
+    Workload::kPolygon2Stage, Workload::kPolygon1Stage,
+    Workload::kRange,
+};
+
+/// Table 1 row: building statistics for one structure on one map.
+struct BuildStats {
+  StructureKind kind = StructureKind::kPmr;
+  uint64_t bytes = 0;           ///< Index size (segment table excluded).
+  uint64_t disk_accesses = 0;   ///< Pool read misses + write-backs.
+  double cpu_seconds = 0.0;
+  double avg_occupancy = 0.0;   ///< Entries per leaf page / per bucket.
+  uint32_t height = 0;
+};
+
+/// Table 2 cell group: per-query averages for one workload/structure.
+struct QueryStats {
+  StructureKind kind = StructureKind::kPmr;
+  Workload workload = Workload::kPoint1;
+  double disk_accesses = 0.0;
+  double segment_comps = 0.0;
+  double bbox_comps = 0.0;    ///< R-tree entry rectangles examined.
+  double bucket_comps = 0.0;  ///< Quadtree/grid block regions computed.
+  double avg_result_size = 0.0;
+};
+
+struct ExperimentOptions {
+  IndexOptions index;
+  uint32_t num_queries = 1000;  ///< Paper: 1000 tests per query type.
+  uint64_t query_seed = 42;
+  bool include_grid = false;    ///< Also build the uniform-grid baseline.
+  double window_area_fraction = 0.0001;  ///< Paper: 0.01% of map area.
+};
+
+class Experiment {
+ public:
+  Experiment(const PolygonalMap& map, const ExperimentOptions& options);
+  ~Experiment();
+
+  /// Builds the segment table and every structure, recording build stats.
+  Status BuildAll();
+
+  const std::vector<BuildStats>& build_stats() const { return build_stats_; }
+
+  /// Runs all workloads on all built structures.
+  Status RunAllQueries(std::vector<QueryStats>* out);
+  /// Runs one workload on one structure.
+  Status RunWorkload(StructureKind kind, Workload w, QueryStats* out);
+
+  SpatialIndex* index(StructureKind kind);
+  PmrQuadtree* pmr() { return pmr_.get(); }
+  SegmentTable* segment_table() { return segs_.get(); }
+  const PolygonalMap& map() const { return map_; }
+
+  /// Builds a single structure over a fresh table (Figure 6 sweep).
+  static StatusOr<BuildStats> BuildOne(const PolygonalMap& map,
+                                       StructureKind kind,
+                                       const IndexOptions& index_options);
+
+ private:
+  struct QueryInputs;  // pregenerated, shared across structures
+
+  Status PrepareInputs();
+
+  PolygonalMap map_;
+  ExperimentOptions options_;
+
+  std::unique_ptr<MemPageFile> seg_file_;
+  std::unique_ptr<BufferPool> seg_pool_;
+  std::unique_ptr<SegmentTable> segs_;
+
+  std::unique_ptr<MemPageFile> rstar_file_, rplus_file_, pmr_file_,
+      grid_file_;
+  std::unique_ptr<RStarTree> rstar_;
+  std::unique_ptr<RPlusTree> rplus_;
+  std::unique_ptr<PmrQuadtree> pmr_;
+  std::unique_ptr<UniformGrid> grid_;
+
+  std::vector<BuildStats> build_stats_;
+  std::unique_ptr<QueryInputs> inputs_;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,24 @@
+#include "lsdb/index/spatial_index.h"
+
+namespace lsdb {
+
+Status SpatialIndex::WindowQuery(const Rect& w,
+                                 std::vector<SegmentId>* out) {
+  std::vector<SegmentHit> hits;
+  LSDB_RETURN_IF_ERROR(WindowQueryEx(w, &hits));
+  out->reserve(out->size() + hits.size());
+  for (const SegmentHit& h : hits) out->push_back(h.id);
+  return Status::OK();
+}
+
+Status SpatialIndex::PointQueryEx(const Point& p,
+                                  std::vector<SegmentHit>* out) {
+  return WindowQueryEx(Rect::AtPoint(p), out);
+}
+
+Status SpatialIndex::PointQuery(const Point& p,
+                                std::vector<SegmentId>* out) {
+  return WindowQuery(Rect::AtPoint(p), out);
+}
+
+}  // namespace lsdb

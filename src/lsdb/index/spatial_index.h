@@ -1,0 +1,108 @@
+// Common interface of the spatial indexes under study.
+//
+// Each concrete index (R*-tree, R+-tree, PMR quadtree, uniform grid) owns
+// its page file + buffer pool and shares a SegmentTable with the rest of
+// the experiment. The interface is deliberately the paper's query
+// repertoire: insertion/deletion, window (range) queries, point queries,
+// and nearest-segment queries; the higher-level workloads (incident
+// segments, enclosing polygon) are composed from these in lsdb/query.
+
+#ifndef LSDB_INDEX_SPATIAL_INDEX_H_
+#define LSDB_INDEX_SPATIAL_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "lsdb/geom/point.h"
+#include "lsdb/geom/rect.h"
+#include "lsdb/geom/segment.h"
+#include "lsdb/util/counters.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+/// Construction parameters shared by all structures (paper Section 4).
+struct IndexOptions {
+  uint32_t page_size = 1024;     ///< Bytes per node page (paper: 1K).
+  uint32_t buffer_frames = 16;   ///< LRU buffer pool frames (paper: 16).
+  uint32_t world_log2 = 14;      ///< World is 2^w x 2^w pixels (paper: 16K).
+
+  // PMR quadtree.
+  uint32_t pmr_split_threshold = 4;  ///< Paper: 4 ("rare for >4 roads").
+  uint32_t pmr_max_depth = 14;       ///< Paper: 14.
+  /// Section 6 "3-tuple" variant: store a bounding box with every q-edge
+  /// (8 extra bytes per tuple) so queries can prune without fetching the
+  /// segment. The paper discusses but does not adopt it ("it may not be
+  /// worthwhile to introduce this added complexity").
+  bool pmr_store_bboxes = false;
+
+  // R*-tree.
+  double rstar_min_fill = 0.4;       ///< m = 40% of M (paper / Beckmann).
+  double rstar_reinsert_frac = 0.3;  ///< Forced reinsertion share (30%).
+
+  // Uniform grid.
+  uint32_t grid_log2_cells = 7;  ///< 2^g x 2^g cells.
+};
+
+/// A query hit: segment id plus its geometry (already fetched from the
+/// segment table during refinement, so callers need no second fetch).
+struct SegmentHit {
+  SegmentId id = kInvalidSegmentId;
+  Segment seg;
+};
+
+/// A found segment paired with its distance (for nearest queries).
+struct NearestResult {
+  SegmentId id = kInvalidSegmentId;
+  double squared_distance = 0.0;
+  Segment seg;
+};
+
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Structure name for reports ("R*", "R+", "PMR", "grid").
+  virtual std::string Name() const = 0;
+
+  /// Inserts segment `id` with geometry `s` (the geometry must match the
+  /// segment table entry for `id`).
+  virtual Status Insert(SegmentId id, const Segment& s) = 0;
+
+  /// Removes segment `id`. Returns NotFound if absent.
+  virtual Status Erase(SegmentId id, const Segment& s) = 0;
+
+  /// Appends to *out every segment whose geometry intersects the closed
+  /// window `w`, without duplicates (order unspecified).
+  virtual Status WindowQueryEx(const Rect& w,
+                               std::vector<SegmentHit>* out) = 0;
+
+  /// Id-only convenience wrapper around WindowQueryEx.
+  Status WindowQuery(const Rect& w, std::vector<SegmentId>* out);
+
+  /// Every segment whose geometry contains `p` (degenerate window query).
+  Status PointQueryEx(const Point& p, std::vector<SegmentHit>* out);
+  Status PointQuery(const Point& p, std::vector<SegmentId>* out);
+
+  /// Nearest segment to `p` by Euclidean distance (ties arbitrary).
+  /// Returns NotFound on an empty index.
+  virtual StatusOr<NearestResult> Nearest(const Point& p) = 0;
+
+  /// Writes all dirty pages back to the page file.
+  virtual Status Flush() = 0;
+
+  /// Index size in bytes (excluding the shared segment table, as in the
+  /// paper's Table 1).
+  virtual uint64_t bytes() const = 0;
+
+  /// Metric counters for this structure (includes its buffer pool's disk
+  /// activity and its segment-comparison / bbox / bucket counts).
+  virtual const MetricCounters& metrics() const = 0;
+
+  /// Validates internal invariants (tests only).
+  virtual Status CheckInvariants() { return Status::OK(); }
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,169 @@
+// PMR quadtree (Nelson & Samet), implemented as a linear quadtree.
+//
+// The paper's third structure: an edge-based bucket quadtree with a
+// probabilistic splitting rule. Each line segment is inserted into every
+// leaf block it intersects (the portion inside a block is its *q-edge*);
+// when an insertion pushes a block's occupancy over the splitting
+// threshold, the block is split into four equal quadrants *once and only
+// once* (avoiding pathological decomposition when a few segments lie very
+// close together). Deletion merges sibling blocks back together when their
+// combined distinct occupancy falls below the threshold.
+//
+// Implementation (as in the QUILT GIS): a *linear* quadtree. Only leaf
+// blocks exist; each q-edge is a 2-tuple (locational code, segment id)
+// packed into a uint64 and stored in a disk-resident B-tree — 8 bytes per
+// tuple, ~120 tuples per 1K page. Empty leaf blocks hold a single sentinel
+// tuple so that the leaf set always partitions the world; point location
+// is then a single predecessor (SeekLE) probe.
+//
+// No bounding boxes are stored: query refinement always fetches the
+// segment itself (a "segment comparison"), while block regions are derived
+// from locational codes (a "bounding bucket computation"). This is exactly
+// the trade-off the paper measures in Figures 7-9.
+
+#ifndef LSDB_PMR_PMR_QUADTREE_H_
+#define LSDB_PMR_PMR_QUADTREE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lsdb/btree/btree.h"
+#include "lsdb/geom/morton.h"
+#include "lsdb/index/spatial_index.h"
+#include "lsdb/seg/segment_table.h"
+#include "lsdb/storage/buffer_pool.h"
+#include "lsdb/storage/page_file.h"
+
+namespace lsdb {
+
+class PmrQuadtree : public SpatialIndex {
+ public:
+  PmrQuadtree(const IndexOptions& options, PageFile* file,
+              SegmentTable* segs);
+
+  /// Creates a fresh structure. Requires an empty page file (the
+  /// superblock is placed at page 0).
+  Status Init();
+  /// Reopens a structure previously built with Init() and Flush()ed into
+  /// the given page file (PosixPageFile::Open). Options must match.
+  Status Open();
+
+  std::string Name() const override { return "PMR"; }
+  Status Insert(SegmentId id, const Segment& s) override;
+  Status Erase(SegmentId id, const Segment& s) override;
+  /// Window query via the Aref-Samet style block-cover decomposition:
+  /// the window is covered by maximal aligned blocks and each block is one
+  /// ordered probe of the linear quadtree (this is the paper's strategy
+  /// and the source of its very low bucket-computation counts).
+  /// Degenerate point windows collapse to a single SeekLE point location.
+  Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
+
+  /// Nearest segment via expanding-window search: locate the leaf block
+  /// containing p, scan it, and grow the search window geometrically until
+  /// the best exact distance is covered (Hoel & Samet 1991 flavour).
+  StatusOr<NearestResult> Nearest(const Point& p) override;
+  /// Persists the superblock and all dirty pages.
+  Status Flush() override;
+  uint64_t bytes() const override { return btree_.bytes(); }
+  const MetricCounters& metrics() const override { return metrics_; }
+  Status CheckInvariants() override;
+
+  /// Alternative window query: plain top-down traversal of the conceptual
+  /// quadtree with a leafness probe per visited block. Equivalent results
+  /// to WindowQueryEx; kept for the ablation bench.
+  Status WindowQueryTraversal(const Rect& w, std::vector<SegmentHit>* out);
+
+  /// Alternative window query: static decomposition of the window into
+  /// maximal aligned blocks down to the maximum depth, one linear-quadtree
+  /// probe per piece. Ablation only — the data-driven strategy of
+  /// WindowQueryEx visits far fewer pieces on fine grids.
+  Status WindowQueryStaticDecomposed(const Rect& w,
+                                     std::vector<SegmentHit>* out);
+
+  /// Number of distinct stored segments.
+  uint64_t size() const { return size_; }
+  /// Number of stored q-edge tuples (>= size(); excludes sentinels).
+  uint64_t tuples() const { return tuple_count_; }
+  /// Average number of q-edges per non-empty leaf block.
+  StatusOr<double> AverageBucketOccupancy();
+
+  const QuadGeometry& geometry() const { return geom_; }
+  BTree* btree() { return &btree_; }
+
+  /// Leaf block whose (half-open) cell contains p. Used by the paper's
+  /// two-stage random query point generator and the nearest-line query.
+  StatusOr<QuadBlock> LocateBlock(const Point& p);
+
+  /// All leaf blocks, in Z-order (includes empty blocks). Used by the
+  /// two-stage query point generator ("generated the PMR quadtree block at
+  /// random using a uniform distribution based on the total number of
+  /// blocks").
+  Status CollectLeafBlocks(std::vector<QuadBlock>* out);
+
+ private:
+  static constexpr uint32_t kSentinelId = 0xffffffffu;
+
+  /// True iff `b` is a leaf block of the current decomposition.
+  StatusOr<bool> IsLeaf(const QuadBlock& b);
+  /// Segment ids stored in leaf block `b` (sentinel excluded). When the
+  /// 3-tuple variant is active and `bboxes` is non-null, the stored
+  /// bounding boxes are returned alongside.
+  Status BlockEntries(const QuadBlock& b, std::vector<SegmentId>* out,
+                      std::vector<Rect>* bboxes = nullptr);
+  /// All leaf blocks of the decomposition whose region intersects `s`,
+  /// found by a Z-order scan with BIGMIN jumps over the segment MBR's cell
+  /// rectangle (one predecessor probe per candidate leaf).
+  Status FindIntersectingLeaves(const Segment& s,
+                                std::vector<QuadBlock>* out);
+  /// Visits every leaf overlapping the cell rectangle
+  /// [cx0..cx1]x[cy0..cy1] (max-depth cell addresses), in Z-order.
+  Status VisitLeavesInCellRect(
+      uint32_t cx0, uint32_t cy0, uint32_t cx1, uint32_t cy1,
+      const std::function<Status(const QuadBlock&)>& fn);
+  /// Splits leaf `b` into four children, redistributing its q-edges.
+  Status SplitBlock(const QuadBlock& b);
+  /// Merges the children of `parent` back into it while the merge
+  /// condition holds, recursing upward.
+  Status TryMergeUpward(QuadBlock parent);
+
+  Status WindowRec(const QuadBlock& b, const Rect& w,
+                   std::unordered_set<SegmentId>* seen,
+                   std::vector<SegmentHit>* out);
+  /// Point query: scan the single leaf whose cell contains p (sufficient
+  /// because insertion uses closed block regions, so every segment through
+  /// p is stored in p's leaf too).
+  Status PointWindow(const Point& p, std::vector<SegmentHit>* out);
+  /// Scans the tuples of all leaves covering window piece `piece`
+  /// (used by the static decomposition ablation).
+  Status ScanPiece(const QuadBlock& piece, std::vector<uint64_t>* keys);
+  /// Data-driven window visit: a Z-order scan over the linear quadtree
+  /// restricted to the window's cell rectangle, jumping Morton-order gaps
+  /// with BIGMIN (Tropf & Herzog). Visits exactly the leaves that overlap
+  /// the window, touching only window-local B-tree pages. Calls fn once
+  /// per (leaf, tuple); callers deduplicate and filter exactly.
+  /// fn receives the segment id and, in the 3-tuple variant, the stored
+  /// bounding box payload (null otherwise).
+  Status VisitWindowSegments(
+      const Rect& w,
+      const std::function<Status(SegmentId, const uint8_t*)>& fn);
+
+  /// Packs/unpacks the 8-byte bbox payload (4 x uint16 absolute coords).
+  static void EncodeBbox(const Rect& r, uint8_t* out);
+  static Rect DecodeBbox(const uint8_t* p);
+
+  IndexOptions options_;
+  MetricCounters metrics_;
+  BufferPool pool_;
+  BTree btree_;
+  SegmentTable* segs_;
+  QuadGeometry geom_;
+  uint32_t threshold_;
+  uint64_t size_ = 0;
+  uint64_t tuple_count_ = 0;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_PMR_PMR_QUADTREE_H_

@@ -1,0 +1,32 @@
+#include "lsdb/pmr/window_decompose.h"
+
+namespace lsdb {
+
+namespace {
+
+void DecomposeRec(const QuadGeometry& geom, const QuadBlock& b,
+                  const Rect& w, std::vector<QuadBlock>* out) {
+  const Rect region = geom.BlockRegion(b);
+  if (!region.Intersects(w)) return;
+  // Blocks that merely touch a positive-area window contribute nothing:
+  // any segment meeting the window on that shared boundary also lies in a
+  // block with positive overlap (blocks tile the space continuously).
+  // Degenerate (point/line) windows keep touch semantics.
+  if (w.Area() > 0 && region.OverlapArea(w) == 0) return;
+  if (w.Contains(region) || b.depth == geom.max_depth()) {
+    out->push_back(b);
+    return;
+  }
+  for (int q = 0; q < 4; ++q) {
+    DecomposeRec(geom, b.Child(q), w, out);
+  }
+}
+
+}  // namespace
+
+void DecomposeWindow(const QuadGeometry& geom, const Rect& w,
+                     std::vector<QuadBlock>* out) {
+  DecomposeRec(geom, QuadBlock{0, 0}, w, out);
+}
+
+}  // namespace lsdb

@@ -1,0 +1,30 @@
+// Window decomposition into maximal quadtree-aligned blocks.
+//
+// The paper uses "a new window decomposition algorithm" (Aref & Samet,
+// 1992) for PMR quadtree range queries: the query window is covered by a
+// set of maximal blocks of the underlying regular decomposition, and each
+// block becomes one probe of the linear quadtree. This module implements
+// the block-cover computation; PmrQuadtree::WindowQueryDecomposed performs
+// the probes.
+
+#ifndef LSDB_PMR_WINDOW_DECOMPOSE_H_
+#define LSDB_PMR_WINDOW_DECOMPOSE_H_
+
+#include <vector>
+
+#include "lsdb/geom/morton.h"
+#include "lsdb/geom/rect.h"
+
+namespace lsdb {
+
+/// Computes a minimal cover of `w` (clipped to the world) by maximal
+/// aligned quadtree blocks: a block is emitted when its region lies inside
+/// the window or when it cannot be decomposed further (max depth).
+/// Emitted blocks are pairwise cell-disjoint and their union covers
+/// w ∩ world. Output is in Z-order.
+void DecomposeWindow(const QuadGeometry& geom, const Rect& w,
+                     std::vector<QuadBlock>* out);
+
+}  // namespace lsdb
+
+#endif  // LSDB_PMR_WINDOW_DECOMPOSE_H_

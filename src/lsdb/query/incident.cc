@@ -1,0 +1,21 @@
+#include "lsdb/query/incident.h"
+
+namespace lsdb {
+
+Status IncidentSegments(SpatialIndex* index, const Point& p,
+                        std::vector<SegmentHit>* out) {
+  std::vector<SegmentHit> hits;
+  LSDB_RETURN_IF_ERROR(index->PointQueryEx(p, &hits));
+  for (const SegmentHit& h : hits) {
+    if (h.seg.a == p || h.seg.b == p) out->push_back(h);
+  }
+  return Status::OK();
+}
+
+Status IncidentAtOtherEndpoint(SpatialIndex* index, const Segment& s,
+                               const Point& p,
+                               std::vector<SegmentHit>* out) {
+  return IncidentSegments(index, s.OtherEndpoint(p), out);
+}
+
+}  // namespace lsdb

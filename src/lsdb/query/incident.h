@@ -1,0 +1,33 @@
+// Queries 1 and 2 of the study: segments incident at an endpoint.
+//
+//  1. "Given an endpoint of a line segment, find all the line segments
+//     that are incident at it."
+//  2. "Given an endpoint of a line segment, find all the line segments
+//     that are incident at the other endpoint of the line segment."
+//
+// Both reduce to a point query on the index followed by an exact endpoint
+// filter; all disk / segment / bounding-box work is performed (and
+// counted) by the index.
+
+#ifndef LSDB_QUERY_INCIDENT_H_
+#define LSDB_QUERY_INCIDENT_H_
+
+#include <vector>
+
+#include "lsdb/index/spatial_index.h"
+
+namespace lsdb {
+
+/// Segments having `p` as one of their endpoints (query 1).
+Status IncidentSegments(SpatialIndex* index, const Point& p,
+                        std::vector<SegmentHit>* out);
+
+/// Segments incident at the *other* endpoint of `s`, given that `p` is an
+/// endpoint of `s` (query 2). `s` itself is included in the result when it
+/// is found at that endpoint (callers typically skip it by id).
+Status IncidentAtOtherEndpoint(SpatialIndex* index, const Segment& s,
+                               const Point& p, std::vector<SegmentHit>* out);
+
+}  // namespace lsdb
+
+#endif  // LSDB_QUERY_INCIDENT_H_

@@ -1,0 +1,15 @@
+#include "lsdb/query/intersect.h"
+
+namespace lsdb {
+
+Status IntersectingSegments(SpatialIndex* index, const Segment& q,
+                            std::vector<SegmentHit>* out) {
+  std::vector<SegmentHit> hits;
+  LSDB_RETURN_IF_ERROR(index->WindowQueryEx(q.Mbr(), &hits));
+  for (const SegmentHit& h : hits) {
+    if (h.seg.IntersectsSegment(q)) out->push_back(h);
+  }
+  return Status::OK();
+}
+
+}  // namespace lsdb

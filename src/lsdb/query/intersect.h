@@ -1,0 +1,27 @@
+// Segment-intersection query: all stored segments that intersect a given
+// query segment. This is the "which roads does this proposed road cross?"
+// question; the paper's introduction motivates implicit storage precisely
+// with road-intersection queries ("we may not wish to specify which roads
+// intersect which other roads").
+//
+// Implemented as a window query on the query segment's MBR followed by an
+// exact segment-segment test on the returned geometry (no extra
+// segment-table fetches: WindowQueryEx already carries geometry).
+
+#ifndef LSDB_QUERY_INTERSECT_H_
+#define LSDB_QUERY_INTERSECT_H_
+
+#include <vector>
+
+#include "lsdb/index/spatial_index.h"
+
+namespace lsdb {
+
+/// Appends every stored segment whose geometry shares at least one point
+/// with `q` (touching counts as intersecting).
+Status IntersectingSegments(SpatialIndex* index, const Segment& q,
+                            std::vector<SegmentHit>* out);
+
+}  // namespace lsdb
+
+#endif  // LSDB_QUERY_INTERSECT_H_

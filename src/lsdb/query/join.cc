@@ -1,0 +1,132 @@
+#include "lsdb/query/join.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace lsdb {
+
+namespace {
+
+/// Collects the distinct segment ids of every B-leaf overlapping the Z
+/// range of block `blk`: the leaves inside the subtree range plus, when
+/// the range scan finds nothing, the coarser leaf containing the block.
+Status OverlappingSegments(PmrQuadtree* b, const QuadBlock& blk,
+                           std::vector<SegmentId>* out) {
+  const QuadGeometry& geom = b->geometry();
+  std::unordered_set<SegmentId> seen;
+  bool any_key = false;
+  LSDB_RETURN_IF_ERROR(b->btree()->Scan(
+      geom.SubtreeKeyLow(blk), geom.SubtreeKeyHigh(blk),
+      [&](uint64_t key, const uint8_t*) {
+        any_key = true;
+        QuadBlock lb;
+        uint32_t segid;
+        geom.UnpackKey(key, &lb, &segid);
+        if (segid != 0xffffffffu && seen.insert(segid).second) {
+          out->push_back(segid);
+        }
+        return true;
+      }));
+  if (!any_key && geom.SubtreeKeyLow(blk) > 0) {
+    // The block lies strictly inside a coarser B leaf.
+    auto prior = b->btree()->SeekLE(geom.SubtreeKeyLow(blk) - 1);
+    if (prior.ok()) {
+      QuadBlock lb;
+      uint32_t segid;
+      geom.UnpackKey(*prior, &lb, &segid);
+      if (geom.SubtreeKeyHigh(lb) >= geom.SubtreeKeyHigh(blk)) {
+        LSDB_RETURN_IF_ERROR(b->btree()->Scan(
+            geom.BlockKeyLow(lb), geom.BlockKeyHigh(lb),
+            [&](uint64_t key, const uint8_t*) {
+              QuadBlock klb;
+              uint32_t sid;
+              geom.UnpackKey(key, &klb, &sid);
+              if (sid != 0xffffffffu && seen.insert(sid).second) {
+                out->push_back(sid);
+              }
+              return true;
+            }));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PmrMergeJoin(PmrQuadtree* a, SegmentTable* table_a, PmrQuadtree* b,
+                    SegmentTable* table_b, const JoinCallback& fn) {
+  const QuadGeometry& ga = a->geometry();
+  const QuadGeometry& gb = b->geometry();
+  if (ga.world_log2() != gb.world_log2() ||
+      ga.max_depth() != gb.max_depth()) {
+    return Status::InvalidArgument("join requires matching geometries");
+  }
+  // One coordinated pass: group A's tuples by leaf block (they arrive in
+  // Z-order), and for each group fetch the B segments whose leaves overlap
+  // the block. Aligned decompositions make that a pure key-range question.
+  std::unordered_set<uint64_t> emitted;  // (a_id << 32) | b_id
+  QuadBlock cur{0, 0};
+  bool have_cur = false;
+  std::vector<SegmentId> a_ids;
+
+  auto flush = [&]() -> Status {
+    if (!have_cur || a_ids.empty()) return Status::OK();
+    std::vector<SegmentId> b_ids;
+    LSDB_RETURN_IF_ERROR(OverlappingSegments(b, cur, &b_ids));
+    if (b_ids.empty()) return Status::OK();
+    for (SegmentId ai : a_ids) {
+      Segment sa;
+      LSDB_RETURN_IF_ERROR(table_a->Get(ai, &sa));
+      for (SegmentId bi : b_ids) {
+        const uint64_t pair_key =
+            (static_cast<uint64_t>(ai) << 32) | bi;
+        if (emitted.count(pair_key) > 0) continue;
+        Segment sb;
+        LSDB_RETURN_IF_ERROR(table_b->Get(bi, &sb));
+        if (sa.IntersectsSegment(sb)) {
+          emitted.insert(pair_key);
+          LSDB_RETURN_IF_ERROR(fn(ai, bi));
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  Status cb_status;
+  LSDB_RETURN_IF_ERROR(a->btree()->Scan(
+      0, ~uint64_t{0}, [&](uint64_t key, const uint8_t*) {
+        QuadBlock blk;
+        uint32_t segid;
+        ga.UnpackKey(key, &blk, &segid);
+        if (!have_cur || !(blk == cur)) {
+          cb_status = flush();
+          if (!cb_status.ok()) return false;
+          cur = blk;
+          have_cur = true;
+          a_ids.clear();
+        }
+        if (segid != 0xffffffffu) a_ids.push_back(segid);
+        return true;
+      }));
+  LSDB_RETURN_IF_ERROR(cb_status);
+  return flush();
+}
+
+Status IndexNestedLoopJoin(SegmentTable* table_a, SpatialIndex* b,
+                           const JoinCallback& fn) {
+  for (SegmentId ai = 0; ai < table_a->size(); ++ai) {
+    Segment sa;
+    LSDB_RETURN_IF_ERROR(table_a->Get(ai, &sa));
+    std::vector<SegmentHit> hits;
+    LSDB_RETURN_IF_ERROR(b->WindowQueryEx(sa.Mbr(), &hits));
+    for (const SegmentHit& h : hits) {
+      if (sa.IntersectsSegment(h.seg)) {
+        LSDB_RETURN_IF_ERROR(fn(ai, h.id));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,45 @@
+// Spatial join (map overlay): all intersecting segment pairs between two
+// line segment databases, e.g. road x stream crossings.
+//
+// The paper's conclusion motivates this composition: "If the results of
+// the operations are to be composed with the results of other operations
+// such as overlay of maps of different types, then the fact that the
+// decomposition induced by the PMR quadtree is oriented so that the
+// decomposition lines are always in the same positions makes it preferable
+// to the R+-tree."
+//
+// Two algorithms:
+//  * PmrMergeJoin — exploits exactly that property: both linear quadtrees
+//    share one regular decomposition, so their leaf sets can be merged in
+//    a single coordinated Z-order pass; candidate pairs only form inside
+//    overlapping blocks.
+//  * IndexNestedLoopJoin — the generic baseline: probe index B with the
+//    MBR of every segment of A.
+
+#ifndef LSDB_QUERY_JOIN_H_
+#define LSDB_QUERY_JOIN_H_
+
+#include <functional>
+
+#include "lsdb/index/spatial_index.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/seg/segment_table.h"
+
+namespace lsdb {
+
+/// Called once per intersecting pair (segment of A, segment of B).
+using JoinCallback = std::function<Status(SegmentId, SegmentId)>;
+
+/// Merge join of two PMR quadtrees over the same world geometry.
+/// Requires matching world_log2 / max_depth (InvalidArgument otherwise).
+Status PmrMergeJoin(PmrQuadtree* a, SegmentTable* table_a, PmrQuadtree* b,
+                    SegmentTable* table_b, const JoinCallback& fn);
+
+/// Baseline: for every segment of A (scanned from its table), window-query
+/// index B with the segment's MBR and test the candidates exactly.
+Status IndexNestedLoopJoin(SegmentTable* table_a, SpatialIndex* b,
+                           const JoinCallback& fn);
+
+}  // namespace lsdb
+
+#endif  // LSDB_QUERY_JOIN_H_

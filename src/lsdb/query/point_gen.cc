@@ -1,0 +1,36 @@
+#include "lsdb/query/point_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsdb {
+
+Point UniformQueryPoint(Rng* rng, uint32_t world_log2) {
+  const uint64_t side = uint64_t{1} << world_log2;
+  return Point{static_cast<Coord>(rng->Uniform(side)),
+               static_cast<Coord>(rng->Uniform(side))};
+}
+
+StatusOr<TwoStageQueryPointGenerator> TwoStageQueryPointGenerator::Create(
+    PmrQuadtree* pmr) {
+  std::vector<QuadBlock> blocks;
+  LSDB_RETURN_IF_ERROR(pmr->CollectLeafBlocks(&blocks));
+  if (blocks.empty()) {
+    return Status::InvalidArgument("empty PMR quadtree");
+  }
+  return TwoStageQueryPointGenerator(pmr->geometry(), std::move(blocks));
+}
+
+Point TwoStageQueryPointGenerator::Next(Rng* rng) const {
+  const QuadBlock& b = blocks_[rng->Uniform(blocks_.size())];
+  const Rect region = geom_.BlockRegion(b);
+  // Sample within the block's cell (excluding the shared far edges so
+  // coordinates stay inside the data domain).
+  const uint64_t w = static_cast<uint64_t>(region.Width());
+  const uint64_t h = static_cast<uint64_t>(region.Height());
+  return Point{
+      static_cast<Coord>(region.xmin + static_cast<Coord>(rng->Uniform(w))),
+      static_cast<Coord>(region.ymin + static_cast<Coord>(rng->Uniform(h)))};
+}
+
+}  // namespace lsdb

@@ -1,0 +1,50 @@
+// Random query point generation (paper Section 6).
+//
+// Two techniques are compared in the study:
+//  * 1-stage: uniform over the whole map space. "The problem with such an
+//    approach is that many of the query points lie outside the boundaries
+//    of the maps of interest, or in large empty areas."
+//  * 2-stage: correlated with the data — first pick a PMR quadtree leaf
+//    block uniformly at random *by count, not by size*, then pick a point
+//    uniformly inside that block. Dense regions have many small blocks, so
+//    they are queried more often.
+
+#ifndef LSDB_QUERY_POINT_GEN_H_
+#define LSDB_QUERY_POINT_GEN_H_
+
+#include <vector>
+
+#include "lsdb/geom/morton.h"
+#include "lsdb/geom/point.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/util/random.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+/// Uniform point on the world grid (1-stage method).
+Point UniformQueryPoint(Rng* rng, uint32_t world_log2);
+
+/// 2-stage generator. The block list is captured once at construction (so
+/// generation does not charge disk accesses to the query workloads).
+class TwoStageQueryPointGenerator {
+ public:
+  static StatusOr<TwoStageQueryPointGenerator> Create(PmrQuadtree* pmr);
+
+  /// Uniform block (by count), then uniform point within the block.
+  Point Next(Rng* rng) const;
+
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  TwoStageQueryPointGenerator(QuadGeometry geom,
+                              std::vector<QuadBlock> blocks)
+      : geom_(geom), blocks_(std::move(blocks)) {}
+
+  QuadGeometry geom_;
+  std::vector<QuadBlock> blocks_;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_QUERY_POINT_GEN_H_

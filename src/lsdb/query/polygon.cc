@@ -1,0 +1,108 @@
+#include "lsdb/query/polygon.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "lsdb/query/incident.h"
+
+namespace lsdb {
+
+namespace {
+
+struct Dir {
+  int64_t x;
+  int64_t y;
+};
+
+/// Quadrant class of the CCW angle from reference direction r to d:
+/// 0 for angle 0, 1 for (0,pi), 2 for pi, 3 for (pi,2pi).
+int AngleClass(const Dir& r, const Dir& d) {
+  const int64_t cross = r.x * d.y - r.y * d.x;
+  const int64_t dot = r.x * d.x + r.y * d.y;
+  if (cross == 0) return dot > 0 ? 0 : 2;
+  return cross > 0 ? 1 : 3;
+}
+
+/// True iff the CCW angle from r to d2 exceeds the CCW angle from r to d1.
+bool CcwAngleGreater(const Dir& r, const Dir& d1, const Dir& d2) {
+  const int c1 = AngleClass(r, d1);
+  const int c2 = AngleClass(r, d2);
+  if (c1 != c2) return c2 > c1;
+  // Same open half-plane relative to r: d2 is a strictly larger turn iff
+  // it lies counterclockwise of d1.
+  return d1.x * d2.y - d1.y * d2.x > 0;
+}
+
+}  // namespace
+
+Status EnclosingPolygon(SpatialIndex* index, const Point& q,
+                        PolygonResult* out, size_t max_steps) {
+  out->segments.clear();
+  out->distinct_count = 0;
+  out->closed = false;
+
+  auto nearest = index->Nearest(q);
+  if (!nearest.ok()) return nearest.status();
+  const Segment s0 = nearest->seg;
+  if (s0.IsDegenerate()) {
+    out->segments.push_back(nearest->id);
+    out->distinct_count = 1;
+    out->closed = true;
+    return Status::OK();
+  }
+
+  // Orient the starting edge so that q lies on its left; the walk then
+  // traverses the face containing q.
+  Point u = s0.a, v = s0.b;
+  if (Cross(s0.a, s0.b, q) < 0) {
+    u = s0.b;
+    v = s0.a;
+  }
+  const SegmentId start_id = nearest->id;
+  const Point start_u = u, start_v = v;
+
+  SegmentId cur_id = start_id;
+  std::unordered_set<SegmentId> distinct;
+  for (size_t step = 0; step < max_steps; ++step) {
+    out->segments.push_back(cur_id);
+    distinct.insert(cur_id);
+
+    // Query 2: all segments incident at the far endpoint v.
+    std::vector<SegmentHit> incident;
+    LSDB_RETURN_IF_ERROR(IncidentSegments(index, v, &incident));
+
+    const Dir back{static_cast<int64_t>(u.x) - v.x,
+                   static_cast<int64_t>(u.y) - v.y};
+    bool have_next = false;
+    SegmentId next_id = cur_id;
+    Point next_w = u;  // default: U-turn at a dead end
+    Dir best_dir{0, 0};
+    for (const SegmentHit& h : incident) {
+      if (h.seg.IsDegenerate()) continue;
+      const Point w = h.seg.OtherEndpoint(v);
+      const Dir d{static_cast<int64_t>(w.x) - v.x,
+                  static_cast<int64_t>(w.y) - v.y};
+      // Skip the incoming edge itself (angle 0); it is only taken as the
+      // fallback U-turn when nothing else is incident.
+      if (h.id == cur_id && w == u) continue;
+      if (!have_next || CcwAngleGreater(back, best_dir, d)) {
+        have_next = true;
+        next_id = h.id;
+        next_w = w;
+        best_dir = d;
+      }
+    }
+
+    u = v;
+    v = next_w;
+    cur_id = next_id;
+    if (cur_id == start_id && u == start_u && v == start_v) {
+      out->closed = true;
+      break;
+    }
+  }
+  out->distinct_count = distinct.size();
+  return Status::OK();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,43 @@
+// Query 4 of the study: the minimal enclosing polygon of a query point.
+//
+// "The execution of query 4 requires that we find a line segment that is
+// near the query point and then traverse the boundary of the polygon that
+// surrounds it. The traversal is performed by repeatedly executing query 2
+// and determining the right line segment from the ones that are returned."
+//
+// The traversal is the classic planar face walk: starting from the nearest
+// segment, oriented so the query point lies on the left, at each vertex we
+// take the incident segment making the largest counterclockwise turn from
+// the reversed incoming direction (exact integer angular comparison).
+// Dead-end vertices (degree 1) produce a U-turn; the walk terminates when
+// the starting directed edge repeats.
+
+#ifndef LSDB_QUERY_POLYGON_H_
+#define LSDB_QUERY_POLYGON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "lsdb/index/spatial_index.h"
+
+namespace lsdb {
+
+struct PolygonResult {
+  /// Constituent segments in walk order. Segments on dead-end spurs appear
+  /// twice (once per direction).
+  std::vector<SegmentId> segments;
+  /// Number of distinct segments on the boundary.
+  size_t distinct_count = 0;
+  /// True when the walk returned to the starting directed edge (always the
+  /// case on a planar map; false only if the step limit was hit).
+  bool closed = false;
+};
+
+/// Computes the enclosing polygon of `q` over the segments in `index`.
+/// `max_steps` bounds the walk (guards against non-planar input).
+Status EnclosingPolygon(SpatialIndex* index, const Point& q,
+                        PolygonResult* out, size_t max_steps = 100000);
+
+}  // namespace lsdb
+
+#endif  // LSDB_QUERY_POLYGON_H_

@@ -1,0 +1,70 @@
+#include "lsdb/rtree/rnode.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lsdb {
+
+namespace {
+constexpr size_t kHeaderSize = 12;
+constexpr size_t kEntrySize = 20;
+}  // namespace
+
+Status RNodeIO::Load(PageId id, RNode* node) {
+  auto ref = pool_->Fetch(id);
+  if (!ref.ok()) return ref.status();
+  const uint8_t* p = ref->data();
+  node->level = p[1];
+  uint16_t count;
+  std::memcpy(&count, p + 2, 2);
+  std::memcpy(&node->overflow, p + 4, 4);
+  node->entries.clear();
+  node->entries.reserve(count);
+  const uint8_t* q = p + kHeaderSize;
+  for (uint16_t i = 0; i < count; ++i, q += kEntrySize) {
+    RNodeEntry e;
+    int32_t v[4];
+    std::memcpy(v, q, 16);
+    e.rect = Rect{v[0], v[1], v[2], v[3]};
+    std::memcpy(&e.child, q + 16, 4);
+    node->entries.push_back(e);
+  }
+  return Status::OK();
+}
+
+Status RNodeIO::Store(PageId id, const RNode& node) {
+  assert(node.entries.size() <= Capacity());
+  auto ref = pool_->Fetch(id);
+  if (!ref.ok()) return ref.status();
+  uint8_t* p = ref->data();
+  std::memset(p, 0, pool_->page_size());
+  p[0] = node.leaf() ? 1 : 2;
+  p[1] = node.level;
+  const uint16_t count = static_cast<uint16_t>(node.entries.size());
+  std::memcpy(p + 2, &count, 2);
+  std::memcpy(p + 4, &node.overflow, 4);
+  uint8_t* q = p + kHeaderSize;
+  for (const RNodeEntry& e : node.entries) {
+    const int32_t v[4] = {e.rect.xmin, e.rect.ymin, e.rect.xmax,
+                          e.rect.ymax};
+    std::memcpy(q, v, 16);
+    std::memcpy(q + 16, &e.child, 4);
+    q += kEntrySize;
+  }
+  ref->MarkDirty();
+  return Status::OK();
+}
+
+StatusOr<PageId> RNodeIO::Alloc() {
+  auto ref = pool_->New();
+  if (!ref.ok()) return ref.status();
+  ++live_pages_;
+  return ref->id();
+}
+
+Status RNodeIO::Free(PageId id) {
+  --live_pages_;
+  return pool_->Free(id);
+}
+
+}  // namespace lsdb

@@ -1,0 +1,68 @@
+// Paged node format shared by the R-tree variants.
+//
+// Following the paper: a node is a page holding 2-tuples (R, O) of five
+// 4-byte words — four rectangle coordinates and one pointer — i.e. 20 bytes
+// per entry, giving M = 50 entries on a 1K page. For leaf entries O is a
+// segment-table id; for non-leaf entries O is a child page id.
+//
+// The `overflow` field supports R+-tree leaf overflow chaining for the
+// theoretical corner case where more than M segments intersect in a region
+// that cannot be split further (paper footnote 2). R*-trees never use it.
+
+#ifndef LSDB_RTREE_RNODE_H_
+#define LSDB_RTREE_RNODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsdb/geom/rect.h"
+#include "lsdb/storage/buffer_pool.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+struct RNodeEntry {
+  Rect rect;
+  uint32_t child = 0;  ///< Child page id (non-leaf) or segment id (leaf).
+};
+
+struct RNode {
+  uint8_t level = 0;  ///< 0 = leaf.
+  PageId overflow = kInvalidPageId;  ///< R+ leaf overflow chain.
+  std::vector<RNodeEntry> entries;
+
+  bool leaf() const { return level == 0; }
+
+  /// MBR of all entries (empty rect for an empty node).
+  Rect Mbr() const {
+    Rect r;
+    for (const RNodeEntry& e : entries) r = r.Union(e.rect);
+    return r;
+  }
+};
+
+/// Serializer/allocator for RNodes on a buffer pool.
+class RNodeIO {
+ public:
+  explicit RNodeIO(BufferPool* pool) : pool_(pool) {}
+
+  /// Maximum entries per node for this page size (paper: 50 at 1K).
+  uint32_t Capacity() const { return (pool_->page_size() - 12) / 20; }
+
+  Status Load(PageId id, RNode* node);
+  Status Store(PageId id, const RNode& node);
+  StatusOr<PageId> Alloc();
+  Status Free(PageId id);
+
+  uint32_t live_pages() const { return live_pages_; }
+  void set_live_pages(uint32_t n) { live_pages_ = n; }
+  BufferPool* pool() { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  uint32_t live_pages_ = 0;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_RTREE_RNODE_H_

@@ -1,0 +1,180 @@
+#include "lsdb/storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lsdb {
+
+BufferPool::BufferPool(PageFile* file, uint32_t frame_count,
+                       MetricCounters* metrics)
+    : file_(file), metrics_(metrics) {
+  assert(frame_count >= 1);
+  frames_.resize(frame_count);
+  free_frames_.reserve(frame_count);
+  for (uint32_t i = 0; i < frame_count; ++i) {
+    frames_[i].buf.resize(file_->page_size());
+    free_frames_.push_back(frame_count - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors cannot be reported from a destructor.
+  (void)FlushAll();
+}
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    id_ = o.id_;
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+uint8_t* BufferPool::PageRef::data() {
+  assert(valid());
+  return pool_->frames_[frame_].buf.data();
+}
+
+const uint8_t* BufferPool::PageRef::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].buf.data();
+}
+
+void BufferPool::PageRef::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void BufferPool::PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+StatusOr<uint32_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const uint32_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer frames pinned");
+  }
+  const uint32_t f = lru_.front();
+  lru_.pop_front();
+  Frame& fr = frames_[f];
+  fr.in_lru = false;
+  assert(fr.pin_count == 0);
+  if (fr.dirty) {
+    LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
+    if (metrics_ != nullptr) ++metrics_->disk_writes;
+    fr.dirty = false;
+  }
+  page_to_frame_.erase(fr.page);
+  fr.page = kInvalidPageId;
+  return f;
+}
+
+void BufferPool::Touch(uint32_t frame) {
+  Frame& fr = frames_[frame];
+  if (fr.in_lru) {
+    lru_.erase(fr.lru_pos);
+    fr.in_lru = false;
+  }
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  Frame& fr = frames_[frame];
+  assert(fr.pin_count > 0);
+  if (--fr.pin_count == 0) {
+    fr.lru_pos = lru_.insert(lru_.end(), frame);
+    fr.in_lru = true;
+  }
+}
+
+StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
+  if (metrics_ != nullptr) ++metrics_->page_fetches;
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    const uint32_t f = it->second;
+    Touch(f);
+    ++frames_[f].pin_count;
+    return PageRef(this, f, id);
+  }
+  auto victim = GetVictimFrame();
+  if (!victim.ok()) return victim.status();
+  const uint32_t f = *victim;
+  Frame& fr = frames_[f];
+  const Status s = file_->Read(id, fr.buf.data());
+  if (!s.ok()) {
+    free_frames_.push_back(f);
+    return s;
+  }
+  if (metrics_ != nullptr) ++metrics_->disk_reads;
+  fr.page = id;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  page_to_frame_[id] = f;
+  return PageRef(this, f, id);
+}
+
+StatusOr<BufferPool::PageRef> BufferPool::New() {
+  if (metrics_ != nullptr) ++metrics_->page_fetches;
+  auto alloc = file_->Allocate();
+  if (!alloc.ok()) return alloc.status();
+  const PageId id = *alloc;
+  auto victim = GetVictimFrame();
+  if (!victim.ok()) return victim.status();
+  const uint32_t f = *victim;
+  Frame& fr = frames_[f];
+  std::memset(fr.buf.data(), 0, fr.buf.size());
+  fr.page = id;
+  fr.pin_count = 1;
+  fr.dirty = true;  // a new page must eventually reach the file
+  page_to_frame_[id] = f;
+  return PageRef(this, f, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& fr : frames_) {
+    if (fr.page != kInvalidPageId && fr.dirty) {
+      LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
+      if (metrics_ != nullptr) ++metrics_->disk_writes;
+      fr.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Free(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& fr = frames_[it->second];
+    if (fr.pin_count != 0) {
+      return Status::InvalidArgument("freeing a pinned page");
+    }
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    fr.page = kInvalidPageId;
+    fr.dirty = false;
+    free_frames_.push_back(it->second);
+    page_to_frame_.erase(it);
+  }
+  return file_->Free(id);
+}
+
+uint32_t BufferPool::pinned_frames() const {
+  uint32_t n = 0;
+  for (const Frame& fr : frames_) {
+    if (fr.page != kInvalidPageId && fr.pin_count > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace lsdb

@@ -1,0 +1,110 @@
+// LRU buffer pool over a PageFile.
+//
+// Reproduces the paper's experimental storage setup: a pool of N frames
+// (default 16) of page_size bytes (default 1K) with least-recently-used
+// replacement. Every *miss* increments `disk_reads`, every dirty page
+// written back on eviction or flush increments `disk_writes`; their sum is
+// the paper's "disk accesses" metric.
+//
+// Access style: callers Fetch() a pinned PageRef, copy data in/out, and
+// drop the ref promptly (RAII unpin). Holding at most a couple of pins at a
+// time keeps the pool functional even at the smallest configurations used
+// in the Figure 6 sweep.
+
+#ifndef LSDB_STORAGE_BUFFER_POOL_H_
+#define LSDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "lsdb/storage/page_file.h"
+#include "lsdb/util/counters.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+class BufferPool {
+ public:
+  /// `metrics` may be null (counters dropped). The pool does not own either
+  /// pointer; both must outlive it.
+  BufferPool(PageFile* file, uint32_t frame_count, MetricCounters* metrics);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII pinned page handle. Movable; unpins on destruction.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(BufferPool* pool, uint32_t frame, PageId id)
+        : pool_(pool), frame_(frame), id_(id) {}
+    PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+    PageRef& operator=(PageRef&& o) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef() { Release(); }
+
+    bool valid() const { return pool_ != nullptr; }
+    PageId id() const { return id_; }
+    uint8_t* data();
+    const uint8_t* data() const;
+    /// Marks the page dirty; it will be written back before reuse.
+    void MarkDirty();
+    /// Explicit early unpin.
+    void Release();
+
+   private:
+    BufferPool* pool_ = nullptr;
+    uint32_t frame_ = 0;
+    PageId id_ = kInvalidPageId;
+  };
+
+  /// Pins page `id`, reading it from the file on a miss.
+  StatusOr<PageRef> Fetch(PageId id);
+  /// Allocates a new zeroed page and pins it (already marked dirty).
+  StatusOr<PageRef> New();
+  /// Writes back all dirty pages (counts as disk writes).
+  Status FlushAll();
+  /// Drops page `id` from the pool (must be unpinned; dirty data is
+  /// discarded) and frees it in the file.
+  Status Free(PageId id);
+
+  uint32_t frame_count() const {
+    return static_cast<uint32_t>(frames_.size());
+  }
+  uint32_t page_size() const { return file_->page_size(); }
+  PageFile* file() { return file_; }
+  const MetricCounters* metrics() const { return metrics_; }
+
+  /// Number of currently pinned frames (diagnostics / tests).
+  uint32_t pinned_frames() const;
+
+ private:
+  struct Frame {
+    std::vector<uint8_t> buf;
+    PageId page = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;  // valid iff in lru_
+    bool in_lru = false;
+  };
+
+  /// Finds a frame for a new page: free frame or LRU-evicted victim.
+  StatusOr<uint32_t> GetVictimFrame();
+  void Touch(uint32_t frame);
+  void Unpin(uint32_t frame);
+
+  PageFile* file_;
+  MetricCounters* metrics_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint32_t> page_to_frame_;
+  std::list<uint32_t> lru_;  // front = least recently used, unpinned only
+  std::vector<uint32_t> free_frames_;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_STORAGE_BUFFER_POOL_H_

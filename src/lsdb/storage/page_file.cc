@@ -1,0 +1,159 @@
+#include "lsdb/storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+namespace lsdb {
+
+MemPageFile::MemPageFile(uint32_t page_size) : PageFile(page_size) {
+  assert(page_size >= 64);
+}
+
+uint32_t MemPageFile::page_count() const {
+  return static_cast<uint32_t>(pages_.size());
+}
+
+uint32_t MemPageFile::live_page_count() const {
+  return static_cast<uint32_t>(pages_.size() - free_list_.size());
+}
+
+Status MemPageFile::Read(PageId id, void* buf) {
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::InvalidArgument("read of unallocated page");
+  }
+  std::memcpy(buf, pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
+Status MemPageFile::Write(PageId id, const void* buf) {
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::InvalidArgument("write of unallocated page");
+  }
+  std::memcpy(pages_[id].get(), buf, page_size_);
+  return Status::OK();
+}
+
+StatusOr<PageId> MemPageFile::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  const PageId id = static_cast<PageId>(pages_.size());
+  auto page = std::make_unique<uint8_t[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  pages_.push_back(std::move(page));
+  live_.push_back(true);
+  return id;
+}
+
+Status MemPageFile::Free(PageId id) {
+  if (id >= pages_.size() || !live_[id]) {
+    return Status::InvalidArgument("free of unallocated page");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<PosixPageFile>> PosixPageFile::Create(
+    const std::string& path, uint32_t page_size) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<PosixPageFile>(new PosixPageFile(fd, page_size));
+}
+
+StatusOr<std::unique_ptr<PosixPageFile>> PosixPageFile::Open(
+    const std::string& path, uint32_t page_size) {
+  const int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || size % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption("file size is not a multiple of page size");
+  }
+  auto file =
+      std::unique_ptr<PosixPageFile>(new PosixPageFile(fd, page_size));
+  file->page_count_ = static_cast<uint32_t>(size / page_size);
+  file->live_.assign(file->page_count_, true);
+  return file;
+}
+
+PosixPageFile::PosixPageFile(int fd, uint32_t page_size)
+    : PageFile(page_size), fd_(fd) {}
+
+PosixPageFile::~PosixPageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint32_t PosixPageFile::page_count() const { return page_count_; }
+
+uint32_t PosixPageFile::live_page_count() const {
+  return page_count_ - static_cast<uint32_t>(free_list_.size());
+}
+
+Status PosixPageFile::Read(PageId id, void* buf) {
+  if (id >= page_count_ || !live_[id]) {
+    return Status::InvalidArgument("read of unallocated page");
+  }
+  const off_t off = static_cast<off_t>(id) * page_size_;
+  const ssize_t n = ::pread(fd_, buf, page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pread failed");
+  }
+  return Status::OK();
+}
+
+Status PosixPageFile::Write(PageId id, const void* buf) {
+  if (id >= page_count_ || !live_[id]) {
+    return Status::InvalidArgument("write of unallocated page");
+  }
+  const off_t off = static_cast<off_t>(id) * page_size_;
+  const ssize_t n = ::pwrite(fd_, buf, page_size_, off);
+  if (n != static_cast<ssize_t>(page_size_)) {
+    return Status::IoError("pwrite failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> PosixPageFile::Allocate() {
+  std::vector<uint8_t> zero(page_size_, 0);
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    LSDB_RETURN_IF_ERROR(Write(id, zero.data()));
+    return id;
+  }
+  const PageId id = page_count_;
+  ++page_count_;
+  live_.push_back(true);
+  const Status s = Write(id, zero.data());
+  if (!s.ok()) {
+    --page_count_;
+    live_.pop_back();
+    return s;
+  }
+  return id;
+}
+
+Status PosixPageFile::Free(PageId id) {
+  if (id >= page_count_ || !live_[id]) {
+    return Status::InvalidArgument("free of unallocated page");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,37 @@
+#include "lsdb/util/counters.h"
+
+#include <sstream>
+
+namespace lsdb {
+
+MetricCounters MetricCounters::operator-(const MetricCounters& rhs) const {
+  MetricCounters out;
+  out.disk_reads = disk_reads - rhs.disk_reads;
+  out.disk_writes = disk_writes - rhs.disk_writes;
+  out.page_fetches = page_fetches - rhs.page_fetches;
+  out.segment_comps = segment_comps - rhs.segment_comps;
+  out.bbox_comps = bbox_comps - rhs.bbox_comps;
+  out.bucket_comps = bucket_comps - rhs.bucket_comps;
+  return out;
+}
+
+MetricCounters& MetricCounters::operator+=(const MetricCounters& rhs) {
+  disk_reads += rhs.disk_reads;
+  disk_writes += rhs.disk_writes;
+  page_fetches += rhs.page_fetches;
+  segment_comps += rhs.segment_comps;
+  bbox_comps += rhs.bbox_comps;
+  bucket_comps += rhs.bucket_comps;
+  return *this;
+}
+
+std::string MetricCounters::ToString() const {
+  std::ostringstream os;
+  os << "{disk=" << disk_accesses() << " (r=" << disk_reads
+     << ",w=" << disk_writes << "), fetch=" << page_fetches
+     << ", segcmp=" << segment_comps << ", bbox=" << bbox_comps
+     << ", bucket=" << bucket_comps << "}";
+  return os.str();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,41 @@
+// Metric counters for the paper's three measured quantities.
+//
+// The SIGMOD'92 study reports, per query workload and per structure:
+//   * disk accesses        — buffer-pool read misses + dirty write-backs,
+//   * segment comparisons  — accesses to the disk-resident segment table,
+//   * bounding box / bucket computations — entry rectangles examined in
+//     R-tree nodes, or quadtree block regions computed.
+//
+// Counters are plain (non-atomic) because all experiments are
+// single-threaded, matching the original study.
+
+#ifndef LSDB_UTIL_COUNTERS_H_
+#define LSDB_UTIL_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lsdb {
+
+/// Aggregate metrics accumulated by one index structure (and its attached
+/// storage). Snapshot-and-diff around a workload to get per-workload costs.
+struct MetricCounters {
+  uint64_t disk_reads = 0;    ///< Buffer-pool read misses.
+  uint64_t disk_writes = 0;   ///< Dirty page write-backs (evict or flush).
+  uint64_t page_fetches = 0;  ///< Logical page requests (hit or miss).
+  uint64_t segment_comps = 0; ///< Segment-table accesses ("segment comps").
+  uint64_t bbox_comps = 0;    ///< R-tree entry rectangles examined.
+  uint64_t bucket_comps = 0;  ///< Quadtree block regions computed/tested.
+
+  /// Total potential disk activity as reported in the paper's tables.
+  uint64_t disk_accesses() const { return disk_reads + disk_writes; }
+
+  MetricCounters operator-(const MetricCounters& rhs) const;
+  MetricCounters& operator+=(const MetricCounters& rhs);
+
+  std::string ToString() const;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_UTIL_COUNTERS_H_

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in this repository must be reproducible run-to-run, so we
+// avoid std::random_device / std::mt19937 seeding ambiguity and implement a
+// small, well-understood generator (xoshiro256**, seeded via SplitMix64).
+
+#ifndef LSDB_UTIL_RANDOM_H_
+#define LSDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace lsdb {
+
+/// SplitMix64 step; used for seeding and hashing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator: fast, high-quality, deterministic.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Normal(0,1) via Box-Muller (deterministic, uses two Next() draws).
+  double Normal();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_UTIL_RANDOM_H_

@@ -1,0 +1,128 @@
+// Copyright (c) lsdb authors. Licensed under the MIT license.
+//
+// Status / StatusOr: lightweight error propagation without exceptions.
+// Follows the RocksDB/Abseil idiom: fallible operations return a Status (or
+// StatusOr<T>) by value; callers check ok() before using results.
+
+#ifndef LSDB_UTIL_STATUS_H_
+#define LSDB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lsdb {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,        ///< A requested key/segment/page does not exist.
+  kInvalidArgument = 2, ///< Caller passed an out-of-domain argument.
+  kCorruption = 3,      ///< On-disk structure violated an invariant.
+  kIoError = 4,         ///< Underlying page file failed.
+  kResourceExhausted = 5, ///< E.g. buffer pool has no evictable frame.
+  kUnimplemented = 6,   ///< Feature intentionally not supported.
+  kInternal = 7,        ///< Invariant violation inside the library.
+};
+
+/// Value-semantic result of a fallible operation.
+///
+/// The success path stores no message and is cheap to copy. Construct error
+/// states through the named factory functions, e.g.
+/// `Status::NotFound("segment 42")`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg = "") {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "NotFound: segment 42".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error-state StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "use the value constructor for success");
+  }
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;  // engaged iff status_.ok()
+};
+
+/// Propagate a non-OK Status to the caller.
+#define LSDB_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::lsdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace lsdb
+
+#endif  // LSDB_UTIL_STATUS_H_

@@ -1,0 +1,46 @@
+#include "lsdb/viz/svg.h"
+
+#include <fstream>
+
+namespace lsdb {
+
+Status WriteSvg(const PolygonalMap& map, const std::vector<Rect>& regions,
+                const std::string& path, const SvgOptions& options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  const double scale = options.pixels / static_cast<double>(options.world);
+  auto sx = [&](Coord v) { return v * scale; };
+  // SVG y grows downward; flip so the world's y grows upward.
+  auto sy = [&](Coord v) { return (options.world - v) * scale; };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.pixels << "\" height=\"" << options.pixels
+      << "\" viewBox=\"0 0 " << options.pixels << " " << options.pixels
+      << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (!regions.empty()) {
+    out << "<g stroke=\"" << options.overlay_color
+        << "\" fill=\"none\" stroke-width=\"" << options.overlay_width
+        << "\" opacity=\"0.7\">\n";
+    for (const Rect& r : regions) {
+      out << "<rect x=\"" << sx(r.xmin) << "\" y=\"" << sy(r.ymax)
+          << "\" width=\"" << (r.Width() * scale) << "\" height=\""
+          << (r.Height() * scale) << "\"/>\n";
+    }
+    out << "</g>\n";
+  }
+
+  out << "<g stroke=\"" << options.segment_color
+      << "\" stroke-width=\"" << options.segment_width
+      << "\" stroke-linecap=\"round\">\n";
+  for (const Segment& s : map.segments) {
+    out << "<line x1=\"" << sx(s.a.x) << "\" y1=\"" << sy(s.a.y)
+        << "\" x2=\"" << sx(s.b.x) << "\" y2=\"" << sy(s.b.y) << "\"/>\n";
+  }
+  out << "</g>\n</svg>\n";
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,37 @@
+// SVG rendering of maps and index decompositions.
+//
+// Renders a polygonal map with optional overlays of the space
+// decomposition each structure induces — the PMR quadtree's leaf blocks,
+// the R+-tree's disjoint leaf partitions, and the R*-tree's (possibly
+// overlapping) leaf MBRs. The output makes the paper's Figures 2, 3 and 5
+// reproducible on real data at a glance.
+
+#ifndef LSDB_VIZ_SVG_H_
+#define LSDB_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "lsdb/data/polygonal_map.h"
+#include "lsdb/geom/rect.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+struct SvgOptions {
+  double pixels = 1024.0;       ///< Output image side in CSS pixels.
+  Coord world = 16384;          ///< World side (input coordinate range).
+  std::string segment_color = "#1a1a1a";
+  std::string overlay_color = "#d04040";
+  double segment_width = 0.6;
+  double overlay_width = 0.8;
+};
+
+/// Writes `map` as an SVG, overlaying `regions` (index decomposition
+/// rectangles) if non-empty.
+Status WriteSvg(const PolygonalMap& map, const std::vector<Rect>& regions,
+                const std::string& path, const SvgOptions& options = {});
+
+}  // namespace lsdb
+
+#endif  // LSDB_VIZ_SVG_H_

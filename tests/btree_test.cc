@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "lsdb/btree/btree.h"
+#include "lsdb/util/random.h"
+
+namespace lsdb {
+namespace {
+
+struct TreeFixture {
+  // Small pages force deep trees quickly (leaf capacity (128-12)/8 = 14).
+  explicit TreeFixture(uint32_t page_size = 128, uint32_t frames = 16)
+      : file(page_size), pool(&file, frames, &metrics), tree(&pool) {
+    EXPECT_TRUE(tree.Init().ok());
+  }
+  MetricCounters metrics;
+  MemPageFile file;
+  BufferPool pool;
+  BTree tree;
+};
+
+TEST(BTreeTest, EmptyTree) {
+  TreeFixture f;
+  EXPECT_EQ(f.tree.size(), 0u);
+  EXPECT_EQ(f.tree.height(), 1u);
+  auto c = f.tree.Contains(42);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(*c);
+  EXPECT_TRUE(f.tree.SeekLE(42).status().IsNotFound());
+  EXPECT_TRUE(f.tree.SeekGE(42).status().IsNotFound());
+  EXPECT_TRUE(f.tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, InsertAndContains) {
+  TreeFixture f;
+  for (uint64_t k : {5, 1, 9, 3, 7}) ASSERT_TRUE(f.tree.Insert(k).ok());
+  EXPECT_EQ(f.tree.size(), 5u);
+  for (uint64_t k : {1, 3, 5, 7, 9}) {
+    auto c = f.tree.Contains(k);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(*c) << k;
+  }
+  auto c = f.tree.Contains(4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(*c);
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree.Insert(7).ok());
+  EXPECT_TRUE(f.tree.Insert(7).IsInvalidArgument());
+  EXPECT_EQ(f.tree.size(), 1u);
+}
+
+TEST(BTreeTest, EraseMissingIsNotFound) {
+  TreeFixture f;
+  ASSERT_TRUE(f.tree.Insert(7).ok());
+  EXPECT_TRUE(f.tree.Erase(8).IsNotFound());
+  EXPECT_EQ(f.tree.size(), 1u);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  TreeFixture f;
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(f.tree.Insert(k).ok());
+  EXPECT_GT(f.tree.height(), 2u);
+  EXPECT_EQ(f.tree.size(), 1000u);
+  EXPECT_TRUE(f.tree.CheckInvariants().ok()) <<
+      f.tree.CheckInvariants().ToString();
+}
+
+TEST(BTreeTest, SeekLE) {
+  TreeFixture f;
+  for (uint64_t k = 10; k <= 1000; k += 10) ASSERT_TRUE(f.tree.Insert(k).ok());
+  auto le = f.tree.SeekLE(55);
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(*le, 50u);
+  le = f.tree.SeekLE(60);
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(*le, 60u);  // exact hit
+  le = f.tree.SeekLE(5000);
+  ASSERT_TRUE(le.ok());
+  EXPECT_EQ(*le, 1000u);
+  EXPECT_TRUE(f.tree.SeekLE(9).status().IsNotFound());
+}
+
+TEST(BTreeTest, SeekGE) {
+  TreeFixture f;
+  for (uint64_t k = 10; k <= 1000; k += 10) ASSERT_TRUE(f.tree.Insert(k).ok());
+  auto ge = f.tree.SeekGE(55);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(*ge, 60u);
+  ge = f.tree.SeekGE(60);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(*ge, 60u);
+  ge = f.tree.SeekGE(0);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_EQ(*ge, 10u);
+  EXPECT_TRUE(f.tree.SeekGE(1001).status().IsNotFound());
+}
+
+TEST(BTreeTest, ScanRange) {
+  TreeFixture f;
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(f.tree.Insert(k * 2).ok());
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(f.tree.Scan(100, 120, [&](uint64_t k, const uint8_t*) {
+    got.push_back(k);
+    return true;
+  }).ok());
+  EXPECT_EQ(got, std::vector<uint64_t>({100, 102, 104, 106, 108, 110, 112,
+                                        114, 116, 118, 120}));
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  TreeFixture f;
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(f.tree.Insert(k).ok());
+  int count = 0;
+  ASSERT_TRUE(f.tree.Scan(0, 99, [&](uint64_t, const uint8_t*) {
+    return ++count < 5;
+  }).ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BTreeTest, ScanEmptyRange) {
+  TreeFixture f;
+  for (uint64_t k = 0; k < 100; k += 10) ASSERT_TRUE(f.tree.Insert(k).ok());
+  int count = 0;
+  ASSERT_TRUE(f.tree.Scan(41, 49, [&](uint64_t, const uint8_t*) {
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 0);
+  ASSERT_TRUE(f.tree.Scan(49, 41, [&](uint64_t, const uint8_t*) {
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BTreeTest, EraseWithRebalancing) {
+  TreeFixture f;
+  const int n = 2000;
+  for (int k = 0; k < n; ++k) ASSERT_TRUE(f.tree.Insert(k).ok());
+  // Erase everything in an order that exercises borrows and merges.
+  for (int k = 0; k < n; k += 2) ASSERT_TRUE(f.tree.Erase(k).ok());
+  EXPECT_TRUE(f.tree.CheckInvariants().ok())
+      << f.tree.CheckInvariants().ToString();
+  for (int k = n - 1; k >= 1; k -= 2) ASSERT_TRUE(f.tree.Erase(k).ok());
+  EXPECT_EQ(f.tree.size(), 0u);
+  EXPECT_EQ(f.tree.height(), 1u);
+  EXPECT_TRUE(f.tree.CheckInvariants().ok())
+      << f.tree.CheckInvariants().ToString();
+}
+
+// Randomized differential test against std::set, checking structural
+// invariants as the tree grows and shrinks.
+class BTreeRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(BTreeRandomTest, MatchesReferenceSet) {
+  const auto [seed, page_size] = GetParam();
+  TreeFixture f(page_size);
+  Rng rng(seed);
+  std::set<uint64_t> ref;
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t key = rng.Uniform(800);  // dense domain → collisions
+    if (rng.Bernoulli(0.6)) {
+      const Status st = f.tree.Insert(key);
+      if (ref.insert(key).second) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      } else {
+        ASSERT_TRUE(st.IsInvalidArgument());
+      }
+    } else {
+      const Status st = f.tree.Erase(key);
+      if (ref.erase(key) > 0) {
+        ASSERT_TRUE(st.ok()) << st.ToString();
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    }
+    if (op % 500 == 499) {
+      ASSERT_TRUE(f.tree.CheckInvariants().ok())
+          << f.tree.CheckInvariants().ToString();
+    }
+  }
+  ASSERT_EQ(f.tree.size(), ref.size());
+  // Full content check via scan.
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(f.tree.Scan(0, ~uint64_t{0}, [&](uint64_t k, const uint8_t*) {
+    got.push_back(k);
+    return true;
+  }).ok());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), ref.begin(), ref.end()));
+  // Seek checks on random probes.
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t probe = rng.Uniform(1000);
+    auto le = f.tree.SeekLE(probe);
+    auto it = ref.upper_bound(probe);
+    if (it == ref.begin()) {
+      EXPECT_TRUE(le.status().IsNotFound());
+    } else {
+      ASSERT_TRUE(le.ok());
+      EXPECT_EQ(*le, *std::prev(it));
+    }
+    auto ge = f.tree.SeekGE(probe);
+    auto it2 = ref.lower_bound(probe);
+    if (it2 == ref.end()) {
+      EXPECT_TRUE(ge.status().IsNotFound());
+    } else {
+      ASSERT_TRUE(ge.ok());
+      EXPECT_EQ(*ge, *it2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPageSizes, BTreeRandomTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(128u, 256u, 512u)));
+
+TEST(BTreeTest, WorksWithTinyBufferPool) {
+  // 2 frames only: every operation must survive heavy eviction.
+  TreeFixture f(128, 2);
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(f.tree.Insert(k).ok());
+  EXPECT_TRUE(f.tree.CheckInvariants().ok());
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto c = f.tree.Contains(k);
+    ASSERT_TRUE(c.ok());
+    EXPECT_TRUE(*c);
+  }
+  EXPECT_GT(f.metrics.disk_reads, 0u);
+}
+
+TEST(BTreeTest, PageAccountingTracksFrees) {
+  TreeFixture f;
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(f.tree.Insert(k).ok());
+  const uint32_t peak = f.tree.live_pages();
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(f.tree.Erase(k).ok());
+  EXPECT_LT(f.tree.live_pages(), peak);
+  EXPECT_EQ(f.tree.live_pages(), 1u);  // only the (empty leaf) root remains
+  EXPECT_EQ(f.tree.bytes(), f.pool.page_size());
+}
+
+
+// ---- Payload records (the PMR "3-tuple" substrate) ----
+
+struct PayloadFixture {
+  explicit PayloadFixture(uint32_t page_size = 128)
+      : file(page_size), pool(&file, 16, nullptr), tree(&pool, 8) {
+    EXPECT_TRUE(tree.Init().ok());
+  }
+  static std::array<uint8_t, 8> PayloadFor(uint64_t key) {
+    std::array<uint8_t, 8> p;
+    uint64_t v = key * 0x9e3779b97f4a7c15ULL + 1;
+    std::memcpy(p.data(), &v, 8);
+    return p;
+  }
+  MemPageFile file;
+  BufferPool pool;
+  BTree tree;
+};
+
+TEST(BTreePayloadTest, RoundTrip) {
+  PayloadFixture f;
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(f.tree.Insert(k, PayloadFixture::PayloadFor(k).data()).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(f.tree.Scan(0, 99, [&](uint64_t k, const uint8_t* p) {
+    EXPECT_NE(p, nullptr);
+    EXPECT_EQ(std::memcmp(p, PayloadFixture::PayloadFor(k).data(), 8), 0)
+        << k;
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 100);
+}
+
+TEST(BTreePayloadTest, CapacityShrinksWithPayload) {
+  MemPageFile file(128);
+  BufferPool pool(&file, 4, nullptr);
+  BTree plain(&pool, 0);
+  BTree with_payload(&pool, 8);
+  // (128-12)/8 = 14 records vs (128-12)/16 = 7 records per leaf; both
+  // trees must still work (capacities are internal, verified via heavier
+  // splitting below).
+  (void)plain;
+  (void)with_payload;
+  PayloadFixture f;
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(f.tree.Insert(k, PayloadFixture::PayloadFor(k).data()).ok());
+  }
+  EXPECT_GT(f.tree.height(), 2u);
+  EXPECT_TRUE(f.tree.CheckInvariants().ok())
+      << f.tree.CheckInvariants().ToString();
+}
+
+TEST(BTreePayloadTest, PayloadsSurviveRebalancing) {
+  PayloadFixture f;
+  Rng rng(3);
+  std::set<uint64_t> ref;
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t key = rng.Uniform(400);
+    if (rng.Bernoulli(0.6)) {
+      const Status st =
+          f.tree.Insert(key, PayloadFixture::PayloadFor(key).data());
+      if (ref.insert(key).second) {
+        ASSERT_TRUE(st.ok());
+      } else {
+        ASSERT_TRUE(st.IsInvalidArgument());
+      }
+    } else {
+      const Status st = f.tree.Erase(key);
+      ASSERT_EQ(st.ok(), ref.erase(key) > 0);
+    }
+  }
+  // Every surviving record still carries its original payload.
+  size_t checked = 0;
+  ASSERT_TRUE(f.tree.Scan(0, ~uint64_t{0}, [&](uint64_t k,
+                                               const uint8_t* p) {
+    EXPECT_EQ(std::memcmp(p, PayloadFixture::PayloadFor(k).data(), 8), 0);
+    ++checked;
+    return true;
+  }).ok());
+  EXPECT_EQ(checked, ref.size());
+  EXPECT_TRUE(f.tree.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <unordered_map>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/data/polygonal_map.h"
+#include "lsdb/data/tiger.h"
+
+namespace lsdb {
+namespace {
+
+TEST(PolygonalMapTest, CanonicalizeRemovesDuplicatesAndDegenerates) {
+  PolygonalMap map;
+  map.segments = {
+      {{5, 5}, {1, 1}},  // will flip to (1,1)-(5,5)
+      {{1, 1}, {5, 5}},  // duplicate
+      {{3, 3}, {3, 3}},  // degenerate
+      {{0, 0}, {2, 2}},
+  };
+  map.Canonicalize();
+  ASSERT_EQ(map.segments.size(), 2u);
+  EXPECT_EQ(map.segments[0], Segment({{0, 0}, {2, 2}}));
+  EXPECT_EQ(map.segments[1], Segment({{1, 1}, {5, 5}}));
+}
+
+TEST(PolygonalMapTest, StatisticsBasics) {
+  PolygonalMap map;
+  map.segments = {{{0, 0}, {3, 4}}, {{3, 4}, {6, 8}}};
+  const MapStatistics st = map.Statistics();
+  EXPECT_EQ(st.segment_count, 2u);
+  EXPECT_EQ(st.vertex_count, 3u);
+  EXPECT_DOUBLE_EQ(st.avg_segment_length, 5.0);
+  EXPECT_DOUBLE_EQ(st.avg_vertex_degree, 4.0 / 3.0);
+}
+
+TEST(PolygonalMapTest, NormalizeMapsToWorldGrid) {
+  PolygonalMap map;
+  map.segments = {{{1000, 1000}, {3000, 2000}}, {{2000, 1500}, {3000, 3000}}};
+  const PolygonalMap norm = map.Normalize(10);
+  const Rect b = norm.Bounds();
+  EXPECT_GE(b.xmin, 0);
+  EXPECT_GE(b.ymin, 0);
+  EXPECT_LE(b.xmax, 1023);
+  EXPECT_LE(b.ymax, 1023);
+  // The longer extent fills the grid ("minimum bounding square").
+  EXPECT_EQ(std::max(b.Width(), b.Height()), 1023);
+}
+
+TEST(CountyGeneratorTest, Deterministic) {
+  CountyProfile p;
+  p.name = "t";
+  p.lattice = 8;
+  p.meander_steps = 4;
+  p.seed = 5;
+  const PolygonalMap a = GenerateCounty(p, 10);
+  const PolygonalMap b = GenerateCounty(p, 10);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i], b.segments[i]);
+  }
+}
+
+TEST(CountyGeneratorTest, SegmentCountScalesWithProfile) {
+  CountyProfile p;
+  p.name = "t";
+  p.lattice = 8;
+  p.meander_steps = 4;
+  p.delete_prob = 0.0;
+  const PolygonalMap map = GenerateCounty(p, 12);
+  // 2 * 8 * 9 = 144 lattice edges, ~4 segments each.
+  EXPECT_GT(map.segments.size(), 400u);
+  EXPECT_LT(map.segments.size(), 600u);
+  // All segments inside the world.
+  const Rect world = Rect::Of(0, 0, 4095, 4095);
+  for (const Segment& s : map.segments) {
+    EXPECT_TRUE(world.Contains(s.Mbr()));
+  }
+}
+
+TEST(CountyGeneratorTest, MapIsMostlyConnectedPlanarNetwork) {
+  CountyProfile p;
+  p.name = "t";
+  p.lattice = 10;
+  p.meander_steps = 3;
+  p.delete_prob = 0.1;
+  p.seed = 9;
+  const PolygonalMap map = GenerateCounty(p, 12);
+  // Every vertex has degree >= 1 by construction; interior lattice
+  // vertices typically have degree ~4 and meander vertices degree 2.
+  const MapStatistics st = map.Statistics();
+  EXPECT_GT(st.avg_vertex_degree, 1.5);
+  EXPECT_LE(st.avg_vertex_degree, 4.5);
+}
+
+TEST(CountyGeneratorTest, MarylandProfilesMatchPaperScale) {
+  // Tuned bands (paper: 46,335 - 50,998 segments per county). The exact
+  // counts are pinned by seeds; allow a +-15% band around 48.5K.
+  for (const CountyProfile& p : MarylandProfiles()) {
+    const PolygonalMap map = GenerateCounty(p, 14);
+    EXPECT_GT(map.segments.size(), 41000u) << p.name;
+    EXPECT_LT(map.segments.size(), 56000u) << p.name;
+  }
+}
+
+TEST(TigerTest, RoundTrip) {
+  CountyProfile p;
+  p.name = "t";
+  p.lattice = 6;
+  p.meander_steps = 3;
+  const PolygonalMap map = GenerateCounty(p, 10);
+  const std::string path = ::testing::TempDir() + "/lsdb_tiger_rt1.txt";
+  ASSERT_TRUE(WriteTigerRT1(map, path).ok());
+  auto rd = ReadTigerRT1(path);
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  ASSERT_EQ(rd->segments.size(), map.segments.size());
+  for (size_t i = 0; i < map.segments.size(); ++i) {
+    EXPECT_EQ(rd->segments[i], map.segments[i]);
+  }
+}
+
+TEST(TigerTest, RecordsAreFixedWidth) {
+  PolygonalMap map;
+  map.segments = {{{0, 0}, {16383, 16383}}};
+  const std::string path = ::testing::TempDir() + "/lsdb_tiger_width.txt";
+  ASSERT_TRUE(WriteTigerRT1(map, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.size(), 228u);
+  EXPECT_EQ(line[0], '1');
+}
+
+TEST(TigerTest, NonRt1RecordsSkipped) {
+  const std::string path = ::testing::TempDir() + "/lsdb_tiger_mixed.txt";
+  {
+    PolygonalMap map;
+    map.segments = {{{1, 2}, {3, 4}}};
+    ASSERT_TRUE(WriteTigerRT1(map, path).ok());
+    std::ofstream app(path, std::ios::app);
+    app << "20002" << std::string(223, ' ') << "\n";  // RT2 record
+  }
+  auto rd = ReadTigerRT1(path);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd->segments.size(), 1u);
+}
+
+TEST(TigerTest, MalformedRecordIsCorruption) {
+  const std::string path = ::testing::TempDir() + "/lsdb_tiger_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "1" << std::string(100, ' ') << "\n";  // too short
+  }
+  EXPECT_TRUE(ReadTigerRT1(path).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lsdb

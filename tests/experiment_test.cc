@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/harness/experiment.h"
+#include "lsdb/query/point_gen.h"
+
+namespace lsdb {
+namespace {
+
+ExperimentOptions SmallExperiment() {
+  ExperimentOptions opt;
+  opt.index.page_size = 512;
+  opt.index.world_log2 = 12;
+  opt.index.pmr_max_depth = 12;
+  opt.num_queries = 50;
+  return opt;
+}
+
+PolygonalMap SmallCounty() {
+  CountyProfile p;
+  p.name = "test";
+  p.lattice = 16;
+  p.meander_steps = 5;
+  p.seed = 13;
+  return GenerateCounty(p, 12);
+}
+
+TEST(ExperimentTest, BuildProducesStatsForAllStructures) {
+  Experiment exp(SmallCounty(), SmallExperiment());
+  ASSERT_TRUE(exp.BuildAll().ok());
+  const auto& stats = exp.build_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  for (const BuildStats& st : stats) {
+    EXPECT_GT(st.bytes, 0u) << StructureName(st.kind);
+    EXPECT_GT(st.disk_accesses, 0u) << StructureName(st.kind);
+    EXPECT_GE(st.height, 1u);
+  }
+  // Paper shape: R* is the most compact structure.
+  uint64_t rstar_bytes = 0, rplus_bytes = 0, pmr_bytes = 0;
+  for (const BuildStats& st : stats) {
+    if (st.kind == StructureKind::kRStar) rstar_bytes = st.bytes;
+    if (st.kind == StructureKind::kRPlus) rplus_bytes = st.bytes;
+    if (st.kind == StructureKind::kPmr) pmr_bytes = st.bytes;
+  }
+  EXPECT_LT(rstar_bytes, rplus_bytes);
+  EXPECT_LT(rstar_bytes, pmr_bytes * 2);  // PMR tuples are 2.5x smaller
+}
+
+TEST(ExperimentTest, AllWorkloadsRunAndProduceMetrics) {
+  Experiment exp(SmallCounty(), SmallExperiment());
+  ASSERT_TRUE(exp.BuildAll().ok());
+  std::vector<QueryStats> stats;
+  ASSERT_TRUE(exp.RunAllQueries(&stats).ok());
+  ASSERT_EQ(stats.size(), 3u * 7u);
+  for (const QueryStats& qs : stats) {
+    // Every workload touches the segment table at least occasionally.
+    EXPECT_GE(qs.segment_comps, 0.0);
+    if (qs.kind == StructureKind::kPmr) {
+      EXPECT_EQ(qs.bbox_comps, 0.0) << WorkloadName(qs.workload);
+      EXPECT_GT(qs.bucket_comps, 0.0) << WorkloadName(qs.workload);
+    } else {
+      EXPECT_GT(qs.bbox_comps, 0.0)
+          << StructureName(qs.kind) << " " << WorkloadName(qs.workload);
+    }
+  }
+  // Point1 returns the same average result count on every structure
+  // (results are identical; only costs differ).
+  double point1_results[3] = {0, 0, 0};
+  int i = 0;
+  for (const QueryStats& qs : stats) {
+    if (qs.workload == Workload::kPoint1) point1_results[i++] = qs.avg_result_size;
+  }
+  EXPECT_DOUBLE_EQ(point1_results[0], point1_results[1]);
+  EXPECT_DOUBLE_EQ(point1_results[1], point1_results[2]);
+}
+
+TEST(ExperimentTest, TwoStagePointsFollowData) {
+  Experiment exp(SmallCounty(), SmallExperiment());
+  ASSERT_TRUE(exp.BuildAll().ok());
+  auto gen = TwoStageQueryPointGenerator::Create(exp.pmr());
+  ASSERT_TRUE(gen.ok());
+  EXPECT_GT(gen->block_count(), 4u);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Point p = gen->Next(&rng);
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, 4096);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, 4096);
+  }
+}
+
+TEST(ExperimentTest, BuildOneMatchesKinds) {
+  const PolygonalMap map = SmallCounty();
+  IndexOptions idx = SmallExperiment().index;
+  for (StructureKind kind :
+       {StructureKind::kRStar, StructureKind::kRPlus, StructureKind::kPmr,
+        StructureKind::kGrid}) {
+    auto st = Experiment::BuildOne(map, kind, idx);
+    ASSERT_TRUE(st.ok()) << StructureName(kind);
+    EXPECT_EQ(st->kind, kind);
+    EXPECT_GT(st->bytes, 0u);
+  }
+}
+
+TEST(ExperimentTest, FewerBufferFramesMeanMoreDiskAccesses) {
+  const PolygonalMap map = SmallCounty();
+  IndexOptions small = SmallExperiment().index;
+  small.buffer_frames = 4;
+  IndexOptions big = SmallExperiment().index;
+  big.buffer_frames = 64;
+  auto a = Experiment::BuildOne(map, StructureKind::kPmr, small);
+  auto b = Experiment::BuildOne(map, StructureKind::kPmr, big);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(a->disk_accesses, b->disk_accesses);
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "lsdb/geom/clip.h"
+#include "lsdb/geom/morton.h"
+#include "lsdb/geom/point.h"
+#include "lsdb/geom/rect.h"
+#include "lsdb/geom/segment.h"
+#include "lsdb/util/random.h"
+
+namespace lsdb {
+namespace {
+
+TEST(PointTest, CrossOrientation) {
+  const Point a{0, 0}, b{4, 0};
+  EXPECT_GT(Cross(a, b, Point{2, 1}), 0);   // left turn
+  EXPECT_LT(Cross(a, b, Point{2, -1}), 0);  // right turn
+  EXPECT_EQ(Cross(a, b, Point{7, 0}), 0);   // collinear
+}
+
+TEST(PointTest, CrossNoOverflowAtWorldScale) {
+  // 16K-grid coordinates: products stay far inside int64.
+  const Point a{0, 0}, b{16383, 16383}, c{16383, 0};
+  EXPECT_LT(Cross(a, b, c), 0);
+}
+
+TEST(PointTest, SquaredDistance) {
+  EXPECT_EQ(SquaredDistance(Point{0, 0}, Point{3, 4}), 25);
+  EXPECT_EQ(SquaredDistance(Point{-3, -4}, Point{0, 0}), 25);
+}
+
+TEST(PointTest, LexicographicOrder) {
+  EXPECT_LT(Point({1, 5}), Point({2, 0}));
+  EXPECT_LT(Point({1, 5}), Point({1, 6}));
+  EXPECT_FALSE(Point({1, 5}) < Point({1, 5}));
+}
+
+TEST(RectTest, EmptyDefault) {
+  const Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Area(), 0);
+  EXPECT_EQ(r.Margin(), 0);
+}
+
+TEST(RectTest, BoundOfPoints) {
+  const Rect r = Rect::Bound(Point{5, 1}, Point{2, 7});
+  EXPECT_EQ(r, Rect::Of(2, 1, 5, 7));
+}
+
+TEST(RectTest, DegenerateRectsAreValid) {
+  const Rect r = Rect::AtPoint(Point{3, 3});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.Area(), 0);
+  EXPECT_TRUE(r.Contains(Point{3, 3}));
+  EXPECT_FALSE(r.Contains(Point{3, 4}));
+}
+
+TEST(RectTest, ContainsIsClosed) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{10, 10}));
+  EXPECT_TRUE(r.Contains(Point{10, 0}));
+  EXPECT_FALSE(r.Contains(Point{11, 5}));
+}
+
+TEST(RectTest, IntersectsSharedEdge) {
+  // Closed rects sharing an edge intersect with zero overlap area.
+  const Rect a = Rect::Of(0, 0, 5, 5);
+  const Rect b = Rect::Of(5, 0, 10, 5);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.OverlapArea(b), 0);
+}
+
+TEST(RectTest, UnionAndIntersection) {
+  const Rect a = Rect::Of(0, 0, 4, 4);
+  const Rect b = Rect::Of(2, 2, 8, 8);
+  EXPECT_EQ(a.Union(b), Rect::Of(0, 0, 8, 8));
+  EXPECT_EQ(a.Intersection(b), Rect::Of(2, 2, 4, 4));
+  EXPECT_EQ(a.OverlapArea(b), 4);
+}
+
+TEST(RectTest, UnionWithEmptyIsIdentity) {
+  const Rect a = Rect::Of(1, 2, 3, 4);
+  EXPECT_EQ(a.Union(Rect{}), a);
+  EXPECT_EQ(Rect{}.Union(a), a);
+}
+
+TEST(RectTest, Enlargement) {
+  const Rect a = Rect::Of(0, 0, 4, 4);
+  EXPECT_EQ(a.Enlargement(Rect::Of(1, 1, 2, 2)), 0);
+  EXPECT_EQ(a.Enlargement(Rect::Of(0, 0, 8, 4)), 16);
+}
+
+TEST(RectTest, SquaredDistanceToPoint) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_EQ(r.SquaredDistanceTo(Point{5, 5}), 0);   // inside
+  EXPECT_EQ(r.SquaredDistanceTo(Point{10, 10}), 0); // boundary
+  EXPECT_EQ(r.SquaredDistanceTo(Point{13, 14}), 25);
+  EXPECT_EQ(r.SquaredDistanceTo(Point{-3, 5}), 9);
+}
+
+TEST(SegmentTest, ContainsPointExact) {
+  const Segment s{Point{0, 0}, Point{10, 10}};
+  EXPECT_TRUE(s.ContainsPoint(Point{5, 5}));
+  EXPECT_TRUE(s.ContainsPoint(Point{0, 0}));
+  EXPECT_FALSE(s.ContainsPoint(Point{5, 6}));
+  EXPECT_FALSE(s.ContainsPoint(Point{11, 11}));  // collinear but beyond
+}
+
+TEST(SegmentTest, SegmentIntersections) {
+  const Segment s{Point{0, 0}, Point{10, 10}};
+  EXPECT_TRUE(s.IntersectsSegment(Segment{Point{0, 10}, Point{10, 0}}));
+  EXPECT_TRUE(s.IntersectsSegment(Segment{Point{10, 10}, Point{20, 0}}));
+  EXPECT_TRUE(s.IntersectsSegment(Segment{Point{5, 5}, Point{5, 20}}));
+  EXPECT_FALSE(s.IntersectsSegment(Segment{Point{0, 1}, Point{9, 10}}));
+  // Collinear overlapping and collinear disjoint.
+  EXPECT_TRUE(s.IntersectsSegment(Segment{Point{5, 5}, Point{20, 20}}));
+  EXPECT_FALSE(s.IntersectsSegment(Segment{Point{11, 11}, Point{20, 20}}));
+}
+
+TEST(SegmentTest, IntersectsRectEndpointInside) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_TRUE(Segment({Point{5, 5}, Point{50, 50}}).IntersectsRect(r));
+}
+
+TEST(SegmentTest, IntersectsRectPassThrough) {
+  const Rect r = Rect::Of(10, 10, 20, 20);
+  EXPECT_TRUE(Segment({Point{0, 15}, Point{30, 15}}).IntersectsRect(r));
+  // Diagonal crossing a corner region.
+  EXPECT_TRUE(Segment({Point{0, 25}, Point{25, 0}}).IntersectsRect(r));
+}
+
+TEST(SegmentTest, IntersectsRectTouchesBoundaryOnly) {
+  const Rect r = Rect::Of(10, 10, 20, 20);
+  EXPECT_TRUE(Segment({Point{0, 10}, Point{30, 10}}).IntersectsRect(r));
+  EXPECT_TRUE(Segment({Point{20, 0}, Point{20, 30}}).IntersectsRect(r));
+  // Touching exactly at the corner (20,20): on x+y=40, outside elsewhere.
+  EXPECT_TRUE(Segment({Point{10, 30}, Point{30, 10}}).IntersectsRect(
+      Rect::Of(10, 10, 20, 20)));
+}
+
+TEST(SegmentTest, IntersectsRectMiss) {
+  const Rect r = Rect::Of(10, 10, 20, 20);
+  EXPECT_FALSE(Segment({Point{0, 0}, Point{5, 30}}).IntersectsRect(r));
+  EXPECT_FALSE(Segment({Point{0, 22}, Point{22, 44}}).IntersectsRect(r));
+  // MBRs overlap but the segment passes outside the corner.
+  EXPECT_FALSE(Segment({Point{0, 25}, Point{25, 50}}).IntersectsRect(r));
+}
+
+TEST(SegmentTest, SquaredDistance) {
+  const Segment s{Point{0, 0}, Point{10, 0}};
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo(Point{5, 3}), 9.0);
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo(Point{-3, 4}), 25.0);  // clamps to a
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo(Point{13, 4}), 25.0);  // clamps to b
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo(Point{7, 0}), 0.0);    // on segment
+}
+
+TEST(SegmentTest, SquaredDistanceDegenerate) {
+  const Segment s{Point{3, 3}, Point{3, 3}};
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo(Point{0, 0}), 18.0);
+}
+
+TEST(SegmentTest, OtherEndpoint) {
+  const Segment s{Point{1, 2}, Point{3, 4}};
+  EXPECT_EQ(s.OtherEndpoint(Point{1, 2}), Point({3, 4}));
+  EXPECT_EQ(s.OtherEndpoint(Point{3, 4}), Point({1, 2}));
+}
+
+// Property sweep: IntersectsRect agrees with a dense point sample of the
+// segment (sampling can only under-approximate, so a sampled hit must
+// always be confirmed by the predicate).
+class SegmentRectPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentRectPropertyTest, PredicateConfirmsSampledHits) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const Coord world = 128;
+    const Segment s{{static_cast<Coord>(rng.Uniform(world)),
+                     static_cast<Coord>(rng.Uniform(world))},
+                    {static_cast<Coord>(rng.Uniform(world)),
+                     static_cast<Coord>(rng.Uniform(world))}};
+    const Rect r = Rect::Bound(Point{static_cast<Coord>(rng.Uniform(world)),
+                                     static_cast<Coord>(rng.Uniform(world))},
+                               Point{static_cast<Coord>(rng.Uniform(world)),
+                                     static_cast<Coord>(rng.Uniform(world))});
+    // Sample 64 points along the segment.
+    bool sampled_hit = false;
+    for (int k = 0; k <= 64; ++k) {
+      const double t = k / 64.0;
+      const double x = s.a.x + (s.b.x - s.a.x) * t;
+      const double y = s.a.y + (s.b.y - s.a.y) * t;
+      if (x >= r.xmin && x <= r.xmax && y >= r.ymin && y <= r.ymax) {
+        sampled_hit = true;
+        break;
+      }
+    }
+    if (sampled_hit) {
+      EXPECT_TRUE(s.IntersectsRect(r))
+          << s.ToString() << " vs " << r.ToString();
+    }
+    // And clipping must agree with the predicate.
+    Segment clipped;
+    if (s.IntersectsRect(r)) {
+      // Clipping may fail only for tangential touches (rounding), but a
+      // sampled interior hit guarantees success.
+      if (sampled_hit) {
+        EXPECT_TRUE(ClipSegment(s, r, &clipped));
+      }
+    } else {
+      EXPECT_FALSE(ClipSegment(s, r, &clipped))
+          << s.ToString() << " clipped into " << r.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentRectPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ClipTest, ClipsToRect) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  Segment out;
+  ASSERT_TRUE(ClipSegment(Segment{Point{-5, 5}, Point{15, 5}}, r, &out));
+  EXPECT_EQ(out.a, Point({0, 5}));
+  EXPECT_EQ(out.b, Point({10, 5}));
+}
+
+TEST(ClipTest, InsideUnchanged) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  const Segment s{Point{1, 1}, Point{9, 9}};
+  Segment out;
+  ASSERT_TRUE(ClipSegment(s, r, &out));
+  EXPECT_EQ(out, s);
+}
+
+TEST(ClipTest, MissReturnsFalse) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  Segment out;
+  EXPECT_FALSE(ClipSegment(Segment{Point{20, 0}, Point{30, 10}}, r, &out));
+}
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.Uniform(1u << 14));
+    const uint32_t y = static_cast<uint32_t>(rng.Uniform(1u << 14));
+    uint32_t dx, dy;
+    MortonDecode(MortonEncode(x, y), &dx, &dy);
+    EXPECT_EQ(dx, x);
+    EXPECT_EQ(dy, y);
+  }
+}
+
+TEST(MortonTest, ZOrderBasics) {
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+}
+
+// Exhaustive differential test of BIGMIN on a small grid.
+TEST(MortonTest, BigMinMatchesBruteForce) {
+  const uint32_t side = 16;  // 8-bit Morton codes
+  auto in_rect = [](uint32_t z, uint32_t x0, uint32_t y0, uint32_t x1,
+                    uint32_t y1) {
+    uint32_t x, y;
+    MortonDecode(z, &x, &y);
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  };
+  Rng rng(13);
+  for (int iter = 0; iter < 400; ++iter) {
+    uint32_t x0 = static_cast<uint32_t>(rng.Uniform(side));
+    uint32_t x1 = static_cast<uint32_t>(rng.Uniform(side));
+    uint32_t y0 = static_cast<uint32_t>(rng.Uniform(side));
+    uint32_t y1 = static_cast<uint32_t>(rng.Uniform(side));
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    const uint32_t zmin = MortonEncode(x0, y0);
+    const uint32_t zmax = MortonEncode(x1, y1);
+    for (uint32_t z = 0; z < side * side; ++z) {
+      // Brute force: smallest in-rect code strictly greater than z.
+      uint32_t want = 0;
+      bool have_want = false;
+      for (uint32_t c = z + 1; c < side * side; ++c) {
+        if (in_rect(c, x0, y0, x1, y1)) {
+          want = c;
+          have_want = true;
+          break;
+        }
+      }
+      uint32_t got = 0;
+      const bool have_got = ZOrderBigMin(zmin, zmax, z, &got);
+      ASSERT_EQ(have_got, have_want)
+          << "rect (" << x0 << "," << y0 << ")-(" << x1 << "," << y1
+          << ") z=" << z;
+      if (have_want) {
+        ASSERT_EQ(got, want)
+            << "rect (" << x0 << "," << y0 << ")-(" << x1 << "," << y1
+            << ") z=" << z;
+      }
+    }
+  }
+}
+
+TEST(QuadGeometryTest, BlockRegions) {
+  const QuadGeometry g(4, 4);  // 16x16 world
+  EXPECT_EQ(g.BlockRegion(QuadBlock{0, 0}), Rect::Of(0, 0, 16, 16));
+  // Children tile the parent with shared edges.
+  const QuadBlock root{0, 0};
+  EXPECT_EQ(g.BlockRegion(root.Child(0)), Rect::Of(0, 0, 8, 8));
+  EXPECT_EQ(g.BlockRegion(root.Child(1)), Rect::Of(8, 0, 16, 8));
+  EXPECT_EQ(g.BlockRegion(root.Child(2)), Rect::Of(0, 8, 8, 16));
+  EXPECT_EQ(g.BlockRegion(root.Child(3)), Rect::Of(8, 8, 16, 16));
+}
+
+TEST(QuadGeometryTest, ChildParentRoundTrip) {
+  const QuadBlock b{0b1011, 2};
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_EQ(b.Child(q).Parent(), b);
+    EXPECT_EQ(b.Child(q).Quadrant(), q);
+  }
+}
+
+TEST(QuadGeometryTest, PackKeyOrdersZOrderThenDepth) {
+  const QuadGeometry g(14, 14);
+  const QuadBlock root{0, 0};
+  const QuadBlock nw = root.Child(0);
+  const QuadBlock ne = root.Child(1);
+  // Parent sorts before its NW-descendants; NW subtree before NE.
+  EXPECT_LT(g.PackKey(root, 5), g.PackKey(nw, 0));
+  EXPECT_LT(g.PackKey(nw, 0xfffffffe), g.PackKey(ne, 0));
+  EXPECT_LT(g.SubtreeKeyHigh(nw), g.SubtreeKeyLow(ne));
+}
+
+TEST(QuadGeometryTest, PackKeyRoundTrip) {
+  const QuadGeometry g(14, 14);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    QuadBlock b;
+    b.depth = static_cast<uint8_t>(rng.Uniform(15));
+    b.morton = static_cast<uint32_t>(rng.Uniform(uint64_t{1} << (2 * b.depth)));
+    const uint32_t segid = static_cast<uint32_t>(rng.Next());
+    QuadBlock ub;
+    uint32_t usegid;
+    g.UnpackKey(g.PackKey(b, segid), &ub, &usegid);
+    EXPECT_EQ(ub, b);
+    EXPECT_EQ(usegid, segid);
+  }
+}
+
+TEST(QuadGeometryTest, MaxDepthBlockAt) {
+  const QuadGeometry g(4, 2);  // 16x16 world, blocks down to 4x4 cells
+  EXPECT_EQ(g.MaxDepthBlockAt(Point{0, 0}).morton, MortonEncode(0, 0));
+  EXPECT_EQ(g.MaxDepthBlockAt(Point{15, 15}).morton, MortonEncode(3, 3));
+  EXPECT_EQ(g.MaxDepthBlockAt(Point{5, 9}).morton, MortonEncode(1, 2));
+}
+
+TEST(QuadGeometryTest, SubtreeRangeCoversDescendants) {
+  const QuadGeometry g(14, 14);
+  const QuadBlock b{0b11, 1};  // SE quadrant
+  QuadBlock deep = b;
+  Rng rng(3);
+  while (deep.depth < 14) {
+    deep = deep.Child(static_cast<int>(rng.Uniform(4)));
+    EXPECT_GE(g.PackKey(deep, 0), g.SubtreeKeyLow(b));
+    EXPECT_LE(g.PackKey(deep, 0xffffffffu), g.SubtreeKeyHigh(b));
+  }
+}
+
+TEST(RandomTest, Determinism) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lsdb

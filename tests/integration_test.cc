@@ -1,0 +1,166 @@
+// Full-scale integration test: one complete synthetic county (paper-scale,
+// tens of thousands of segments) built on all three structures at the
+// paper's exact configuration (1K pages, 16-frame pools, threshold 4),
+// validated against brute force on sampled queries and by structural
+// invariants. This is the closest thing to running the actual experiment
+// inside ctest.
+
+#include <gtest/gtest.h>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/harness/experiment.h"
+#include "lsdb/query/point_gen.h"
+#include "test_util.h"
+
+namespace lsdb {
+namespace {
+
+using testing::BruteForceIndex;
+using testing::Ids;
+
+class CountyIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CountyProfile profile;
+    profile.name = "integration";
+    profile.lattice = 40;   // ~20K segments: paper-shaped but ctest-fast
+    profile.meander_steps = 6;
+    profile.seed = 12345;
+    map_ = new PolygonalMap(GenerateCounty(profile, 14));
+    options_ = new ExperimentOptions();
+    options_->num_queries = 50;
+    exp_ = new Experiment(*map_, *options_);
+    ASSERT_TRUE(exp_->BuildAll().ok());
+    brute_ = new BruteForceIndex();
+    for (SegmentId id = 0; id < map_->segments.size(); ++id) {
+      ASSERT_TRUE(brute_->Insert(id, map_->segments[id]).ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete exp_;
+    delete brute_;
+    delete options_;
+    delete map_;
+    exp_ = nullptr;
+  }
+
+  static PolygonalMap* map_;
+  static ExperimentOptions* options_;
+  static Experiment* exp_;
+  static BruteForceIndex* brute_;
+};
+
+PolygonalMap* CountyIntegrationTest::map_ = nullptr;
+ExperimentOptions* CountyIntegrationTest::options_ = nullptr;
+Experiment* CountyIntegrationTest::exp_ = nullptr;
+BruteForceIndex* CountyIntegrationTest::brute_ = nullptr;
+
+TEST_F(CountyIntegrationTest, MapHasPaperScale) {
+  EXPECT_GT(map_->segments.size(), 15000u);
+  const Rect world = Rect::Of(0, 0, 16383, 16383);
+  for (const Segment& s : map_->segments) {
+    ASSERT_TRUE(world.Contains(s.Mbr()));
+  }
+}
+
+TEST_F(CountyIntegrationTest, AllStructuresPassInvariants) {
+  for (StructureKind k : {StructureKind::kRStar, StructureKind::kRPlus,
+                          StructureKind::kPmr}) {
+    const Status st = exp_->index(k)->CheckInvariants();
+    EXPECT_TRUE(st.ok()) << StructureName(k) << ": " << st.ToString();
+  }
+}
+
+TEST_F(CountyIntegrationTest, WindowQueriesMatchBruteForce) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const Coord side = static_cast<Coord>(40 + rng.Uniform(400));
+    const Coord x = static_cast<Coord>(rng.Uniform(16384 - side));
+    const Coord y = static_cast<Coord>(rng.Uniform(16384 - side));
+    const Rect w = Rect::Of(x, y, x + side, y + side);
+    std::vector<SegmentHit> expected;
+    ASSERT_TRUE(brute_->WindowQueryEx(w, &expected).ok());
+    for (StructureKind k : {StructureKind::kRStar, StructureKind::kRPlus,
+                            StructureKind::kPmr}) {
+      std::vector<SegmentHit> got;
+      ASSERT_TRUE(exp_->index(k)->WindowQueryEx(w, &got).ok());
+      EXPECT_EQ(Ids(got), Ids(expected))
+          << StructureName(k) << " " << w.ToString();
+    }
+  }
+}
+
+TEST_F(CountyIntegrationTest, NearestMatchesBruteForce) {
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const Point p{static_cast<Coord>(rng.Uniform(16384)),
+                  static_cast<Coord>(rng.Uniform(16384))};
+    auto expected = brute_->Nearest(p);
+    ASSERT_TRUE(expected.ok());
+    for (StructureKind k : {StructureKind::kRStar, StructureKind::kRPlus,
+                            StructureKind::kPmr}) {
+      auto got = exp_->index(k)->Nearest(p);
+      ASSERT_TRUE(got.ok()) << StructureName(k);
+      EXPECT_DOUBLE_EQ(got->squared_distance, expected->squared_distance)
+          << StructureName(k) << " at (" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST_F(CountyIntegrationTest, EndpointQueriesMatchBruteForce) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Segment& s = map_->segments[rng.Uniform(map_->segments.size())];
+    const Rect w = Rect::AtPoint(s.a);
+    std::vector<SegmentHit> expected;
+    ASSERT_TRUE(brute_->WindowQueryEx(w, &expected).ok());
+    for (StructureKind k : {StructureKind::kRStar, StructureKind::kRPlus,
+                            StructureKind::kPmr}) {
+      std::vector<SegmentHit> got;
+      ASSERT_TRUE(exp_->index(k)->WindowQueryEx(w, &got).ok());
+      EXPECT_EQ(Ids(got), Ids(expected)) << StructureName(k);
+    }
+  }
+}
+
+TEST_F(CountyIntegrationTest, WorkloadsAreDeterministic) {
+  // Two runs of the same workload on the same built structure must report
+  // identical result sizes and identical non-cache metrics (bbox/segment
+  // counts do not depend on buffer state; disk accesses may differ).
+  QueryStats a, b;
+  ASSERT_TRUE(
+      exp_->RunWorkload(StructureKind::kRPlus, Workload::kRange, &a).ok());
+  ASSERT_TRUE(
+      exp_->RunWorkload(StructureKind::kRPlus, Workload::kRange, &b).ok());
+  EXPECT_DOUBLE_EQ(a.avg_result_size, b.avg_result_size);
+  EXPECT_DOUBLE_EQ(a.bbox_comps, b.bbox_comps);
+  EXPECT_DOUBLE_EQ(a.segment_comps, b.segment_comps);
+}
+
+TEST_F(CountyIntegrationTest, PaperShapeSpotChecks) {
+  // The load-bearing orderings of the study, on a fresh mid-size county.
+  uint64_t rstar_bytes = 0, rplus_bytes = 0;
+  double rstar_cpu = 0, rplus_cpu = 0;
+  for (const BuildStats& bs : exp_->build_stats()) {
+    if (bs.kind == StructureKind::kRStar) {
+      rstar_bytes = bs.bytes;
+      rstar_cpu = bs.cpu_seconds;
+    }
+    if (bs.kind == StructureKind::kRPlus) {
+      rplus_bytes = bs.bytes;
+      rplus_cpu = bs.cpu_seconds;
+    }
+  }
+  EXPECT_GT(rplus_bytes, rstar_bytes);  // R+ duplication costs storage
+  EXPECT_GT(rstar_cpu, rplus_cpu);      // forced reinsertion costs time
+
+  // PMR point query: exactly one bucket computation per query.
+  const MetricCounters before = exp_->pmr()->metrics();
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(
+      exp_->pmr()->PointQueryEx(map_->segments[7].a, &hits).ok());
+  EXPECT_EQ((exp_->pmr()->metrics() - before).bucket_comps, 1u);
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,0 +1,188 @@
+// Persistence: structures built into POSIX page files can be flushed,
+// dropped from memory, and reopened without rebuilding — with identical
+// query results.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lsdb/grid/uniform_grid.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/rplus/rplus_tree.h"
+#include "lsdb/rtree/rstar_tree.h"
+#include "lsdb/seg/segment_table.h"
+#include "lsdb/storage/superblock.h"
+#include "test_util.h"
+
+namespace lsdb {
+namespace {
+
+using testing::Ids;
+using testing::RandomSegments;
+
+IndexOptions TestOptions() {
+  IndexOptions opt;
+  opt.page_size = 256;
+  opt.world_log2 = 10;
+  opt.pmr_max_depth = 10;
+  opt.grid_log2_cells = 4;
+  return opt;
+}
+
+struct Paths {
+  std::string table = ::testing::TempDir() + "/lsdb_persist_table.pages";
+  std::string index = ::testing::TempDir() + "/lsdb_persist_index.pages";
+};
+
+template <typename IndexT>
+class PersistenceTest : public ::testing::Test {};
+
+using IndexTypes =
+    ::testing::Types<PmrQuadtree, RStarTree, RPlusTree, UniformGrid>;
+TYPED_TEST_SUITE(PersistenceTest, IndexTypes);
+
+TYPED_TEST(PersistenceTest, ReopenedIndexAnswersIdentically) {
+  const IndexOptions opt = TestOptions();
+  const Paths paths;
+  Rng rng(41);
+  const auto segs = RandomSegments(&rng, 400, 1024, 96);
+
+  // Phase 1: build into files and flush.
+  std::vector<std::vector<SegmentId>> expected;
+  std::vector<Rect> windows;
+  for (int i = 0; i < 25; ++i) {
+    const Point a{static_cast<Coord>(rng.Uniform(1024)),
+                  static_cast<Coord>(rng.Uniform(1024))};
+    const Point b{static_cast<Coord>(rng.Uniform(1024)),
+                  static_cast<Coord>(rng.Uniform(1024))};
+    windows.push_back(Rect::Bound(a, b));
+  }
+  {
+    auto table_file = PosixPageFile::Create(paths.table, opt.page_size);
+    auto index_file = PosixPageFile::Create(paths.index, opt.page_size);
+    ASSERT_TRUE(table_file.ok() && index_file.ok());
+    BufferPool table_pool(table_file->get(), opt.buffer_frames, nullptr);
+    SegmentTable table(&table_pool, nullptr);
+    TypeParam index(opt, index_file->get(), &table);
+    ASSERT_TRUE(index.Init().ok());
+    for (const Segment& s : segs) {
+      auto id = table.Append(s);
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(index.Insert(*id, s).ok());
+    }
+    for (const Rect& w : windows) {
+      std::vector<SegmentHit> hits;
+      ASSERT_TRUE(index.WindowQueryEx(w, &hits).ok());
+      expected.push_back(Ids(hits));
+    }
+    ASSERT_TRUE(index.Flush().ok());
+    ASSERT_TRUE(table.Flush().ok());
+  }
+
+  // Phase 2: reopen from the files and compare answers.
+  {
+    auto table_file = PosixPageFile::Open(paths.table, opt.page_size);
+    auto index_file = PosixPageFile::Open(paths.index, opt.page_size);
+    ASSERT_TRUE(table_file.ok() && index_file.ok());
+    BufferPool table_pool(table_file->get(), opt.buffer_frames, nullptr);
+    SegmentTable table(&table_pool, nullptr);
+    ASSERT_TRUE(table.Open().ok());
+    EXPECT_EQ(table.size(), segs.size());
+    TypeParam index(opt, index_file->get(), &table);
+    const Status open_status = index.Open();
+    ASSERT_TRUE(open_status.ok()) << open_status.ToString();
+    for (size_t i = 0; i < windows.size(); ++i) {
+      std::vector<SegmentHit> hits;
+      ASSERT_TRUE(index.WindowQueryEx(windows[i], &hits).ok());
+      EXPECT_EQ(Ids(hits), expected[i]) << windows[i].ToString();
+    }
+    // The reopened index remains fully functional: mutate and re-check.
+    const Segment extra{{7, 7}, {30, 40}};
+    auto id = table.Append(extra);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(index.Insert(*id, extra).ok());
+    auto nn = index.Nearest(Point{8, 8});
+    ASSERT_TRUE(nn.ok());
+    EXPECT_EQ(nn->id, *id);
+    EXPECT_DOUBLE_EQ(nn->squared_distance,
+                     extra.SquaredDistanceTo(Point{8, 8}));
+    ASSERT_TRUE(index.CheckInvariants().ok());
+  }
+}
+
+TEST(PersistenceNegativeTest, KindMismatchRejected) {
+  const IndexOptions opt = TestOptions();
+  const std::string path = ::testing::TempDir() + "/lsdb_kind.pages";
+  {
+    auto file = PosixPageFile::Create(path, opt.page_size);
+    ASSERT_TRUE(file.ok());
+    BufferPool pool(file->get(), opt.buffer_frames, nullptr);
+    SegmentTable dummy_table(&pool, nullptr);  // unused
+    MemPageFile seg_mem(opt.page_size);
+    BufferPool seg_pool(&seg_mem, 4, nullptr);
+    SegmentTable table(&seg_pool, nullptr);
+    PmrQuadtree pmr(opt, file->get(), &table);
+    ASSERT_TRUE(pmr.Init().ok());
+    ASSERT_TRUE(pmr.Flush().ok());
+  }
+  auto file = PosixPageFile::Open(path, opt.page_size);
+  ASSERT_TRUE(file.ok());
+  MemPageFile seg_mem(opt.page_size);
+  BufferPool seg_pool(&seg_mem, 4, nullptr);
+  SegmentTable table(&seg_pool, nullptr);
+  RStarTree rstar(opt, file->get(), &table);
+  EXPECT_TRUE(rstar.Open().IsInvalidArgument());
+}
+
+TEST(PersistenceNegativeTest, OptionMismatchRejected) {
+  IndexOptions opt = TestOptions();
+  const std::string path = ::testing::TempDir() + "/lsdb_opts.pages";
+  MemPageFile seg_mem(opt.page_size);
+  BufferPool seg_pool(&seg_mem, 4, nullptr);
+  SegmentTable table(&seg_pool, nullptr);
+  {
+    auto file = PosixPageFile::Create(path, opt.page_size);
+    ASSERT_TRUE(file.ok());
+    PmrQuadtree pmr(opt, file->get(), &table);
+    ASSERT_TRUE(pmr.Init().ok());
+    ASSERT_TRUE(pmr.Flush().ok());
+  }
+  auto file = PosixPageFile::Open(path, opt.page_size);
+  ASSERT_TRUE(file.ok());
+  IndexOptions other = opt;
+  other.pmr_split_threshold = 9;  // differs from the stored structure
+  PmrQuadtree pmr(other, file->get(), &table);
+  EXPECT_TRUE(pmr.Open().IsInvalidArgument());
+}
+
+TEST(PersistenceNegativeTest, InitRequiresFreshFile) {
+  const IndexOptions opt = TestOptions();
+  MemPageFile file(opt.page_size);
+  MemPageFile seg_mem(opt.page_size);
+  BufferPool seg_pool(&seg_mem, 4, nullptr);
+  SegmentTable table(&seg_pool, nullptr);
+  {
+    PmrQuadtree first(opt, &file, &table);
+    ASSERT_TRUE(first.Init().ok());
+  }
+  PmrQuadtree second(opt, &file, &table);
+  EXPECT_TRUE(second.Init().IsInvalidArgument());
+}
+
+TEST(PersistenceNegativeTest, GarbageSuperblockIsCorruption) {
+  const IndexOptions opt = TestOptions();
+  MemPageFile file(opt.page_size);
+  BufferPool pool(&file, 4, nullptr);
+  {
+    auto ref = pool.New();
+    ASSERT_TRUE(ref.ok());
+    ref->data()[0] = 0x42;  // not the magic
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  auto sb = ReadSuperblock(&pool, 0, SuperblockKind::kPmrQuadtree);
+  EXPECT_TRUE(sb.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "lsdb/query/incident.h"
+#include "lsdb/query/intersect.h"
+#include "lsdb/query/point_gen.h"
+#include "lsdb/query/polygon.h"
+#include "test_util.h"
+
+namespace lsdb {
+namespace {
+
+using testing::BruteForceIndex;
+using testing::Ids;
+
+// A 2x2 block map:
+//   (0,0)-(10,0)-(20,0)
+//     |      |      |
+//   (0,10)-(10,10)-(20,10)
+//     |      |      |
+//   (0,20)-(10,20)-(20,20)
+BruteForceIndex MakeBlockMap(std::vector<Segment>* segs) {
+  BruteForceIndex idx;
+  auto add = [&](Coord x1, Coord y1, Coord x2, Coord y2) {
+    const Segment s{{x1, y1}, {x2, y2}};
+    segs->push_back(s);
+    EXPECT_TRUE(
+        idx.Insert(static_cast<SegmentId>(segs->size() - 1), s).ok());
+  };
+  for (Coord j = 0; j <= 20; j += 10) {
+    for (Coord i = 0; i <= 20; i += 10) {
+      if (i < 20) add(i, j, i + 10, j);
+      if (j < 20) add(i, j, i, j + 10);
+    }
+  }
+  return idx;
+}
+
+TEST(IncidentTest, FindsAllSegmentsAtVertex) {
+  std::vector<Segment> segs;
+  BruteForceIndex idx = MakeBlockMap(&segs);
+  // Center vertex (10,10) has degree 4.
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(IncidentSegments(&idx, Point{10, 10}, &hits).ok());
+  EXPECT_EQ(hits.size(), 4u);
+  for (const SegmentHit& h : hits) {
+    EXPECT_TRUE(h.seg.a == Point({10, 10}) || h.seg.b == Point({10, 10}));
+  }
+  // Corner vertex has degree 2.
+  hits.clear();
+  ASSERT_TRUE(IncidentSegments(&idx, Point{0, 0}, &hits).ok());
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(IncidentTest, ExcludesSegmentsMerelyPassingThrough) {
+  BruteForceIndex idx;
+  // A segment passing through (5,5) without an endpoint there.
+  ASSERT_TRUE(idx.Insert(0, Segment{{0, 0}, {10, 10}}).ok());
+  ASSERT_TRUE(idx.Insert(1, Segment{{5, 5}, {5, 20}}).ok());
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(IncidentSegments(&idx, Point{5, 5}, &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(IncidentTest, OtherEndpointQuery) {
+  std::vector<Segment> segs;
+  BruteForceIndex idx = MakeBlockMap(&segs);
+  // Segment (0,0)-(10,0): given endpoint (0,0), query at (10,0).
+  const Segment s{{0, 0}, {10, 0}};
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(IncidentAtOtherEndpoint(&idx, s, Point{0, 0}, &hits).ok());
+  EXPECT_EQ(hits.size(), 3u);  // degree of (10,0)
+}
+
+TEST(PolygonTest, UnitSquare) {
+  BruteForceIndex idx;
+  ASSERT_TRUE(idx.Insert(0, Segment{{0, 0}, {10, 0}}).ok());
+  ASSERT_TRUE(idx.Insert(1, Segment{{10, 0}, {10, 10}}).ok());
+  ASSERT_TRUE(idx.Insert(2, Segment{{10, 10}, {0, 10}}).ok());
+  ASSERT_TRUE(idx.Insert(3, Segment{{0, 10}, {0, 0}}).ok());
+  PolygonResult res;
+  ASSERT_TRUE(EnclosingPolygon(&idx, Point{5, 5}, &res).ok());
+  EXPECT_TRUE(res.closed);
+  EXPECT_EQ(res.distinct_count, 4u);
+  EXPECT_EQ(res.segments.size(), 4u);
+  auto sorted = res.segments;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, std::vector<SegmentId>({0, 1, 2, 3}));
+}
+
+TEST(PolygonTest, BlockMapInnerCell) {
+  std::vector<Segment> segs;
+  BruteForceIndex idx = MakeBlockMap(&segs);
+  // Query inside the NE cell: its polygon is that cell's 4 edges.
+  PolygonResult res;
+  ASSERT_TRUE(EnclosingPolygon(&idx, Point{15, 15}, &res).ok());
+  EXPECT_TRUE(res.closed);
+  EXPECT_EQ(res.distinct_count, 4u);
+  for (SegmentId id : res.segments) {
+    const Segment& s = segs[id];
+    // All boundary segments touch the NE cell [10,20]x[10,20].
+    EXPECT_TRUE(s.IntersectsRect(Rect::Of(10, 10, 20, 20)))
+        << s.ToString();
+  }
+}
+
+TEST(PolygonTest, OuterFaceWalksWholeBoundary) {
+  std::vector<Segment> segs;
+  BruteForceIndex idx = MakeBlockMap(&segs);
+  PolygonResult res;
+  // Query point outside the map: walks the outer face (8 boundary edges).
+  ASSERT_TRUE(EnclosingPolygon(&idx, Point{100, 100}, &res).ok());
+  EXPECT_TRUE(res.closed);
+  EXPECT_EQ(res.distinct_count, 8u);
+}
+
+TEST(PolygonTest, DeadEndSpurIsWalkedTwice) {
+  BruteForceIndex idx;
+  // Square with a spur poking inward from the top edge midpoint.
+  ASSERT_TRUE(idx.Insert(0, Segment{{0, 0}, {20, 0}}).ok());
+  ASSERT_TRUE(idx.Insert(1, Segment{{20, 0}, {20, 20}}).ok());
+  ASSERT_TRUE(idx.Insert(2, Segment{{20, 20}, {10, 20}}).ok());
+  ASSERT_TRUE(idx.Insert(3, Segment{{10, 20}, {0, 20}}).ok());
+  ASSERT_TRUE(idx.Insert(4, Segment{{0, 20}, {0, 0}}).ok());
+  ASSERT_TRUE(idx.Insert(5, Segment{{10, 20}, {10, 12}}).ok());  // spur
+  PolygonResult res;
+  ASSERT_TRUE(EnclosingPolygon(&idx, Point{5, 5}, &res).ok());
+  EXPECT_TRUE(res.closed);
+  EXPECT_EQ(res.distinct_count, 6u);
+  // The spur segment appears twice in the walk (down and back).
+  int spur_count = 0;
+  for (SegmentId id : res.segments) spur_count += id == 5 ? 1 : 0;
+  EXPECT_EQ(spur_count, 2);
+}
+
+TEST(PolygonTest, DegenerateNearestSegment) {
+  BruteForceIndex idx;
+  ASSERT_TRUE(idx.Insert(0, Segment{{5, 5}, {5, 5}}).ok());
+  PolygonResult res;
+  ASSERT_TRUE(EnclosingPolygon(&idx, Point{0, 0}, &res).ok());
+  EXPECT_TRUE(res.closed);
+  EXPECT_EQ(res.distinct_count, 1u);
+}
+
+TEST(PolygonTest, EmptyIndexIsNotFound) {
+  BruteForceIndex idx;
+  PolygonResult res;
+  EXPECT_TRUE(EnclosingPolygon(&idx, Point{0, 0}, &res).IsNotFound());
+}
+
+TEST(IntersectTest, FindsCrossingAndTouchingSegments) {
+  BruteForceIndex idx;
+  ASSERT_TRUE(idx.Insert(0, Segment{{0, 0}, {10, 10}}).ok());    // crosses
+  ASSERT_TRUE(idx.Insert(1, Segment{{0, 10}, {10, 0}}).ok());    // crosses
+  ASSERT_TRUE(idx.Insert(2, Segment{{5, 5}, {5, 20}}).ok());     // touches
+  ASSERT_TRUE(idx.Insert(3, Segment{{20, 20}, {30, 30}}).ok());  // misses
+  // MBR overlaps the query but the geometry does not.
+  ASSERT_TRUE(idx.Insert(4, Segment{{0, 9}, {1, 10}}).ok());
+  const Segment q{{0, 5}, {10, 5}};
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(IntersectingSegments(&idx, q, &hits).ok());
+  std::vector<SegmentId> got = Ids(hits);
+  EXPECT_EQ(got, std::vector<SegmentId>({0, 1, 2}));
+}
+
+TEST(IntersectTest, CollinearOverlap) {
+  BruteForceIndex idx;
+  ASSERT_TRUE(idx.Insert(0, Segment{{0, 0}, {10, 0}}).ok());
+  ASSERT_TRUE(idx.Insert(1, Segment{{20, 0}, {30, 0}}).ok());
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(
+      IntersectingSegments(&idx, Segment{{5, 0}, {25, 0}}, &hits).ok());
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(PointGenTest, UniformPointsInWorld) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Point p = UniformQueryPoint(&rng, 10);
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, 1024);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, 1024);
+  }
+}
+
+}  // namespace
+}  // namespace lsdb

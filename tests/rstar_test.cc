@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "lsdb/rtree/rstar_tree.h"
+#include "lsdb/seg/segment_table.h"
+#include "test_util.h"
+
+namespace lsdb {
+namespace {
+
+using testing::Ids;
+using testing::RandomSegments;
+
+struct RStarFixture {
+  explicit RStarFixture(IndexOptions opt = DefaultOptions())
+      : options(opt),
+        seg_file(opt.page_size),
+        seg_pool(&seg_file, opt.buffer_frames, nullptr),
+        table(&seg_pool, nullptr),
+        file(opt.page_size),
+        tree(opt, &file, &table) {
+    EXPECT_TRUE(tree.Init().ok());
+  }
+
+  static IndexOptions DefaultOptions() {
+    IndexOptions opt;
+    opt.page_size = 256;  // M = (256-12)/20 = 12
+    opt.world_log2 = 10;
+    return opt;
+  }
+
+  SegmentId Add(const Segment& s) {
+    auto id = table.Append(s);
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(tree.Insert(*id, s).ok());
+    return *id;
+  }
+
+  IndexOptions options;
+  MemPageFile seg_file;
+  BufferPool seg_pool;
+  SegmentTable table;
+  MemPageFile file;
+  RStarTree tree;
+};
+
+TEST(RStarTest, EmptyTree) {
+  RStarFixture f;
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(f.tree.WindowQueryEx(Rect::Of(0, 0, 1000, 1000), &hits).ok());
+  EXPECT_TRUE(hits.empty());
+  EXPECT_TRUE(f.tree.Nearest(Point{1, 1}).status().IsNotFound());
+  EXPECT_EQ(f.tree.height(), 1u);
+  EXPECT_TRUE(f.tree.CheckInvariants().ok());
+}
+
+TEST(RStarTest, SingleSegment) {
+  RStarFixture f;
+  const SegmentId id = f.Add(Segment{{10, 10}, {20, 30}});
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(f.tree.WindowQueryEx(Rect::Of(0, 0, 100, 100), &hits).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, id);
+  auto nn = f.tree.Nearest(Point{10, 10});
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, id);
+  EXPECT_DOUBLE_EQ(nn->squared_distance, 0.0);
+}
+
+TEST(RStarTest, SplitsKeepInvariants) {
+  RStarFixture f;
+  Rng rng(17);
+  const auto segs = RandomSegments(&rng, 500, 1024, 128);
+  for (const Segment& s : segs) f.Add(s);
+  EXPECT_EQ(f.tree.size(), 500u);
+  EXPECT_GT(f.tree.height(), 1u);
+  const Status st = f.tree.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // Every leaf page holds at least m entries (checked inside), and the
+  // average occupancy is sane for the R* split (between m and M).
+  const double occ = f.tree.AverageLeafOccupancy();
+  EXPECT_GE(occ, 4.0);
+  EXPECT_LE(occ, 12.0);
+}
+
+TEST(RStarTest, ForcedReinsertionTriggers) {
+  // With reinsertion enabled the structure differs from a pure-split tree;
+  // we simply verify both configurations build correctly and that the
+  // reinsert path is exercised (fewer splits => fewer pages).
+  IndexOptions with = RStarFixture::DefaultOptions();
+  IndexOptions without = RStarFixture::DefaultOptions();
+  without.rstar_reinsert_frac = 0.0;
+  RStarFixture a(with), b(without);
+  Rng rng(23);
+  const auto segs = RandomSegments(&rng, 600, 1024, 96);
+  for (const Segment& s : segs) {
+    a.Add(s);
+    b.Add(s);
+  }
+  EXPECT_TRUE(a.tree.CheckInvariants().ok());
+  EXPECT_TRUE(b.tree.CheckInvariants().ok());
+  EXPECT_LE(a.tree.bytes(), b.tree.bytes());
+}
+
+TEST(RStarTest, EraseRemovesAndCondenses) {
+  RStarFixture f;
+  Rng rng(29);
+  auto segs = RandomSegments(&rng, 400, 1024, 100);
+  std::vector<SegmentId> ids;
+  for (const Segment& s : segs) ids.push_back(f.Add(s));
+  for (size_t i = 0; i < segs.size(); i += 2) {
+    ASSERT_TRUE(f.tree.Erase(ids[i], segs[i]).ok());
+  }
+  EXPECT_EQ(f.tree.size(), 200u);
+  const Status st = f.tree.CheckInvariants();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // Erased segments are gone; survivors remain.
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(f.tree.WindowQueryEx(Rect::Of(0, 0, 1024, 1024), &hits).ok());
+  EXPECT_EQ(hits.size(), 200u);
+  for (const SegmentHit& h : hits) EXPECT_EQ(h.id % 2, 1u);
+}
+
+TEST(RStarTest, EraseMissingIsNotFound) {
+  RStarFixture f;
+  const Segment s{{1, 1}, {5, 5}};
+  f.Add(s);
+  EXPECT_TRUE(f.tree.Erase(999, s).IsNotFound());
+}
+
+TEST(RStarTest, EraseToEmptyAndReuse) {
+  RStarFixture f;
+  Rng rng(31);
+  auto segs = RandomSegments(&rng, 300, 1024, 64);
+  std::vector<SegmentId> ids;
+  for (const Segment& s : segs) ids.push_back(f.Add(s));
+  for (size_t i = 0; i < segs.size(); ++i) {
+    ASSERT_TRUE(f.tree.Erase(ids[i], segs[i]).ok());
+  }
+  EXPECT_EQ(f.tree.size(), 0u);
+  // The tree is reusable after total deletion.
+  const SegmentId id = f.Add(Segment{{3, 3}, {9, 9}});
+  auto nn = f.tree.Nearest(Point{4, 4});
+  ASSERT_TRUE(nn.ok());
+  EXPECT_EQ(nn->id, id);
+  EXPECT_TRUE(f.tree.CheckInvariants().ok());
+}
+
+TEST(RStarTest, PaperPageCapacityAt1K) {
+  IndexOptions opt;
+  opt.page_size = 1024;
+  MemPageFile seg_file(1024);
+  BufferPool seg_pool(&seg_file, 16, nullptr);
+  SegmentTable table(&seg_pool, nullptr);
+  MemPageFile file(1024);
+  RStarTree tree(opt, &file, &table);
+  // "each 1K byte page contains a maximum of 50 line segments":
+  // capacity is computed from the page size as (1024 - 12) / 20 = 50.
+  MemPageFile probe_file(1024);
+  BufferPool pool(&probe_file, 16, nullptr);
+  EXPECT_EQ(RNodeIO(&pool).Capacity(), 50u);
+}
+
+TEST(RStarTest, MetricsCountBoundingBoxWork) {
+  RStarFixture f;
+  Rng rng(41);
+  for (const Segment& s : RandomSegments(&rng, 300, 1024, 64)) f.Add(s);
+  const MetricCounters before = f.tree.metrics();
+  std::vector<SegmentHit> hits;
+  ASSERT_TRUE(f.tree.WindowQueryEx(Rect::Of(100, 100, 200, 200), &hits).ok());
+  const MetricCounters d = f.tree.metrics() - before;
+  EXPECT_GT(d.bbox_comps, 0u);
+  EXPECT_EQ(d.bucket_comps, 0u);  // R-trees never compute buckets
+}
+
+}  // namespace
+}  // namespace lsdb

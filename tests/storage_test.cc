@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "lsdb/storage/buffer_pool.h"
+#include "lsdb/storage/page_file.h"
+
+namespace lsdb {
+namespace {
+
+TEST(MemPageFileTest, AllocateReadWrite) {
+  MemPageFile f(256);
+  auto p0 = f.Allocate();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  std::vector<uint8_t> buf(256, 0xAB);
+  ASSERT_TRUE(f.Write(*p0, buf.data()).ok());
+  std::vector<uint8_t> rd(256);
+  ASSERT_TRUE(f.Read(*p0, rd.data()).ok());
+  EXPECT_EQ(rd, buf);
+}
+
+TEST(MemPageFileTest, AllocatedPagesAreZeroed) {
+  MemPageFile f(128);
+  auto p = f.Allocate();
+  ASSERT_TRUE(p.ok());
+  std::vector<uint8_t> rd(128, 0xFF);
+  ASSERT_TRUE(f.Read(*p, rd.data()).ok());
+  EXPECT_TRUE(std::all_of(rd.begin(), rd.end(),
+                          [](uint8_t b) { return b == 0; }));
+}
+
+TEST(MemPageFileTest, FreeListReuse) {
+  MemPageFile f(128);
+  auto a = f.Allocate();
+  auto b = f.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(f.live_page_count(), 2u);
+  ASSERT_TRUE(f.Free(*a).ok());
+  EXPECT_EQ(f.live_page_count(), 1u);
+  auto c = f.Allocate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // freed page reused
+  EXPECT_EQ(f.page_count(), 2u);
+}
+
+TEST(MemPageFileTest, InvalidAccessRejected) {
+  MemPageFile f(128);
+  std::vector<uint8_t> buf(128);
+  EXPECT_FALSE(f.Read(0, buf.data()).ok());
+  auto p = f.Allocate();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(f.Free(*p).ok());
+  EXPECT_FALSE(f.Read(*p, buf.data()).ok());
+  EXPECT_FALSE(f.Free(*p).ok());
+}
+
+TEST(PosixPageFileTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lsdb_posix_pages.bin";
+  auto file = PosixPageFile::Create(path, 512);
+  ASSERT_TRUE(file.ok());
+  auto p0 = (*file)->Allocate();
+  auto p1 = (*file)->Allocate();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  std::vector<uint8_t> buf(512);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE((*file)->Write(*p1, buf.data()).ok());
+  std::vector<uint8_t> rd(512);
+  ASSERT_TRUE((*file)->Read(*p1, rd.data()).ok());
+  EXPECT_EQ(rd, buf);
+  ASSERT_TRUE((*file)->Read(*p0, rd.data()).ok());
+  EXPECT_TRUE(std::all_of(rd.begin(), rd.end(),
+                          [](uint8_t b) { return b == 0; }));
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : file_(128), pool_(&file_, 4, &metrics_) {}
+
+  PageId NewPage(uint8_t fill) {
+    auto ref = pool_.New();
+    EXPECT_TRUE(ref.ok());
+    std::memset(ref->data(), fill, 128);
+    ref->MarkDirty();
+    return ref->id();
+  }
+
+  MetricCounters metrics_;
+  MemPageFile file_;
+  BufferPool pool_;
+};
+
+TEST_F(BufferPoolTest, HitsDoNotCountAsDiskReads) {
+  const PageId id = NewPage(1);
+  const uint64_t reads_before = metrics_.disk_reads;
+  for (int i = 0; i < 10; ++i) {
+    auto ref = pool_.Fetch(id);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref->data()[0], 1);
+  }
+  EXPECT_EQ(metrics_.disk_reads, reads_before);  // all hits
+  EXPECT_GE(metrics_.page_fetches, 10u);
+}
+
+TEST_F(BufferPoolTest, LruEvictionCountsReadsAndWritebacks) {
+  // Fill the 4-frame pool with 4 dirty pages, then touch a 5th.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(NewPage(static_cast<uint8_t>(i)));
+  EXPECT_EQ(metrics_.disk_writes, 0u);
+  const PageId extra = NewPage(99);  // evicts LRU (ids[0]), writing it back
+  EXPECT_EQ(metrics_.disk_writes, 1u);
+  // Re-fetch the evicted page: a miss (disk read) with correct content.
+  const uint64_t reads = metrics_.disk_reads;
+  auto ref = pool_.Fetch(ids[0]);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(metrics_.disk_reads, reads + 1);
+  EXPECT_EQ(ref->data()[0], 0);
+  (void)extra;
+}
+
+TEST_F(BufferPoolTest, LruOrderRespectsRecency) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(NewPage(static_cast<uint8_t>(i)));
+  // Touch ids[0] so ids[1] becomes LRU.
+  { auto r = pool_.Fetch(ids[0]); ASSERT_TRUE(r.ok()); }
+  NewPage(50);  // evicts ids[1]
+  const uint64_t reads = metrics_.disk_reads;
+  { auto r = pool_.Fetch(ids[0]); ASSERT_TRUE(r.ok()); }  // still cached
+  EXPECT_EQ(metrics_.disk_reads, reads);
+  { auto r = pool_.Fetch(ids[1]); ASSERT_TRUE(r.ok()); }  // was evicted
+  EXPECT_EQ(metrics_.disk_reads, reads + 1);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  auto pinned = pool_.New();
+  ASSERT_TRUE(pinned.ok());
+  for (int i = 0; i < 8; ++i) NewPage(static_cast<uint8_t>(i));
+  // The pinned frame must have survived all evictions.
+  EXPECT_GE(pool_.pinned_frames(), 1u);
+}
+
+TEST_F(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  std::vector<StatusOr<BufferPool::PageRef>> refs;
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(pool_.New());
+    ASSERT_TRUE(refs.back().ok());
+  }
+  auto fifth = pool_.New();
+  EXPECT_FALSE(fifth.ok());
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyPages) {
+  const PageId id = NewPage(7);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_GE(metrics_.disk_writes, 1u);
+  // The file now has the data even without eviction.
+  std::vector<uint8_t> rd(128);
+  ASSERT_TRUE(file_.Read(id, rd.data()).ok());
+  EXPECT_EQ(rd[0], 7);
+  // A second flush writes nothing (no longer dirty).
+  const uint64_t writes = metrics_.disk_writes;
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_EQ(metrics_.disk_writes, writes);
+}
+
+TEST_F(BufferPoolTest, FreeDropsCachedPage) {
+  const PageId id = NewPage(3);
+  ASSERT_TRUE(pool_.Free(id).ok());
+  EXPECT_FALSE(pool_.Fetch(id).ok());  // unallocated in the file
+}
+
+TEST_F(BufferPoolTest, MoveSemanticsOfPageRef) {
+  auto a = pool_.New();
+  ASSERT_TRUE(a.ok());
+  const PageId id = a->id();
+  BufferPool::PageRef moved = std::move(*a);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.id(), id);
+  moved.Release();
+  EXPECT_FALSE(moved.valid());
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "lsdb/viz/svg.h"
+#include "test_util.h"
+
+namespace lsdb {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(SvgTest, EmitsOneLinePerSegmentAndOneRectPerRegion) {
+  PolygonalMap map;
+  map.segments = {{{0, 0}, {100, 100}}, {{50, 0}, {50, 200}}};
+  const std::vector<Rect> regions = {Rect::Of(0, 0, 128, 128),
+                                     Rect::Of(128, 0, 256, 128)};
+  const std::string path = ::testing::TempDir() + "/lsdb_viz.svg";
+  SvgOptions opt;
+  opt.world = 256;
+  ASSERT_TRUE(WriteSvg(map, regions, path, opt).ok());
+  const std::string svg = ReadFile(path);
+  EXPECT_EQ(CountOccurrences(svg, "<line "), 2u);
+  // One background rect plus the two overlay rects.
+  EXPECT_EQ(CountOccurrences(svg, "<rect "), 3u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTest, FlipsYAxis) {
+  PolygonalMap map;
+  map.segments = {{{0, 0}, {0, 256}}};
+  const std::string path = ::testing::TempDir() + "/lsdb_viz_flip.svg";
+  SvgOptions opt;
+  opt.world = 256;
+  opt.pixels = 256.0;
+  ASSERT_TRUE(WriteSvg(map, {}, path, opt).ok());
+  const std::string svg = ReadFile(path);
+  // World y=0 maps to the bottom of the image (y=256 in SVG space).
+  EXPECT_NE(svg.find("y1=\"256\""), std::string::npos);
+  EXPECT_NE(svg.find("y2=\"0\""), std::string::npos);
+}
+
+TEST(SvgTest, BadPathIsIoError) {
+  PolygonalMap map;
+  EXPECT_EQ(WriteSvg(map, {}, "/nonexistent-dir/x.svg").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pmr_bbox.dir/bench_ablation_pmr_bbox.cc.o"
+  "CMakeFiles/bench_ablation_pmr_bbox.dir/bench_ablation_pmr_bbox.cc.o.d"
+  "bench_ablation_pmr_bbox"
+  "bench_ablation_pmr_bbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pmr_bbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

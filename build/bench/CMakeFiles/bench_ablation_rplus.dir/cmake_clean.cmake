@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rplus.dir/bench_ablation_rplus.cc.o"
+  "CMakeFiles/bench_ablation_rplus.dir/bench_ablation_rplus.cc.o.d"
+  "bench_ablation_rplus"
+  "bench_ablation_rplus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdb_tool.dir/lsdb_tool.cpp.o"
+  "CMakeFiles/lsdb_tool.dir/lsdb_tool.cpp.o.d"
+  "lsdb_tool"
+  "lsdb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/on_disk.dir/on_disk.cpp.o"
+  "CMakeFiles/on_disk.dir/on_disk.cpp.o.d"
+  "on_disk"
+  "on_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/on_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiger_import.dir/tiger_import.cpp.o"
+  "CMakeFiles/tiger_import.dir/tiger_import.cpp.o.d"
+  "tiger_import"
+  "tiger_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiger_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsdb/btree/btree.cc" "src/CMakeFiles/lsdb.dir/lsdb/btree/btree.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/btree/btree.cc.o.d"
+  "/root/repo/src/lsdb/data/county_generator.cc" "src/CMakeFiles/lsdb.dir/lsdb/data/county_generator.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/data/county_generator.cc.o.d"
+  "/root/repo/src/lsdb/data/polygonal_map.cc" "src/CMakeFiles/lsdb.dir/lsdb/data/polygonal_map.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/data/polygonal_map.cc.o.d"
+  "/root/repo/src/lsdb/data/tiger.cc" "src/CMakeFiles/lsdb.dir/lsdb/data/tiger.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/data/tiger.cc.o.d"
+  "/root/repo/src/lsdb/geom/clip.cc" "src/CMakeFiles/lsdb.dir/lsdb/geom/clip.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/geom/clip.cc.o.d"
+  "/root/repo/src/lsdb/geom/morton.cc" "src/CMakeFiles/lsdb.dir/lsdb/geom/morton.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/geom/morton.cc.o.d"
+  "/root/repo/src/lsdb/geom/rect.cc" "src/CMakeFiles/lsdb.dir/lsdb/geom/rect.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/geom/rect.cc.o.d"
+  "/root/repo/src/lsdb/geom/segment.cc" "src/CMakeFiles/lsdb.dir/lsdb/geom/segment.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/geom/segment.cc.o.d"
+  "/root/repo/src/lsdb/grid/uniform_grid.cc" "src/CMakeFiles/lsdb.dir/lsdb/grid/uniform_grid.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/grid/uniform_grid.cc.o.d"
+  "/root/repo/src/lsdb/harness/experiment.cc" "src/CMakeFiles/lsdb.dir/lsdb/harness/experiment.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/harness/experiment.cc.o.d"
+  "/root/repo/src/lsdb/index/spatial_index.cc" "src/CMakeFiles/lsdb.dir/lsdb/index/spatial_index.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/index/spatial_index.cc.o.d"
+  "/root/repo/src/lsdb/pmr/pmr_quadtree.cc" "src/CMakeFiles/lsdb.dir/lsdb/pmr/pmr_quadtree.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/pmr/pmr_quadtree.cc.o.d"
+  "/root/repo/src/lsdb/pmr/window_decompose.cc" "src/CMakeFiles/lsdb.dir/lsdb/pmr/window_decompose.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/pmr/window_decompose.cc.o.d"
+  "/root/repo/src/lsdb/query/incident.cc" "src/CMakeFiles/lsdb.dir/lsdb/query/incident.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/query/incident.cc.o.d"
+  "/root/repo/src/lsdb/query/intersect.cc" "src/CMakeFiles/lsdb.dir/lsdb/query/intersect.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/query/intersect.cc.o.d"
+  "/root/repo/src/lsdb/query/join.cc" "src/CMakeFiles/lsdb.dir/lsdb/query/join.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/query/join.cc.o.d"
+  "/root/repo/src/lsdb/query/point_gen.cc" "src/CMakeFiles/lsdb.dir/lsdb/query/point_gen.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/query/point_gen.cc.o.d"
+  "/root/repo/src/lsdb/query/polygon.cc" "src/CMakeFiles/lsdb.dir/lsdb/query/polygon.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/query/polygon.cc.o.d"
+  "/root/repo/src/lsdb/rplus/rplus_tree.cc" "src/CMakeFiles/lsdb.dir/lsdb/rplus/rplus_tree.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/rplus/rplus_tree.cc.o.d"
+  "/root/repo/src/lsdb/rtree/rnode.cc" "src/CMakeFiles/lsdb.dir/lsdb/rtree/rnode.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/rtree/rnode.cc.o.d"
+  "/root/repo/src/lsdb/rtree/rstar_tree.cc" "src/CMakeFiles/lsdb.dir/lsdb/rtree/rstar_tree.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/rtree/rstar_tree.cc.o.d"
+  "/root/repo/src/lsdb/seg/segment_table.cc" "src/CMakeFiles/lsdb.dir/lsdb/seg/segment_table.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/seg/segment_table.cc.o.d"
+  "/root/repo/src/lsdb/storage/buffer_pool.cc" "src/CMakeFiles/lsdb.dir/lsdb/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/lsdb/storage/page_file.cc" "src/CMakeFiles/lsdb.dir/lsdb/storage/page_file.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/storage/page_file.cc.o.d"
+  "/root/repo/src/lsdb/storage/superblock.cc" "src/CMakeFiles/lsdb.dir/lsdb/storage/superblock.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/storage/superblock.cc.o.d"
+  "/root/repo/src/lsdb/util/counters.cc" "src/CMakeFiles/lsdb.dir/lsdb/util/counters.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/util/counters.cc.o.d"
+  "/root/repo/src/lsdb/util/random.cc" "src/CMakeFiles/lsdb.dir/lsdb/util/random.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/util/random.cc.o.d"
+  "/root/repo/src/lsdb/util/status.cc" "src/CMakeFiles/lsdb.dir/lsdb/util/status.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/util/status.cc.o.d"
+  "/root/repo/src/lsdb/viz/svg.cc" "src/CMakeFiles/lsdb.dir/lsdb/viz/svg.cc.o" "gcc" "src/CMakeFiles/lsdb.dir/lsdb/viz/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/lsdb_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/lsdb_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/equivalence_test.cc" "tests/CMakeFiles/lsdb_tests.dir/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/equivalence_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/lsdb_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/geom_test.cc" "tests/CMakeFiles/lsdb_tests.dir/geom_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/geom_test.cc.o.d"
+  "/root/repo/tests/grid_test.cc" "tests/CMakeFiles/lsdb_tests.dir/grid_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/grid_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/lsdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/join_test.cc" "tests/CMakeFiles/lsdb_tests.dir/join_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/join_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/lsdb_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/lsdb_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/pmr_test.cc" "tests/CMakeFiles/lsdb_tests.dir/pmr_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/pmr_test.cc.o.d"
+  "/root/repo/tests/polygon_property_test.cc" "tests/CMakeFiles/lsdb_tests.dir/polygon_property_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/polygon_property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/lsdb_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/rplus_test.cc" "tests/CMakeFiles/lsdb_tests.dir/rplus_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/rplus_test.cc.o.d"
+  "/root/repo/tests/rstar_test.cc" "tests/CMakeFiles/lsdb_tests.dir/rstar_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/rstar_test.cc.o.d"
+  "/root/repo/tests/segment_table_test.cc" "tests/CMakeFiles/lsdb_tests.dir/segment_table_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/segment_table_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/lsdb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/lsdb_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/viz_test.cc" "tests/CMakeFiles/lsdb_tests.dir/viz_test.cc.o" "gcc" "tests/CMakeFiles/lsdb_tests.dir/viz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lsdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

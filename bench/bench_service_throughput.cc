@@ -1,0 +1,117 @@
+// Throughput of the concurrent query service: queries/sec for a mixed
+// batch (point / window / nearest / incident) at 1, 2, 4, and 8 worker
+// threads, per structure, on a synthetic county map.
+//
+// Also verifies, for every thread count, that the parallel batch responses
+// are element-for-element identical to sequential ground truth — the
+// service must buy throughput without changing a single answer.
+//
+// Scaling depends on the cores the OS grants this process (printed below);
+// on a single-core machine all thread counts collapse to ~1x.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsdb/service/query_service.h"
+#include "lsdb/util/random.h"
+
+using namespace lsdb;         // NOLINT
+using namespace lsdb::bench;  // NOLINT
+
+namespace {
+
+std::vector<QueryRequest> MixedBatch(const PolygonalMap& map, size_t n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Segment& s = map.segments[rng.Uniform(map.segments.size())];
+    switch (i % 4) {
+      case 0:
+        batch.push_back(QueryRequest::PointQ(s.a));
+        break;
+      case 1: {
+        const Coord x = static_cast<Coord>(rng.Uniform(15500));
+        const Coord y = static_cast<Coord>(rng.Uniform(15500));
+        batch.push_back(
+            QueryRequest::WindowQ(Rect::Of(x, y, x + 512, y + 512)));
+        break;
+      }
+      case 2:
+        batch.push_back(QueryRequest::NearestQ(
+            Point{static_cast<Coord>(rng.Uniform(16384)),
+                  static_cast<Coord>(rng.Uniform(16384))}));
+        break;
+      default:
+        batch.push_back(QueryRequest::IncidentQ(s.b));
+        break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const size_t kBatch = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 20000;
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+  std::printf(
+      "Query service throughput: %s county (%zu segments), %zu-query mixed"
+      " batch\nhardware threads available to this process: %u\n\n",
+      county.c_str(), map.segments.size(), kBatch,
+      std::thread::hardware_concurrency());
+
+  const std::vector<QueryRequest> batch = MixedBatch(map, kBatch, 2024);
+  const uint32_t kThreadCounts[] = {1, 2, 4, 8};
+
+  std::printf("%-6s %10s %14s %10s %10s\n", "index", "threads", "queries/s",
+              "speedup", "identical");
+  PrintRule(56);
+  bool all_identical = true;
+  for (ServedIndex which : kAllServedIndexes) {
+    double base_qps = 0.0;
+    for (uint32_t threads : kThreadCounts) {
+      ServiceOptions opt;
+      opt.num_threads = threads;
+      auto svc = QueryService::Build(map, opt);
+      if (!svc.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     svc.status().ToString().c_str());
+        return 1;
+      }
+      auto truth = (*svc)->ExecuteBatchSequential(which, batch);
+      if (!truth.ok()) return 1;
+      // Warm the pools, then time the parallel batch.
+      auto warm = (*svc)->ExecuteBatch(which, batch);
+      if (!warm.ok()) return 1;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto res = (*svc)->ExecuteBatch(which, batch);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!res.ok()) return 1;
+      const bool identical = SameResponses(*res, *truth);
+      all_identical &= identical;
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const double qps = static_cast<double>(batch.size()) / secs;
+      if (threads == 1) base_qps = qps;
+      std::printf("%-6s %10u %14.0f %9.2fx %10s\n", ServedIndexName(which),
+                  threads, qps, qps / base_qps, identical ? "yes" : "NO");
+    }
+    PrintRule(56);
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel responses diverged from sequential\n");
+    return 1;
+  }
+  std::printf("all parallel batches identical to sequential ground truth\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Query server demo: serve batches of mixed spatial queries from a worker
+// pool over frozen copies of all three paper structures.
+//
+//   $ ./examples/query_server [county] [threads]
+//
+// This is the serving-side counterpart to the sequential paper harness:
+// the same R*-tree, R+-tree, and PMR quadtree, but built once, frozen
+// read-only, and queried from N threads at once. The per-worker metric
+// counters show how the paper's three cost measures distribute across the
+// pool.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/service/query_service.h"
+#include "lsdb/util/random.h"
+
+using namespace lsdb;  // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const uint32_t threads = argc > 2 ? atoi(argv[2]) : 4;
+
+  // 1. Data: a synthetic TIGER-like county map.
+  PolygonalMap map;
+  for (const CountyProfile& p : MarylandProfiles()) {
+    if (p.name == county) map = GenerateCounty(p, /*world_log2=*/14);
+  }
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+  std::printf("%s county: %zu segments\n", county.c_str(),
+              map.segments.size());
+
+  // 2. Build the service: segment table + three frozen indexes + pool.
+  ServiceOptions opt;
+  opt.num_threads = threads;
+  auto svc = QueryService::Build(map, opt);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 svc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("service up: %u worker threads, indexes frozen\n\n",
+              (*svc)->num_threads());
+
+  // 3. A mixed batch: point, window, nearest, and incident queries.
+  Rng rng(7);
+  std::vector<QueryRequest> batch;
+  for (int i = 0; i < 4000; ++i) {
+    const Segment& s = map.segments[rng.Uniform(map.segments.size())];
+    switch (i % 4) {
+      case 0:
+        batch.push_back(QueryRequest::PointQ(s.a));
+        break;
+      case 1: {
+        const Coord x = static_cast<Coord>(rng.Uniform(16000));
+        const Coord y = static_cast<Coord>(rng.Uniform(16000));
+        batch.push_back(
+            QueryRequest::WindowQ(Rect::Of(x, y, x + 400, y + 400)));
+        break;
+      }
+      case 2:
+        batch.push_back(QueryRequest::NearestQ(
+            Point{static_cast<Coord>(rng.Uniform(16384)),
+                  static_cast<Coord>(rng.Uniform(16384))}));
+        break;
+      default:
+        batch.push_back(QueryRequest::IncidentQ(s.b));
+        break;
+    }
+  }
+
+  // 4. Serve the batch on each structure and report merged metrics.
+  for (ServedIndex which : kAllServedIndexes) {
+    auto res = (*svc)->ExecuteBatch(which, batch);
+    if (!res.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    size_t hits = 0, errors = 0;
+    for (const QueryResponse& r : res->responses) {
+      hits += r.hits.size();
+      errors += r.status.ok() ? 0 : 1;
+    }
+    std::printf("%-4s %zu queries -> %zu hits, %zu errors\n",
+                ServedIndexName(which), batch.size(), hits, errors);
+    std::printf("     batch metrics %s\n", res->metrics.ToString().c_str());
+    for (size_t w = 0; w < res->per_worker.size(); ++w) {
+      std::printf("     worker %zu     %s\n", w,
+                  res->per_worker[w].ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point.
+#
+# Tier 1: configure, build, and run the full test suite.
+# Tier 2: rebuild with ThreadSanitizer (-DLSDB_SAN=thread) and re-run the
+#         concurrency-sensitive tests — the query service, worker pool, and
+#         buffer pool — which must report zero races.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+cmake -B build-tsan -S . -DLSDB_SAN=thread
+cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
+  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*'
+
+echo "ci: all checks passed"

@@ -197,11 +197,12 @@ Status UniformGrid::ScanCell(uint32_t cell, std::vector<SegmentId>* out) {
 }
 
 Status UniformGrid::Insert(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   uint32_t cx0, cy0, cx1, cy1;
   CellRange(s.Mbr(), &cx0, &cy0, &cx1, &cy1);
   for (uint32_t cy = cy0; cy <= cy1; ++cy) {
     for (uint32_t cx = cx0; cx <= cx1; ++cx) {
-      ++metrics_.bucket_comps;
+      ++CounterSink(metrics_).bucket_comps;
       if (!s.IntersectsRect(CellRegion(cx, cy))) continue;
       LSDB_RETURN_IF_ERROR(AppendToCell(cy * cells_ + cx, id));
     }
@@ -211,12 +212,13 @@ Status UniformGrid::Insert(SegmentId id, const Segment& s) {
 }
 
 Status UniformGrid::Erase(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   uint32_t cx0, cy0, cx1, cy1;
   CellRange(s.Mbr(), &cx0, &cy0, &cx1, &cy1);
   bool removed_any = false;
   for (uint32_t cy = cy0; cy <= cy1; ++cy) {
     for (uint32_t cx = cx0; cx <= cx1; ++cx) {
-      ++metrics_.bucket_comps;
+      ++CounterSink(metrics_).bucket_comps;
       if (!s.IntersectsRect(CellRegion(cx, cy))) continue;
       bool removed = false;
       LSDB_RETURN_IF_ERROR(RemoveFromCell(cy * cells_ + cx, id, &removed));
@@ -235,7 +237,7 @@ Status UniformGrid::WindowQueryEx(const Rect& w,
   std::unordered_set<SegmentId> seen;
   for (uint32_t cy = cy0; cy <= cy1; ++cy) {
     for (uint32_t cx = cx0; cx <= cx1; ++cx) {
-      ++metrics_.bucket_comps;
+      ++CounterSink(metrics_).bucket_comps;
       if (!CellRegion(cx, cy).Intersects(w)) continue;
       std::vector<SegmentId> ids;
       LSDB_RETURN_IF_ERROR(ScanCell(cy * cells_ + cx, &ids));
@@ -243,7 +245,7 @@ Status UniformGrid::WindowQueryEx(const Rect& w,
         if (!seen.insert(id).second) continue;
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
-        ++metrics_.segment_comps;
+        ++CounterSink(metrics_).segment_comps;
         if (s.IntersectsRect(w)) out->push_back(SegmentHit{id, s});
       }
     }
@@ -281,7 +283,7 @@ StatusOr<NearestResult> UniformGrid::Nearest(const Point& p) {
         return Status::OK();
       }
       ring_in_world = true;
-      ++metrics_.bucket_comps;
+      ++CounterSink(metrics_).bucket_comps;
       std::vector<SegmentId> ids;
       LSDB_RETURN_IF_ERROR(ScanCell(
           static_cast<uint32_t>(cy) * cells_ + static_cast<uint32_t>(cx),
@@ -290,7 +292,7 @@ StatusOr<NearestResult> UniformGrid::Nearest(const Point& p) {
         if (!refined.insert(id).second) continue;
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
-        ++metrics_.segment_comps;
+        ++CounterSink(metrics_).segment_comps;
         const double d = s.SquaredDistanceTo(p);
         if (!have_best || d < best.squared_distance) {
           have_best = true;

@@ -101,6 +101,27 @@ class SpatialIndex {
 
   /// Validates internal invariants (tests only).
   virtual Status CheckInvariants() { return Status::OK(); }
+
+  /// Read-only serving mode. After Freeze(), Insert/Erase fail with
+  /// FailedPrecondition-style InvalidArgument until Thaw(). Queries on a
+  /// frozen index mutate no structural state, so any number of threads may
+  /// run WindowQueryEx/PointQueryEx/Nearest concurrently (the buffer pool
+  /// serializes page access internally).
+  void Freeze() { frozen_ = true; }
+  void Thaw() { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
+ protected:
+  /// Guard for mutating entry points; call first in Insert/Erase.
+  Status CheckMutable() const {
+    if (frozen_) {
+      return Status::InvalidArgument("index is frozen for serving");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool frozen_ = false;
 };
 
 }  // namespace lsdb

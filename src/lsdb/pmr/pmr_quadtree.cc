@@ -186,7 +186,7 @@ Status PmrQuadtree::FindIntersectingLeaves(const Segment& s,
   const uint32_t cx1 = high_cell(mbr.xmax), cy1 = high_cell(mbr.ymax);
   return VisitLeavesInCellRect(
       cx0, cy0, cx1, cy1, [this, &s, out](const QuadBlock& leaf) -> Status {
-        ++metrics_.bucket_comps;
+        ++CounterSink(metrics_).bucket_comps;
         if (s.IntersectsRect(geom_.BlockRegion(leaf))) {
           out->push_back(leaf);
         }
@@ -207,7 +207,7 @@ Status PmrQuadtree::SplitBlock(const QuadBlock& b) {
   }
   for (int q = 0; q < 4; ++q) {
     const QuadBlock child = b.Child(q);
-    ++metrics_.bucket_comps;
+    ++CounterSink(metrics_).bucket_comps;
     const Rect region = geom_.BlockRegion(child);
     bool any = false;
     for (size_t i = 0; i < ids.size(); ++i) {
@@ -229,6 +229,7 @@ Status PmrQuadtree::SplitBlock(const QuadBlock& b) {
 }
 
 Status PmrQuadtree::Insert(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   if (!s.IntersectsRect(geom_.WorldRect())) {
     return Status::InvalidArgument("segment outside the world");
   }
@@ -315,6 +316,7 @@ Status PmrQuadtree::TryMergeUpward(QuadBlock parent) {
 }
 
 Status PmrQuadtree::Erase(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   std::vector<QuadBlock> leaves;
   LSDB_RETURN_IF_ERROR(FindIntersectingLeaves(s, &leaves));
   bool found = false;
@@ -351,7 +353,7 @@ Status PmrQuadtree::Erase(SegmentId id, const Segment& s) {
 Status PmrQuadtree::WindowRec(const QuadBlock& b, const Rect& w,
                               std::unordered_set<SegmentId>* seen,
                               std::vector<SegmentHit>* out) {
-  ++metrics_.bucket_comps;
+  ++CounterSink(metrics_).bucket_comps;
   if (!geom_.BlockRegion(b).Intersects(w)) return Status::OK();
   auto leaf = IsLeaf(b);
   if (!leaf.ok()) return leaf.status();
@@ -363,12 +365,12 @@ Status PmrQuadtree::WindowRec(const QuadBlock& b, const Rect& w,
     for (size_t i = 0; i < ids.size(); ++i) {
       if (!seen->insert(ids[i]).second) continue;
       if (options_.pmr_store_bboxes) {
-        ++metrics_.bbox_comps;
+        ++CounterSink(metrics_).bbox_comps;
         if (!bboxes[i].Intersects(w)) continue;
       }
       Segment s;
       LSDB_RETURN_IF_ERROR(segs_->Get(ids[i], &s));
-      ++metrics_.segment_comps;
+      ++CounterSink(metrics_).segment_comps;
       if (s.IntersectsRect(w)) out->push_back(SegmentHit{ids[i], s});
     }
     return Status::OK();
@@ -406,12 +408,12 @@ Status PmrQuadtree::PointWindow(const Point& p,
       *block, &ids, options_.pmr_store_bboxes ? &bboxes : nullptr));
   for (size_t i = 0; i < ids.size(); ++i) {
     if (options_.pmr_store_bboxes) {
-      ++metrics_.bbox_comps;
+      ++CounterSink(metrics_).bbox_comps;
       if (!bboxes[i].Contains(p)) continue;
     }
     Segment s;
     LSDB_RETURN_IF_ERROR(segs_->Get(ids[i], &s));
-    ++metrics_.segment_comps;
+    ++CounterSink(metrics_).segment_comps;
     if (s.ContainsPoint(p)) out->push_back(SegmentHit{ids[i], s});
   }
   return Status::OK();
@@ -469,7 +471,7 @@ Status PmrQuadtree::VisitWindowSegments(
   return VisitLeavesInCellRect(
       cell_of(w.xmin), cell_of(w.ymin), cell_of(w.xmax), cell_of(w.ymax),
       [this, &fn](const QuadBlock& leaf) -> Status {
-        ++metrics_.bucket_comps;
+        ++CounterSink(metrics_).bucket_comps;
         Status cb_status;
         LSDB_RETURN_IF_ERROR(btree_.Scan(
             geom_.BlockKeyLow(leaf), geom_.BlockKeyHigh(leaf),
@@ -500,12 +502,12 @@ Status PmrQuadtree::WindowQueryEx(const Rect& w,
         if (!seen.insert(id).second) return Status::OK();
         if (options_.pmr_store_bboxes && bbox != nullptr) {
           // 3-tuple variant: prune on the stored box without fetching.
-          ++metrics_.bbox_comps;
+          ++CounterSink(metrics_).bbox_comps;
           if (!DecodeBbox(bbox).Intersects(w)) return Status::OK();
         }
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
-        ++metrics_.segment_comps;
+        ++CounterSink(metrics_).segment_comps;
         if (s.IntersectsRect(w)) out->push_back(SegmentHit{id, s});
         return Status::OK();
       });
@@ -516,7 +518,7 @@ Status PmrQuadtree::WindowQueryStaticDecomposed(
   if (w.empty()) return Status::OK();
   std::vector<QuadBlock> pieces;
   DecomposeWindow(geom_, w, &pieces);
-  metrics_.bucket_comps += pieces.size();
+  CounterSink(metrics_).bucket_comps += pieces.size();
   std::unordered_set<SegmentId> seen;
   std::vector<uint64_t> keys;
   for (const QuadBlock& piece : pieces) {
@@ -530,7 +532,7 @@ Status PmrQuadtree::WindowQueryStaticDecomposed(
       if (!seen.insert(segid).second) continue;
       Segment s;
       LSDB_RETURN_IF_ERROR(segs_->Get(segid, &s));
-      ++metrics_.segment_comps;
+      ++CounterSink(metrics_).segment_comps;
       if (s.IntersectsRect(w)) out->push_back(SegmentHit{segid, s});
     }
   }
@@ -572,7 +574,7 @@ StatusOr<NearestResult> PmrQuadtree::Nearest(const Point& p) {
           if (options_.pmr_store_bboxes && bbox != nullptr && have_best) {
             // 3-tuple variant: the box distance lower-bounds the segment
             // distance; skip the fetch when it cannot improve.
-            ++metrics_.bbox_comps;
+            ++CounterSink(metrics_).bbox_comps;
             if (static_cast<double>(DecodeBbox(bbox).SquaredDistanceTo(p)) >
                 best.squared_distance) {
               seen.erase(id);  // may still qualify from a later window
@@ -581,7 +583,7 @@ StatusOr<NearestResult> PmrQuadtree::Nearest(const Point& p) {
           }
           Segment s;
           LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
-          ++metrics_.segment_comps;
+          ++CounterSink(metrics_).segment_comps;
           const double d = s.SquaredDistanceTo(p);
           if (!have_best || d < best.squared_distance) {
             have_best = true;
@@ -605,7 +607,7 @@ StatusOr<QuadBlock> PmrQuadtree::LocateBlock(const Point& p) {
   if (!geom_.WorldRect().Contains(p)) {
     return Status::InvalidArgument("point outside the world");
   }
-  ++metrics_.bucket_comps;
+  ++CounterSink(metrics_).bucket_comps;
   auto key = btree_.SeekLE(geom_.PointProbeKey(p));
   if (!key.ok()) return Status::Corruption("uncovered point");
   QuadBlock b;

@@ -503,6 +503,7 @@ Status RPlusTree::InsertRec(PageId pid, const Rect& region, SegmentId id,
 }
 
 Status RPlusTree::Insert(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   std::vector<RNodeEntry> repl;
   LSDB_RETURN_IF_ERROR(InsertRec(root_, world_, id, s, &repl));
   if (!repl.empty()) {
@@ -564,6 +565,7 @@ Status RPlusTree::EraseRec(PageId pid, const Rect& region, SegmentId id,
 }
 
 Status RPlusTree::Erase(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   bool found = false;
   LSDB_RETURN_IF_ERROR(EraseRec(root_, world_, id, s, &found));
   if (!found) return Status::NotFound("segment not in R+-tree");
@@ -582,12 +584,12 @@ Status RPlusTree::WindowQueryRec(PageId pid, const Rect& region,
     // Walk the page plus any overflow chain.
     for (;;) {
       for (const RNodeEntry& e : node.entries) {
-        ++metrics_.bbox_comps;
+        ++CounterSink(metrics_).bbox_comps;
         if (!e.rect.Intersects(w)) continue;
         if (!seen->insert(e.child).second) continue;
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
-        ++metrics_.segment_comps;
+        ++CounterSink(metrics_).segment_comps;
         if (s.IntersectsRect(w)) out->push_back(SegmentHit{e.child, s});
       }
       if (node.overflow == kInvalidPageId) break;
@@ -597,7 +599,7 @@ Status RPlusTree::WindowQueryRec(PageId pid, const Rect& region,
     return Status::OK();
   }
   for (const RNodeEntry& e : node.entries) {
-    ++metrics_.bbox_comps;
+    ++CounterSink(metrics_).bbox_comps;
     if (e.rect.Intersects(w)) {
       LSDB_RETURN_IF_ERROR(WindowQueryRec(e.child, e.rect, w, seen, out));
     }
@@ -638,12 +640,12 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
     LSDB_RETURN_IF_ERROR(io_.Load(top.id, &node));
     for (;;) {
       for (const RNodeEntry& e : node.entries) {
-        ++metrics_.bbox_comps;
+        ++CounterSink(metrics_).bbox_comps;
         if (node.leaf()) {
           if (!refined.insert(e.child).second) continue;
           Segment s;
           LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
-          ++metrics_.segment_comps;
+          ++CounterSink(metrics_).segment_comps;
           pq.push(Item{s.SquaredDistanceTo(p), kExactSegment, e.child, s});
         } else {
           const double d = static_cast<double>(e.rect.SquaredDistanceTo(p));

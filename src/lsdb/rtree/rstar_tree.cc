@@ -70,6 +70,7 @@ Status RStarTree::Flush() {
 }
 
 Status RStarTree::Insert(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   reinserted_level_.assign(root_level_ + 1u, false);
   LSDB_RETURN_IF_ERROR(InsertEntry(RNodeEntry{s.Mbr(), id}, 0));
   ++size_;
@@ -372,6 +373,7 @@ Status RStarTree::FindLeafPath(PageId pid, const Rect& mbr, SegmentId id,
 }
 
 Status RStarTree::Erase(SegmentId id, const Segment& s) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
   std::vector<PageId> path;
   bool found = false;
   LSDB_RETURN_IF_ERROR(FindLeafPath(root_, s.Mbr(), id, &path, &found));
@@ -464,12 +466,12 @@ Status RStarTree::WindowQueryRec(PageId pid, const Rect& w,
   RNode node;
   LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
   for (const RNodeEntry& e : node.entries) {
-    ++metrics_.bbox_comps;
+    ++CounterSink(metrics_).bbox_comps;
     if (!e.rect.Intersects(w)) continue;
     if (node.leaf()) {
       Segment s;
       LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
-      ++metrics_.segment_comps;
+      ++CounterSink(metrics_).segment_comps;
       if (s.IntersectsRect(w)) out->push_back(SegmentHit{e.child, s});
     } else {
       LSDB_RETURN_IF_ERROR(WindowQueryRec(e.child, w, out));
@@ -511,11 +513,11 @@ StatusOr<NearestResult> RStarTree::Nearest(const Point& p) {
     RNode node;
     LSDB_RETURN_IF_ERROR(io_.Load(top.id, &node));
     for (const RNodeEntry& e : node.entries) {
-      ++metrics_.bbox_comps;
+      ++CounterSink(metrics_).bbox_comps;
       if (node.leaf()) {
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
-        ++metrics_.segment_comps;
+        ++CounterSink(metrics_).segment_comps;
         pq.push(Item{s.SquaredDistanceTo(p), kExactSegment, e.child, s});
       } else {
         const double d = static_cast<double>(e.rect.SquaredDistanceTo(p));

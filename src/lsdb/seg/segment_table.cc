@@ -86,7 +86,7 @@ StatusOr<SegmentId> SegmentTable::Append(const Segment& s) {
 
 Status SegmentTable::Get(SegmentId id, Segment* out) {
   if (id >= count_) return Status::InvalidArgument("segment id out of range");
-  if (metrics_ != nullptr) ++metrics_->segment_comps;
+  if (MetricCounters* m = CounterSink(metrics_)) ++m->segment_comps;
   const PageId page = 1 + id / per_page_;
   const uint32_t slot = id % per_page_;
   auto ref = pool_->Fetch(page);

@@ -1,0 +1,170 @@
+#include "lsdb/service/query_service.h"
+
+#include "lsdb/query/incident.h"
+
+namespace lsdb {
+
+const char* ServedIndexName(ServedIndex s) {
+  switch (s) {
+    case ServedIndex::kRStar:
+      return "R*";
+    case ServedIndex::kRPlus:
+      return "R+";
+    case ServedIndex::kPmr:
+      return "PMR";
+  }
+  return "?";
+}
+
+bool SameResponse(const QueryResponse& a, const QueryResponse& b) {
+  if (a.status.code() != b.status.code()) return false;
+  if (a.hits.size() != b.hits.size()) return false;
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    if (a.hits[i].id != b.hits[i].id || !(a.hits[i].seg == b.hits[i].seg)) {
+      return false;
+    }
+  }
+  return a.nearest.id == b.nearest.id &&
+         a.nearest.squared_distance == b.nearest.squared_distance &&
+         a.nearest.seg == b.nearest.seg;
+}
+
+bool SameResponses(const BatchResult& a, const BatchResult& b) {
+  if (a.responses.size() != b.responses.size()) return false;
+  for (size_t i = 0; i < a.responses.size(); ++i) {
+    if (!SameResponse(a.responses[i], b.responses[i])) return false;
+  }
+  return true;
+}
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options) {}
+
+QueryService::~QueryService() = default;
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::Build(
+    const PolygonalMap& map, const ServiceOptions& options) {
+  std::unique_ptr<QueryService> svc(new QueryService(options));
+  LSDB_RETURN_IF_ERROR(svc->BuildIndexes(map));
+  svc->workers_ = std::make_unique<WorkerPool>(options.num_threads);
+  return svc;
+}
+
+Status QueryService::BuildIndexes(const PolygonalMap& map) {
+  IndexOptions io = options_.index;
+  io.buffer_frames = options_.serving_buffer_frames;
+
+  // Shared segment table. Its metrics pointer is null, as in the harness:
+  // segment comparisons are counted by the per-worker sinks while serving.
+  seg_file_ = std::make_unique<MemPageFile>(io.page_size);
+  seg_pool_ =
+      std::make_unique<BufferPool>(seg_file_.get(), io.buffer_frames,
+                                   nullptr);
+  segs_ = std::make_unique<SegmentTable>(seg_pool_.get(), nullptr);
+  for (const Segment& s : map.segments) {
+    auto id = segs_->Append(s);
+    if (!id.ok()) return id.status();
+  }
+
+  rstar_file_ = std::make_unique<MemPageFile>(io.page_size);
+  rplus_file_ = std::make_unique<MemPageFile>(io.page_size);
+  pmr_file_ = std::make_unique<MemPageFile>(io.page_size);
+  rstar_ = std::make_unique<RStarTree>(io, rstar_file_.get(), segs_.get());
+  rplus_ = std::make_unique<RPlusTree>(io, rplus_file_.get(), segs_.get());
+  pmr_ = std::make_unique<PmrQuadtree>(io, pmr_file_.get(), segs_.get());
+  LSDB_RETURN_IF_ERROR(rstar_->Init());
+  LSDB_RETURN_IF_ERROR(rplus_->Init());
+  LSDB_RETURN_IF_ERROR(pmr_->Init());
+
+  for (SpatialIndex* idx :
+       {static_cast<SpatialIndex*>(rstar_.get()),
+        static_cast<SpatialIndex*>(rplus_.get()),
+        static_cast<SpatialIndex*>(pmr_.get())}) {
+    for (SegmentId id = 0; id < map.segments.size(); ++id) {
+      LSDB_RETURN_IF_ERROR(idx->Insert(id, map.segments[id]));
+    }
+    LSDB_RETURN_IF_ERROR(idx->Flush());
+    idx->Freeze();
+  }
+  return Status::OK();
+}
+
+SpatialIndex* QueryService::index(ServedIndex which) {
+  switch (which) {
+    case ServedIndex::kRStar:
+      return rstar_.get();
+    case ServedIndex::kRPlus:
+      return rplus_.get();
+    case ServedIndex::kPmr:
+      return pmr_.get();
+  }
+  return nullptr;
+}
+
+QueryResponse QueryService::ExecuteOne(SpatialIndex* idx,
+                                       const QueryRequest& q) {
+  QueryResponse r;
+  switch (q.type) {
+    case QueryType::kPoint:
+      r.status = idx->PointQueryEx(q.point, &r.hits);
+      break;
+    case QueryType::kWindow:
+      r.status = idx->WindowQueryEx(q.window, &r.hits);
+      break;
+    case QueryType::kNearest: {
+      auto n = idx->Nearest(q.point);
+      if (n.ok()) r.nearest = *n;
+      r.status = n.status();
+      break;
+    }
+    case QueryType::kIncident:
+      r.status = IncidentSegments(idx, q.point, &r.hits);
+      break;
+  }
+  return r;
+}
+
+namespace {
+/// Cache-line-padded per-worker counters so concurrent increments on
+/// neighbouring workers do not false-share.
+struct alignas(64) PaddedCounters {
+  MetricCounters c;
+};
+}  // namespace
+
+StatusOr<BatchResult> QueryService::ExecuteBatch(
+    ServedIndex which, const std::vector<QueryRequest>& batch) {
+  SpatialIndex* idx = index(which);
+  if (idx == nullptr) return Status::InvalidArgument("unknown index");
+  BatchResult out;
+  out.responses.resize(batch.size());
+  std::vector<PaddedCounters> locals(workers_->size());
+  workers_->ParallelFor(
+      batch.size(), [&](uint32_t worker, uint64_t i) {
+        ScopedCounterSink sink(&locals[worker].c);
+        out.responses[i] = ExecuteOne(idx, batch[i]);
+      });
+  out.per_worker.reserve(locals.size());
+  for (const PaddedCounters& pc : locals) {
+    out.per_worker.push_back(pc.c);
+    out.metrics += pc.c;
+  }
+  return out;
+}
+
+StatusOr<BatchResult> QueryService::ExecuteBatchSequential(
+    ServedIndex which, const std::vector<QueryRequest>& batch) {
+  SpatialIndex* idx = index(which);
+  if (idx == nullptr) return Status::InvalidArgument("unknown index");
+  BatchResult out;
+  out.responses.resize(batch.size());
+  out.per_worker.resize(1);
+  ScopedCounterSink sink(&out.per_worker[0]);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    out.responses[i] = ExecuteOne(idx, batch[i]);
+  }
+  out.metrics += out.per_worker[0];
+  return out;
+}
+
+}  // namespace lsdb

@@ -1,0 +1,98 @@
+// Concurrent read-query service over the three paper structures.
+//
+// QueryService owns a built index set — R*-tree, R+-tree, PMR quadtree —
+// over one shared disk-resident segment table, all frozen after the build,
+// plus a fixed pool of worker threads. ExecuteBatch spreads a vector of
+// heterogeneous requests (point / window / nearest / incident) across the
+// pool and returns per-request responses plus aggregated per-worker
+// metrics.
+//
+// Concurrency model: the build is single-threaded; serving is read-only.
+// Frozen indexes reject Insert/Erase, the thread-safe BufferPool serializes
+// page access, and every worker accumulates metrics into a thread-private
+// MetricCounters via ScopedCounterSink — the index-owned counters are not
+// touched while serving, and the sequential paper harness is unaffected.
+//
+// The paper-replication numbers (Table 1 / Table 2) are still produced by
+// the sequential harness in lsdb/harness; this subsystem is the
+// throughput-oriented serving layer on top of the same structures.
+
+#ifndef LSDB_SERVICE_QUERY_SERVICE_H_
+#define LSDB_SERVICE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsdb/data/polygonal_map.h"
+#include "lsdb/index/spatial_index.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/rplus/rplus_tree.h"
+#include "lsdb/rtree/rstar_tree.h"
+#include "lsdb/seg/segment_table.h"
+#include "lsdb/service/request.h"
+#include "lsdb/service/worker_pool.h"
+#include "lsdb/storage/buffer_pool.h"
+#include "lsdb/storage/page_file.h"
+
+namespace lsdb {
+
+struct ServiceOptions {
+  /// Structure parameters (page size, PMR threshold, ...). The
+  /// buffer_frames field is overridden by serving_buffer_frames below.
+  IndexOptions index;
+  /// Worker threads executing batches.
+  uint32_t num_threads = 4;
+  /// Buffer frames per structure while serving. Larger than the paper's 16
+  /// so concurrent queries rarely contend on evictions; the paper harness
+  /// keeps its own 16-frame pools and is not affected.
+  uint32_t serving_buffer_frames = 256;
+};
+
+class QueryService {
+ public:
+  /// Builds the segment table and all three structures over `map`
+  /// (single-threaded), freezes them, and spins up the worker pool.
+  static StatusOr<std::unique_ptr<QueryService>> Build(
+      const PolygonalMap& map, const ServiceOptions& options);
+
+  ~QueryService();
+
+  /// Executes `batch` on `which` across the worker pool. Response i
+  /// corresponds to request i; per-request errors are reported in
+  /// QueryResponse::status (the call itself only fails on empty service
+  /// misuse). Responses are identical to ExecuteBatchSequential.
+  StatusOr<BatchResult> ExecuteBatch(ServedIndex which,
+                                     const std::vector<QueryRequest>& batch);
+
+  /// Ground-truth execution of `batch` on the calling thread, in order.
+  StatusOr<BatchResult> ExecuteBatchSequential(
+      ServedIndex which, const std::vector<QueryRequest>& batch);
+
+  SpatialIndex* index(ServedIndex which);
+  SegmentTable* segment_table() { return segs_.get(); }
+  uint32_t num_threads() const { return workers_->size(); }
+  uint32_t segment_count() const { return segs_->size(); }
+
+ private:
+  explicit QueryService(const ServiceOptions& options);
+
+  Status BuildIndexes(const PolygonalMap& map);
+  QueryResponse ExecuteOne(SpatialIndex* idx, const QueryRequest& q);
+
+  ServiceOptions options_;
+
+  std::unique_ptr<MemPageFile> seg_file_;
+  std::unique_ptr<BufferPool> seg_pool_;
+  std::unique_ptr<SegmentTable> segs_;
+
+  std::unique_ptr<MemPageFile> rstar_file_, rplus_file_, pmr_file_;
+  std::unique_ptr<RStarTree> rstar_;
+  std::unique_ptr<RPlusTree> rplus_;
+  std::unique_ptr<PmrQuadtree> pmr_;
+
+  std::unique_ptr<WorkerPool> workers_;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_SERVICE_QUERY_SERVICE_H_

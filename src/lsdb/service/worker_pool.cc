@@ -1,0 +1,67 @@
+#include "lsdb/service/worker_pool.h"
+
+#include <algorithm>
+
+namespace lsdb {
+
+WorkerPool::WorkerPool(uint32_t threads) {
+  const uint32_t n = std::clamp(threads, 1u, kMaxThreads);
+  threads_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::ParallelFor(uint64_t count, const ItemFn& fn) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> batch_lk(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    active_ = size();
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  job_done_.wait(lk, [this] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerMain(uint32_t id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const ItemFn* fn = nullptr;
+    uint64_t count = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_ready_.wait(
+          lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      count = count_;
+    }
+    for (;;) {
+      const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*fn)(id, i);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace lsdb

@@ -1,0 +1,69 @@
+// Fixed pool of worker threads executing batched parallel-for jobs.
+//
+// The pool is created once per QueryService and reused for every batch:
+// ParallelFor publishes a job (item count + function), wakes the workers,
+// and blocks until every item has been processed. Items are claimed
+// dynamically off an atomic cursor, so uneven per-query cost (a fat window
+// query next to a cheap point query) self-balances across threads.
+
+#ifndef LSDB_SERVICE_WORKER_POOL_H_
+#define LSDB_SERVICE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsdb {
+
+class WorkerPool {
+ public:
+  /// Upper bound on pool size. Requests beyond this (including negative
+  /// values wrapped through uint32_t by careless callers) are clamped
+  /// rather than exhausting OS thread resources.
+  static constexpr uint32_t kMaxThreads = 256;
+
+  /// Spawns `threads` workers (clamped to [1, kMaxThreads]). Workers idle
+  /// on a condition variable between jobs.
+  explicit WorkerPool(uint32_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+
+  using ItemFn = std::function<void(uint32_t worker, uint64_t item)>;
+
+  /// Runs fn(worker_id, i) for every i in [0, count) across the pool and
+  /// returns when all items are done. fn must be safe to call from multiple
+  /// threads; worker_id is in [0, size()). Only one ParallelFor may be in
+  /// flight at a time (calls from multiple threads serialize).
+  void ParallelFor(uint64_t count, const ItemFn& fn);
+
+ private:
+  void WorkerMain(uint32_t id);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::mutex batch_mu_;  ///< Serializes concurrent ParallelFor callers.
+
+  // Current job; valid while active_ > 0. Guarded by mu_ (epoch/handoff)
+  // with item claiming off the lock via next_.
+  const ItemFn* fn_ = nullptr;
+  uint64_t count_ = 0;
+  std::atomic<uint64_t> next_{0};
+  uint64_t epoch_ = 0;    ///< Bumped per job so workers see new work.
+  uint32_t active_ = 0;   ///< Workers still running the current job.
+  bool shutdown_ = false;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_SERVICE_WORKER_POOL_H_

@@ -1,9 +1,17 @@
 #include "lsdb/storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 namespace lsdb {
+
+namespace {
+/// Sentinel returned by GetVictimFrame after a wait: the caller must
+/// re-check the page map (another thread may have loaded the page, or
+/// released a pin on it) before searching for a victim again.
+constexpr uint32_t kRetryFrame = 0xffffffffu;
+}  // namespace
 
 BufferPool::BufferPool(PageFile* file, uint32_t frame_count,
                        MetricCounters* metrics)
@@ -24,6 +32,8 @@ BufferPool::~BufferPool() {
 
 BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
   if (this != &o) {
+    // Unpin whatever this ref currently holds before adopting the source's
+    // pin, otherwise assigning over a valid ref leaks its pin permanently.
     Release();
     pool_ = o.pool_;
     frame_ = o.frame_;
@@ -34,6 +44,7 @@ BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
 }
 
 uint8_t* BufferPool::PageRef::data() {
+  // No lock: the frame buffer is stable while this ref's pin is held.
   assert(valid());
   return pool_->frames_[frame_].buf.data();
 }
@@ -45,6 +56,7 @@ const uint8_t* BufferPool::PageRef::data() const {
 
 void BufferPool::PageRef::MarkDirty() {
   assert(valid());
+  std::lock_guard<std::mutex> lk(pool_->mu_);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -55,95 +67,138 @@ void BufferPool::PageRef::Release() {
   }
 }
 
-StatusOr<uint32_t> BufferPool::GetVictimFrame() {
+uint32_t BufferPool::SelfPinsLocked() const {
+  auto it = pins_by_thread_.find(std::this_thread::get_id());
+  return it == pins_by_thread_.end() ? 0 : it->second;
+}
+
+void BufferPool::PinLocked(uint32_t frame) {
+  ++frames_[frame].pin_count;
+  ++total_pins_;
+  ++pins_by_thread_[std::this_thread::get_id()];
+}
+
+StatusOr<uint32_t> BufferPool::GetVictimFrame(
+    std::unique_lock<std::mutex>& lk) {
   if (!free_frames_.empty()) {
     const uint32_t f = free_frames_.back();
     free_frames_.pop_back();
     return f;
   }
-  if (lru_.empty()) {
+  if (!lru_.empty()) {
+    const uint32_t f = lru_.front();
+    lru_.pop_front();
+    Frame& fr = frames_[f];
+    fr.in_lru = false;
+    assert(fr.pin_count == 0);
+    if (fr.dirty) {
+      LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
+      if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_writes;
+      fr.dirty = false;
+    }
+    page_to_frame_.erase(fr.page);
+    fr.page = kInvalidPageId;
+    return f;
+  }
+  // Every frame is pinned. If the calling thread holds all the pins,
+  // waiting could never succeed — fail as the single-threaded pool did.
+  if (SelfPinsLocked() == total_pins_) {
     return Status::ResourceExhausted("all buffer frames pinned");
   }
-  const uint32_t f = lru_.front();
-  lru_.pop_front();
-  Frame& fr = frames_[f];
-  fr.in_lru = false;
-  assert(fr.pin_count == 0);
-  if (fr.dirty) {
-    LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
-    if (metrics_ != nullptr) ++metrics_->disk_writes;
-    fr.dirty = false;
+  // Another thread holds pins; block until one is released (bounded, so a
+  // cross-thread pin cycle degrades to an error instead of a hang).
+  const auto timed_out =
+      frame_released_.wait_for(
+          lk, std::chrono::milliseconds(kExhaustedWaitMs)) ==
+      std::cv_status::timeout;
+  if (timed_out && free_frames_.empty() && lru_.empty()) {
+    return Status::ResourceExhausted(
+        "timed out waiting for a buffer frame to be unpinned");
   }
-  page_to_frame_.erase(fr.page);
-  fr.page = kInvalidPageId;
-  return f;
-}
-
-void BufferPool::Touch(uint32_t frame) {
-  Frame& fr = frames_[frame];
-  if (fr.in_lru) {
-    lru_.erase(fr.lru_pos);
-    fr.in_lru = false;
-  }
+  return kRetryFrame;
 }
 
 void BufferPool::Unpin(uint32_t frame) {
+  std::lock_guard<std::mutex> lk(mu_);
   Frame& fr = frames_[frame];
   assert(fr.pin_count > 0);
+  --total_pins_;
+  auto it = pins_by_thread_.find(std::this_thread::get_id());
+  if (it != pins_by_thread_.end() && --it->second == 0) {
+    pins_by_thread_.erase(it);
+  }
   if (--fr.pin_count == 0) {
     fr.lru_pos = lru_.insert(lru_.end(), frame);
     fr.in_lru = true;
+    frame_released_.notify_one();
   }
 }
 
 StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
-  if (metrics_ != nullptr) ++metrics_->page_fetches;
-  auto it = page_to_frame_.find(id);
-  if (it != page_to_frame_.end()) {
-    const uint32_t f = it->second;
-    Touch(f);
-    ++frames_[f].pin_count;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
+  for (;;) {
+    auto it = page_to_frame_.find(id);
+    if (it != page_to_frame_.end()) {
+      const uint32_t f = it->second;
+      Frame& fr = frames_[f];
+      if (fr.in_lru) {
+        lru_.erase(fr.lru_pos);
+        fr.in_lru = false;
+      }
+      PinLocked(f);
+      return PageRef(this, f, id);
+    }
+    auto victim = GetVictimFrame(lk);
+    if (!victim.ok()) return victim.status();
+    if (*victim == kRetryFrame) continue;  // waited: re-check the page map
+    const uint32_t f = *victim;
+    Frame& fr = frames_[f];
+    const Status s = file_->Read(id, fr.buf.data());
+    if (!s.ok()) {
+      free_frames_.push_back(f);
+      frame_released_.notify_one();
+      return s;
+    }
+    if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_reads;
+    fr.page = id;
+    fr.dirty = false;
+    PinLocked(f);
+    page_to_frame_[id] = f;
     return PageRef(this, f, id);
   }
-  auto victim = GetVictimFrame();
-  if (!victim.ok()) return victim.status();
-  const uint32_t f = *victim;
-  Frame& fr = frames_[f];
-  const Status s = file_->Read(id, fr.buf.data());
-  if (!s.ok()) {
-    free_frames_.push_back(f);
-    return s;
-  }
-  if (metrics_ != nullptr) ++metrics_->disk_reads;
-  fr.page = id;
-  fr.pin_count = 1;
-  fr.dirty = false;
-  page_to_frame_[id] = f;
-  return PageRef(this, f, id);
 }
 
 StatusOr<BufferPool::PageRef> BufferPool::New() {
-  if (metrics_ != nullptr) ++metrics_->page_fetches;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   auto alloc = file_->Allocate();
   if (!alloc.ok()) return alloc.status();
   const PageId id = *alloc;
-  auto victim = GetVictimFrame();
-  if (!victim.ok()) return victim.status();
-  const uint32_t f = *victim;
-  Frame& fr = frames_[f];
-  std::memset(fr.buf.data(), 0, fr.buf.size());
-  fr.page = id;
-  fr.pin_count = 1;
-  fr.dirty = true;  // a new page must eventually reach the file
-  page_to_frame_[id] = f;
-  return PageRef(this, f, id);
+  for (;;) {
+    auto victim = GetVictimFrame(lk);
+    if (!victim.ok()) {
+      (void)file_->Free(id);  // undo the allocation; the page was never used
+      return victim.status();
+    }
+    if (*victim == kRetryFrame) continue;
+    const uint32_t f = *victim;
+    Frame& fr = frames_[f];
+    std::memset(fr.buf.data(), 0, fr.buf.size());
+    fr.page = id;
+    fr.dirty = true;  // a new page must eventually reach the file
+    PinLocked(f);
+    page_to_frame_[id] = f;
+    return PageRef(this, f, id);
+  }
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (Frame& fr : frames_) {
     if (fr.page != kInvalidPageId && fr.dirty) {
       LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
-      if (metrics_ != nullptr) ++metrics_->disk_writes;
+      if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_writes;
       fr.dirty = false;
     }
   }
@@ -151,6 +206,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Free(PageId id) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     Frame& fr = frames_[it->second];
@@ -165,11 +221,13 @@ Status BufferPool::Free(PageId id) {
     fr.dirty = false;
     free_frames_.push_back(it->second);
     page_to_frame_.erase(it);
+    frame_released_.notify_one();
   }
   return file_->Free(id);
 }
 
 uint32_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lk(mu_);
   uint32_t n = 0;
   for (const Frame& fr : frames_) {
     if (fr.page != kInvalidPageId && fr.pin_count > 0) ++n;

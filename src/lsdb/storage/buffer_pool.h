@@ -10,12 +10,27 @@
 // drop the ref promptly (RAII unpin). Holding at most a couple of pins at a
 // time keeps the pool functional even at the smallest configurations used
 // in the Figure 6 sweep.
+//
+// Thread safety (added for the concurrent query service): all pool state is
+// guarded by one mutex, so any number of threads may Fetch/Release
+// concurrently. Page IO happens under the mutex, which keeps the replacement
+// order — and therefore the paper's disk-access counts — exactly the
+// single-threaded LRU semantics. When every frame is pinned, a Fetch whose
+// calling thread holds *all* the pins fails immediately with
+// ResourceExhausted (waiting would self-deadlock; this preserves the
+// single-threaded behaviour), otherwise it blocks on a condition variable
+// until another thread releases a pin (bounded by kExhaustedWaitMs).
+// A PageRef must be released on the thread that fetched it; frame contents
+// are stable while pinned, so readers never need the mutex for data().
 
 #ifndef LSDB_STORAGE_BUFFER_POOL_H_
 #define LSDB_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +42,10 @@ namespace lsdb {
 
 class BufferPool {
  public:
+  /// Upper bound on how long a Fetch/New waits for another thread to
+  /// release a pin before giving up with ResourceExhausted.
+  static constexpr int kExhaustedWaitMs = 1000;
+
   /// `metrics` may be null (counters dropped). The pool does not own either
   /// pointer; both must outlive it.
   BufferPool(PageFile* file, uint32_t frame_count, MetricCounters* metrics);
@@ -92,10 +111,13 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  /// Finds a frame for a new page: free frame or LRU-evicted victim.
-  StatusOr<uint32_t> GetVictimFrame();
-  void Touch(uint32_t frame);
+  /// Finds a frame for a new page: free frame, LRU-evicted victim, or —
+  /// when all frames are pinned by *other* threads — waits for a release.
+  /// Requires `lk` held; may drop it while waiting.
+  StatusOr<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lk);
+  void PinLocked(uint32_t frame);
   void Unpin(uint32_t frame);
+  uint32_t SelfPinsLocked() const;
 
   PageFile* file_;
   MetricCounters* metrics_;
@@ -103,6 +125,13 @@ class BufferPool {
   std::unordered_map<PageId, uint32_t> page_to_frame_;
   std::list<uint32_t> lru_;  // front = least recently used, unpinned only
   std::vector<uint32_t> free_frames_;
+
+  mutable std::mutex mu_;
+  std::condition_variable frame_released_;
+  uint32_t total_pins_ = 0;
+  /// Outstanding pins per thread, for self-deadlock detection when the
+  /// pool is exhausted. Guarded by mu_.
+  std::unordered_map<std::thread::id, uint32_t> pins_by_thread_;
 };
 
 }  // namespace lsdb

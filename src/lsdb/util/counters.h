@@ -6,8 +6,12 @@
 //   * bounding box / bucket computations — entry rectangles examined in
 //     R-tree nodes, or quadtree block regions computed.
 //
-// Counters are plain (non-atomic) because all experiments are
-// single-threaded, matching the original study.
+// Counters stay plain (non-atomic): the paper harness is single-threaded,
+// matching the original study. Concurrent serving (lsdb/service) instead
+// installs a ScopedCounterSink per worker thread, which redirects every
+// increment made by that thread into a thread-private MetricCounters that
+// the service merges after the batch. With no sink installed, increments go
+// to the structure-owned counters exactly as before.
 
 #ifndef LSDB_UTIL_COUNTERS_H_
 #define LSDB_UTIL_COUNTERS_H_
@@ -34,6 +38,45 @@ struct MetricCounters {
   MetricCounters& operator+=(const MetricCounters& rhs);
 
   std::string ToString() const;
+};
+
+namespace internal {
+/// Active per-thread redirect target (null = no redirect). Owned by
+/// ScopedCounterSink; never touch directly outside counters.h.
+inline thread_local MetricCounters* tls_counter_sink = nullptr;
+}  // namespace internal
+
+/// Resolves the counter target for the calling thread: the thread's active
+/// sink if a ScopedCounterSink is installed, else `fallback` (which may be
+/// null, meaning "drop the increment").
+inline MetricCounters* CounterSink(MetricCounters* fallback) {
+  MetricCounters* t = internal::tls_counter_sink;
+  return t != nullptr ? t : fallback;
+}
+
+/// Reference flavour for structures that own their counters by value.
+inline MetricCounters& CounterSink(MetricCounters& fallback) {
+  return *CounterSink(&fallback);
+}
+
+/// RAII redirect: while alive, every metric increment performed by the
+/// constructing thread — across all indexes, buffer pools, and segment
+/// tables it touches — is accumulated into `local` instead of the
+/// structure-owned counters. Scopes nest (the innermost wins) and must be
+/// destroyed on the thread that created them.
+class ScopedCounterSink {
+ public:
+  explicit ScopedCounterSink(MetricCounters* local)
+      : prev_(internal::tls_counter_sink) {
+    internal::tls_counter_sink = local;
+  }
+  ~ScopedCounterSink() { internal::tls_counter_sink = prev_; }
+
+  ScopedCounterSink(const ScopedCounterSink&) = delete;
+  ScopedCounterSink& operator=(const ScopedCounterSink&) = delete;
+
+ private:
+  MetricCounters* prev_;
 };
 
 }  // namespace lsdb

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lsdb/data/county_generator.h"
+#include "lsdb/service/query_service.h"
+#include "lsdb/service/worker_pool.h"
+#include "lsdb/util/random.h"
+
+namespace lsdb {
+namespace {
+
+PolygonalMap SmallMap(uint64_t seed = 11) {
+  CountyProfile p;
+  p.name = "service-test";
+  p.lattice = 20;
+  p.meander_steps = 5;
+  p.seed = seed;
+  return GenerateCounty(p, /*world_log2=*/14);
+}
+
+/// Mixed batch of the four request kinds, derived from the map so point
+/// and incident queries actually hit segments.
+std::vector<QueryRequest> MixedBatch(const PolygonalMap& map, size_t n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Segment& s =
+        map.segments[rng.Uniform(static_cast<uint32_t>(map.segments.size()))];
+    switch (i % 4) {
+      case 0:
+        batch.push_back(QueryRequest::PointQ(s.a));
+        break;
+      case 1: {
+        const Coord x = static_cast<Coord>(rng.Uniform(15000));
+        const Coord y = static_cast<Coord>(rng.Uniform(15000));
+        batch.push_back(
+            QueryRequest::WindowQ(Rect::Of(x, y, x + 700, y + 700)));
+        break;
+      }
+      case 2:
+        batch.push_back(QueryRequest::NearestQ(
+            Point{static_cast<Coord>(rng.Uniform(16000)),
+                  static_cast<Coord>(rng.Uniform(16000))}));
+        break;
+      default:
+        batch.push_back(QueryRequest::IncidentQ(s.b));
+        break;
+    }
+  }
+  return batch;
+}
+
+TEST(WorkerPoolTest, RunsEveryItemExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr uint64_t kItems = 10000;
+  std::vector<std::atomic<uint32_t>> seen(kItems);
+  pool.ParallelFor(kItems, [&](uint32_t, uint64_t i) {
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1u) << "item " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ReusableAcrossJobsAndEmptyJobIsNoop) {
+  WorkerPool pool(2);
+  pool.ParallelFor(0, [](uint32_t, uint64_t) { FAIL(); });
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(100, [&](uint32_t, uint64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 5u * (99u * 100u / 2));
+}
+
+TEST(WorkerPoolTest, ZeroThreadsClampsToOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> n{0};
+  pool.ParallelFor(7, [&](uint32_t w, uint64_t) {
+    EXPECT_EQ(w, 0u);
+    ++n;
+  });
+  EXPECT_EQ(n.load(), 7);
+}
+
+TEST(WorkerPoolTest, HugeThreadCountClampsToMax) {
+  // A negative count pushed through uint32_t must not try to spawn ~4
+  // billion OS threads.
+  WorkerPool pool(static_cast<uint32_t>(-3));
+  EXPECT_EQ(pool.size(), WorkerPool::kMaxThreads);
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void Build(uint32_t threads) {
+    map_ = SmallMap();
+    ServiceOptions opt;
+    opt.num_threads = threads;
+    auto svc = QueryService::Build(map_, opt);
+    ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+    svc_ = std::move(*svc);
+  }
+
+  PolygonalMap map_;
+  std::unique_ptr<QueryService> svc_;
+};
+
+TEST_F(QueryServiceTest, IndexesAreFrozenAfterBuild) {
+  Build(2);
+  const Segment s = map_.segments[0];
+  for (ServedIndex which : kAllServedIndexes) {
+    SpatialIndex* idx = svc_->index(which);
+    ASSERT_NE(idx, nullptr);
+    EXPECT_TRUE(idx->frozen());
+    EXPECT_FALSE(idx->Insert(999999, s).ok());
+    EXPECT_FALSE(idx->Erase(0, s).ok());
+  }
+}
+
+TEST_F(QueryServiceTest, FrozenIndexStillAnswersQueries) {
+  Build(2);
+  const Segment s = map_.segments[0];
+  for (ServedIndex which : kAllServedIndexes) {
+    std::vector<SegmentHit> hits;
+    ASSERT_TRUE(svc_->index(which)->PointQueryEx(s.a, &hits).ok());
+    bool found = false;
+    for (const SegmentHit& h : hits) found |= (h.id == 0);
+    EXPECT_TRUE(found) << ServedIndexName(which);
+  }
+}
+
+TEST_F(QueryServiceTest, ThawReenablesMutation) {
+  Build(1);
+  SpatialIndex* idx = svc_->index(ServedIndex::kRStar);
+  idx->Thaw();
+  const Segment s = map_.segments[0];
+  EXPECT_TRUE(idx->Erase(0, s).ok());
+  EXPECT_TRUE(idx->Insert(0, s).ok());
+  idx->Freeze();
+}
+
+TEST_F(QueryServiceTest, BatchMatchesDirectQueries) {
+  Build(2);
+  auto batch = MixedBatch(map_, 64, 3);
+  for (ServedIndex which : kAllServedIndexes) {
+    auto par = svc_->ExecuteBatch(which, batch);
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(par->responses.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const QueryResponse& r = par->responses[i];
+      ASSERT_TRUE(r.status.ok() || batch[i].type == QueryType::kNearest)
+          << r.status.ToString();
+      if (batch[i].type == QueryType::kWindow) {
+        // Cross-check against a direct window query on the same index.
+        std::vector<SegmentHit> direct;
+        ASSERT_TRUE(
+            svc_->index(which)->WindowQueryEx(batch[i].window, &direct).ok());
+        ASSERT_EQ(direct.size(), r.hits.size());
+        for (size_t k = 0; k < direct.size(); ++k) {
+          EXPECT_EQ(direct[k].id, r.hits[k].id);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(QueryServiceTest, BatchMetricsAreMergedFromWorkers) {
+  Build(4);
+  auto batch = MixedBatch(map_, 200, 5);
+  auto res = svc_->ExecuteBatch(ServedIndex::kPmr, batch);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->per_worker.size(), 4u);
+  MetricCounters sum;
+  for (const MetricCounters& c : res->per_worker) sum += c;
+  EXPECT_EQ(sum.page_fetches, res->metrics.page_fetches);
+  EXPECT_EQ(sum.segment_comps, res->metrics.segment_comps);
+  // Queries did real work and it was attributed to the batch...
+  EXPECT_GT(res->metrics.page_fetches, 0u);
+  EXPECT_GT(res->metrics.segment_comps, 0u);
+}
+
+TEST_F(QueryServiceTest, ServingDoesNotPerturbIndexCounters) {
+  Build(2);
+  for (ServedIndex which : kAllServedIndexes) {
+    const MetricCounters before = svc_->index(which)->metrics();
+    auto res = svc_->ExecuteBatch(which, MixedBatch(map_, 50, 7));
+    ASSERT_TRUE(res.ok());
+    const MetricCounters after = svc_->index(which)->metrics();
+    EXPECT_EQ((after - before).page_fetches, 0u) << ServedIndexName(which);
+    EXPECT_EQ((after - before).segment_comps, 0u);
+    EXPECT_EQ((after - before).bbox_comps, 0u);
+    EXPECT_EQ((after - before).bucket_comps, 0u);
+  }
+}
+
+// The tentpole stress test: 4 threads x 10k mixed queries per structure,
+// checked element-for-element against sequential ground truth. Run under
+// ThreadSanitizer by scripts/ci.sh.
+TEST_F(QueryServiceTest, StressParallelMatchesSequentialGroundTruth) {
+  Build(4);
+  auto batch = MixedBatch(map_, 10000, 42);
+  for (ServedIndex which : kAllServedIndexes) {
+    auto seq = svc_->ExecuteBatchSequential(which, batch);
+    ASSERT_TRUE(seq.ok());
+    auto par = svc_->ExecuteBatch(which, batch);
+    ASSERT_TRUE(par.ok());
+    EXPECT_TRUE(SameResponses(*par, *seq)) << ServedIndexName(which);
+    // Same total logical work regardless of interleaving: segment and
+    // bounding-box comparisons are storage-state independent.
+    EXPECT_EQ(par->metrics.segment_comps, seq->metrics.segment_comps);
+    EXPECT_EQ(par->metrics.bbox_comps, seq->metrics.bbox_comps);
+    EXPECT_EQ(par->metrics.bucket_comps, seq->metrics.bucket_comps);
+  }
+}
+
+// Concurrent batches on *different* structures share the segment table's
+// buffer pool; run them from two extra threads to cross-contend.
+TEST_F(QueryServiceTest, ConcurrentCallersOnSharedSegmentTable) {
+  Build(2);
+  auto batch = MixedBatch(map_, 2000, 9);
+  auto seq_rstar = svc_->ExecuteBatchSequential(ServedIndex::kRStar, batch);
+  auto seq_pmr = svc_->ExecuteBatchSequential(ServedIndex::kPmr, batch);
+  ASSERT_TRUE(seq_rstar.ok() && seq_pmr.ok());
+
+  StatusOr<BatchResult> r1 = Status::Internal("unset");
+  std::thread t([&] {
+    // Direct sequential execution from a second thread, racing the pool.
+    r1 = svc_->ExecuteBatchSequential(ServedIndex::kRStar, batch);
+  });
+  auto r2 = svc_->ExecuteBatch(ServedIndex::kPmr, batch);
+  t.join();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(SameResponses(*r1, *seq_rstar));
+  EXPECT_TRUE(SameResponses(*r2, *seq_pmr));
+}
+
+}  // namespace
+}  // namespace lsdb

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "lsdb/storage/buffer_pool.h"
 #include "lsdb/storage/page_file.h"
@@ -76,6 +78,9 @@ TEST(PosixPageFileTest, RoundTrip) {
 class BufferPoolTest : public ::testing::Test {
  protected:
   BufferPoolTest() : file_(128), pool_(&file_, 4, &metrics_) {}
+
+  // Invariant: every test releases all the pins it took.
+  void TearDown() override { EXPECT_EQ(pool_.pinned_frames(), 0u); }
 
   PageId NewPage(uint8_t fill) {
     auto ref = pool_.New();
@@ -180,6 +185,64 @@ TEST_F(BufferPoolTest, MoveSemanticsOfPageRef) {
   moved.Release();
   EXPECT_FALSE(moved.valid());
   EXPECT_EQ(pool_.pinned_frames(), 0u);
+}
+
+TEST_F(BufferPoolTest, MoveAssignOverValidRefReleasesOldPin) {
+  auto a = pool_.New();
+  auto b = pool_.New();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(pool_.pinned_frames(), 2u);
+  // Assigning over a valid ref must unpin what it held, or the pin (and
+  // its frame) leaks permanently.
+  *b = std::move(*a);
+  EXPECT_EQ(pool_.pinned_frames(), 1u);
+  b->Release();
+  EXPECT_EQ(pool_.pinned_frames(), 0u);
+}
+
+TEST_F(BufferPoolTest, FetchWithAllFramesSelfPinnedIsResourceExhausted) {
+  // Five pages in the file, created without holding pins...
+  std::vector<PageId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(NewPage(static_cast<uint8_t>(i)));
+  // ...then pin four of them, exhausting the 4-frame pool.
+  std::vector<BufferPool::PageRef> refs;
+  for (int i = 0; i < 4; ++i) {
+    auto r = pool_.Fetch(ids[i]);
+    ASSERT_TRUE(r.ok());
+    refs.push_back(std::move(*r));
+  }
+  // The calling thread holds every pin, so waiting could never succeed:
+  // the pool must fail fast instead of deadlocking.
+  auto fifth = pool_.Fetch(ids[4]);
+  EXPECT_FALSE(fifth.ok());
+  EXPECT_EQ(fifth.status().code(), StatusCode::kResourceExhausted);
+  // A hit on an already-pinned page still works while exhausted.
+  auto again = pool_.Fetch(ids[0]);
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(BufferPoolTest, FetchWaitsForAnotherThreadToReleaseAPin) {
+  std::vector<PageId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(NewPage(static_cast<uint8_t>(i)));
+  std::vector<BufferPool::PageRef> refs;
+  for (int i = 0; i < 4; ++i) {
+    auto r = pool_.Fetch(ids[i]);
+    ASSERT_TRUE(r.ok());
+    refs.push_back(std::move(*r));
+  }
+  // Another thread's Fetch blocks until this thread releases a pin.
+  Status fetched = Status::Internal("unset");
+  uint8_t byte = 0xFF;
+  std::thread t([&] {
+    auto r = pool_.Fetch(ids[4]);
+    fetched = r.status();
+    if (r.ok()) byte = r->data()[0];
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  refs[0].Release();
+  t.join();
+  ASSERT_TRUE(fetched.ok()) << fetched.ToString();
+  EXPECT_EQ(byte, 4);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// Exercises the observability layer end to end and seeds the repo's
+// serving-performance trajectory: runs a mixed query batch through the
+// concurrent QueryService per structure, reads qps + latency percentiles
+// from the per-service histograms and buffer-pool hit ratios from the
+// stats registry, and writes everything as machine-readable JSON.
+//
+//   $ bench_service_observability [county] [batch] [out.json] [threads]
+//
+// Output (default BENCH_service.json) schema, one object:
+//   {
+//     "bench": "service_observability", "county": ..., "segments": N,
+//     "threads": T, "batch": B, "trace_lines": L,
+//     "structures": [
+//       {"index": "R*", "queries": N, "qps": ..., "p50_ns": ...,
+//        "p90_ns": ..., "p99_ns": ..., "max_ns": ..., "hit_ratio": ...},
+//       ...],
+//     "segment_pool_hit_ratio": ...
+//   }
+// scripts/ci.sh validates this shape after every build.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsdb/service/query_service.h"
+#include "lsdb/storage/buffer_pool.h"
+#include "lsdb/util/random.h"
+
+using namespace lsdb;         // NOLINT
+using namespace lsdb::bench;  // NOLINT
+
+namespace {
+
+std::vector<QueryRequest> MixedBatch(const PolygonalMap& map, size_t n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Segment& s = map.segments[rng.Uniform(map.segments.size())];
+    switch (i % 4) {
+      case 0:
+        batch.push_back(QueryRequest::PointQ(s.a));
+        break;
+      case 1: {
+        const Coord x = static_cast<Coord>(rng.Uniform(15500));
+        const Coord y = static_cast<Coord>(rng.Uniform(15500));
+        batch.push_back(
+            QueryRequest::WindowQ(Rect::Of(x, y, x + 512, y + 512)));
+        break;
+      }
+      case 2:
+        batch.push_back(QueryRequest::NearestQ(
+            Point{static_cast<Coord>(rng.Uniform(16384)),
+                  static_cast<Coord>(rng.Uniform(16384))}));
+        break;
+      default:
+        batch.push_back(QueryRequest::IncidentQ(s.b));
+        break;
+    }
+  }
+  return batch;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const size_t kBatch = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 8000;
+  const std::string out_path = argc > 3 ? argv[3] : "BENCH_service.json";
+  const uint32_t threads = argc > 4 ? static_cast<uint32_t>(atoi(argv[4])) : 4;
+
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+
+  ServiceOptions opt;
+  opt.num_threads = threads;
+  // Exercise the tracer too: spans + sampled pool events to a sidecar
+  // JSONL next to the JSON report.
+  opt.trace_path = out_path + ".trace.jsonl";
+  opt.trace_pool_sample_every = 1000;
+  auto svc = QueryService::Build(map, opt);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 svc.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<QueryRequest> batch = MixedBatch(map, kBatch, 2024);
+  std::printf("service observability bench: %s county (%zu segments), "
+              "%zu-query batch, %u workers\n\n",
+              county.c_str(), map.segments.size(), batch.size(), threads);
+  std::printf("%-6s %12s %10s %10s %10s %10s %9s\n", "index", "queries/s",
+              "p50 us", "p90 us", "p99 us", "max us", "hit ratio");
+  PrintRule(74);
+
+  std::string structures_json;
+  for (ServedIndex which : kAllServedIndexes) {
+    // Warm the pools so percentiles reflect steady state, then reset
+    // nothing — histograms accumulate warm + timed runs; qps uses the
+    // timed run only.
+    auto warm = (*svc)->ExecuteBatch(which, batch);
+    if (!warm.ok()) return 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = (*svc)->ExecuteBatch(which, batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!res.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double qps = static_cast<double>(batch.size()) / secs;
+
+    // Merge the per-kind histograms into one per-structure view.
+    LatencyHistogram::Snapshot all;
+    for (QueryType type : kAllQueryTypes) {
+      const LatencyHistogram::Snapshot s =
+          (*svc)->latency_histogram(which, type).Merge();
+      all.count += s.count;
+      all.sum += s.sum;
+      all.max = std::max(all.max, s.max);
+      for (uint32_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        all.buckets[b] += s.buckets[b];
+      }
+    }
+    const double hit_ratio = (*svc)->index(which)->pool()->hit_ratio();
+    std::printf("%-6s %12.0f %10.1f %10.1f %10.1f %10.1f %9.3f\n",
+                ServedIndexName(which), qps,
+                static_cast<double>(all.p50()) / 1e3,
+                static_cast<double>(all.p90()) / 1e3,
+                static_cast<double>(all.p99()) / 1e3,
+                static_cast<double>(all.max) / 1e3, hit_ratio);
+
+    if (!structures_json.empty()) structures_json += ",";
+    structures_json += "{\"index\":\"";
+    structures_json += ServedIndexName(which);
+    structures_json += "\",\"queries\":" + std::to_string(all.count);
+    structures_json += ",\"qps\":" + FormatDouble(qps);
+    structures_json += ",\"p50_ns\":" + std::to_string(all.p50());
+    structures_json += ",\"p90_ns\":" + std::to_string(all.p90());
+    structures_json += ",\"p99_ns\":" + std::to_string(all.p99());
+    structures_json += ",\"max_ns\":" + std::to_string(all.max);
+    structures_json += ",\"hit_ratio\":" + FormatDouble(hit_ratio);
+    structures_json += "}";
+  }
+  PrintRule(74);
+
+  const double seg_ratio = (*svc)->segment_table()->pool()->hit_ratio();
+  (*svc)->tracer().Close();
+  const uint64_t trace_lines = (*svc)->tracer().lines_emitted();
+
+  std::string json = "{\"bench\":\"service_observability\"";
+  json += ",\"county\":\"" + county + "\"";
+  json += ",\"segments\":" + std::to_string(map.segments.size());
+  json += ",\"threads\":" + std::to_string(threads);
+  json += ",\"batch\":" + std::to_string(batch.size());
+  json += ",\"trace_lines\":" + std::to_string(trace_lines);
+  json += ",\"structures\":[" + structures_json + "]";
+  json += ",\"segment_pool_hit_ratio\":" + FormatDouble(seg_ratio);
+  json += "}\n";
+
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("\nsegment-table pool hit ratio: %.3f\n", seg_ratio);
+  std::printf("trace lines emitted: %llu (%s)\n",
+              static_cast<unsigned long long>(trace_lines),
+              opt.trace_path.c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

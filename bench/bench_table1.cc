@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "lsdb/harness/experiment.h"
+#include "lsdb/storage/buffer_pool.h"
 
 using namespace lsdb;        // NOLINT
 using namespace lsdb::bench; // NOLINT
@@ -33,6 +34,8 @@ int main() {
     double cpu[3];
     double occ[3];
     uint32_t height[3];
+    double hit_ratio[3];
+    uint64_t evictions[3];
   };
   std::vector<Row> rows;
 
@@ -61,6 +64,9 @@ int main() {
       row.cpu[i] = bs.cpu_seconds;
       row.occ[i] = bs.avg_occupancy;
       row.height[i] = bs.height;
+      const BufferPool* pool = exp.index(bs.kind)->pool();
+      row.hit_ratio[i] = pool->hit_ratio();
+      row.evictions[i] = pool->evictions();
     }
     rows.push_back(row);
     std::printf(
@@ -98,6 +104,17 @@ int main() {
     std::printf("  %-13s R* %.1f  R+ %.1f  PMR %.2f   heights: %u/%u/%u\n",
                 r.name.c_str(), r.occ[0], r.occ[1], r.occ[2], r.height[0],
                 r.height[1], r.height[2]);
+  }
+  std::printf("\nBuffer pool behaviour during the build (16-frame LRU; "
+              "hit ratio = hits / fetches, evictions in pages):\n");
+  for (const Row& r : rows) {
+    std::printf("  %-13s hit ratio R* %.3f  R+ %.3f  PMR %.3f   "
+                "evictions: %llu/%llu/%llu\n",
+                r.name.c_str(), r.hit_ratio[0], r.hit_ratio[1],
+                r.hit_ratio[2],
+                static_cast<unsigned long long>(r.evictions[0]),
+                static_cast<unsigned long long>(r.evictions[1]),
+                static_cast<unsigned long long>(r.evictions[2]));
   }
   return 0;
 }

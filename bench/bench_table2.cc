@@ -15,6 +15,7 @@
 
 #include "bench_util.h"
 #include "lsdb/harness/experiment.h"
+#include "lsdb/storage/buffer_pool.h"
 
 using namespace lsdb;        // NOLINT
 using namespace lsdb::bench; // NOLINT
@@ -72,5 +73,17 @@ int main(int argc, char** argv) {
                 rs.avg_result_size);
     PrintRule(75);
   }
+
+  // Cache behaviour over the whole run (build + all workloads): the
+  // paper's disk-access averages above are per query; these lifetime hit
+  // ratios show how much the 16-frame LRU pool absorbed.
+  std::printf("%-17s %-22s %10.3f %10.3f %10.3f\n", "buffer pool",
+              "hit ratio (lifetime)",
+              exp.index(StructureKind::kPmr)->pool()->hit_ratio(),
+              exp.index(StructureKind::kRPlus)->pool()->hit_ratio(),
+              exp.index(StructureKind::kRStar)->pool()->hit_ratio());
+  std::printf("%-17s %-22s %10.3f (shared across structures)\n", "",
+              "segment table",
+              exp.segment_table()->pool()->hit_ratio());
   return 0;
 }

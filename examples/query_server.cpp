@@ -1,13 +1,19 @@
 // Query server demo: serve batches of mixed spatial queries from a worker
 // pool over frozen copies of all three paper structures.
 //
-//   $ ./examples/query_server [county] [threads]
+//   $ ./examples/query_server [county] [threads] [trace.jsonl]
 //
 // This is the serving-side counterpart to the sequential paper harness:
 // the same R*-tree, R+-tree, and PMR quadtree, but built once, frozen
 // read-only, and queried from N threads at once. The per-worker metric
 // counters show how the paper's three cost measures distribute across the
 // pool.
+//
+// After serving, the process dumps its stats registry in Prometheus text
+// format — per-structure query counts, latency percentiles, and buffer
+// pool hit ratios — exactly what a /metrics scrape endpoint would return.
+// Pass a third argument to also write one JSONL trace span per query
+// (plus sampled buffer-pool events) to that path.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +27,7 @@ using namespace lsdb;  // NOLINT
 int main(int argc, char** argv) {
   const std::string county = argc > 1 ? argv[1] : "Charles";
   const uint32_t threads = argc > 2 ? atoi(argv[2]) : 4;
+  const std::string trace_path = argc > 3 ? argv[3] : "";
 
   // 1. Data: a synthetic TIGER-like county map.
   PolygonalMap map;
@@ -37,6 +44,7 @@ int main(int argc, char** argv) {
   // 2. Build the service: segment table + three frozen indexes + pool.
   ServiceOptions opt;
   opt.num_threads = threads;
+  opt.trace_path = trace_path;  // empty = tracing disabled (near-zero cost)
   auto svc = QueryService::Build(map, opt);
   if (!svc.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
@@ -93,6 +101,17 @@ int main(int argc, char** argv) {
       std::printf("     worker %zu     %s\n", w,
                   res->per_worker[w].ToString().c_str());
     }
+  }
+
+  // 5. Stats snapshot, as a Prometheus scrape endpoint would serve it.
+  std::printf("\n--- /metrics (Prometheus text format) ---\n%s",
+              (*svc)->stats().RenderPrometheus().c_str());
+  if (!trace_path.empty()) {
+    (*svc)->tracer().Close();
+    std::printf("--- trace: %llu JSONL lines written to %s ---\n",
+                static_cast<unsigned long long>(
+                    (*svc)->tracer().lines_emitted()),
+                trace_path.c_str());
   }
   return 0;
 }

@@ -3,8 +3,11 @@
 #
 # Tier 1: configure, build, and run the full test suite.
 # Tier 2: rebuild with ThreadSanitizer (-DLSDB_SAN=thread) and re-run the
-#         concurrency-sensitive tests — the query service, worker pool, and
-#         buffer pool — which must report zero races.
+#         concurrency-sensitive tests — the query service, worker pool,
+#         buffer pool, and the observability layer (sharded histograms,
+#         tracer, registry) — which must report zero races.
+# Tier 3: smoke-run the service observability bench and validate its
+#         machine-readable BENCH_service.json against the minimal schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +20,27 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 cmake -B build-tsan -S . -DLSDB_SAN=thread
 cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
-  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*'
+  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*'
+
+./build/bench/bench_service_observability Charles 2000 build/BENCH_service.json 4
+python3 - <<'EOF'
+import json
+doc = json.load(open("build/BENCH_service.json"))
+for key in ("bench", "county", "segments", "threads", "batch",
+            "trace_lines", "structures", "segment_pool_hit_ratio"):
+    assert key in doc, f"BENCH_service.json missing key: {key}"
+assert doc["bench"] == "service_observability"
+assert len(doc["structures"]) == 3, "expected R*, R+, PMR entries"
+for s in doc["structures"]:
+    for key in ("index", "queries", "qps", "p50_ns", "p90_ns", "p99_ns",
+                "max_ns", "hit_ratio"):
+        assert key in s, f"structure entry missing key: {key}"
+    assert s["queries"] > 0 and s["qps"] > 0
+    assert s["p50_ns"] <= s["p90_ns"] <= s["p99_ns"] <= s["max_ns"]
+    assert 0.0 <= s["hit_ratio"] <= 1.0
+for line in open("build/BENCH_service.json.trace.jsonl"):
+    json.loads(line)
+print("BENCH_service.json schema ok")
+EOF
 
 echo "ci: all checks passed"

@@ -45,6 +45,7 @@ class UniformGrid : public SpatialIndex {
     return static_cast<uint64_t>(live_pages_) * options_.page_size;
   }
   const MetricCounters& metrics() const override { return metrics_; }
+  const BufferPool* pool() const override { return &pool_; }
 
   uint64_t size() const { return size_; }
   uint32_t cells_per_axis() const { return cells_; }

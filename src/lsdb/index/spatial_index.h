@@ -21,6 +21,8 @@
 
 namespace lsdb {
 
+class BufferPool;
+
 /// Construction parameters shared by all structures (paper Section 4).
 struct IndexOptions {
   uint32_t page_size = 1024;     ///< Bytes per node page (paper: 1K).
@@ -98,6 +100,10 @@ class SpatialIndex {
   /// Metric counters for this structure (includes its buffer pool's disk
   /// activity and its segment-comparison / bbox / bucket counts).
   virtual const MetricCounters& metrics() const = 0;
+
+  /// The structure's own buffer pool, for cache-behaviour reporting
+  /// (hit/miss ratios); null if the structure has none.
+  virtual const BufferPool* pool() const { return nullptr; }
 
   /// Validates internal invariants (tests only).
   virtual Status CheckInvariants() { return Status::OK(); }

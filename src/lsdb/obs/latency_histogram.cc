@@ -1,0 +1,76 @@
+#include "lsdb/obs/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace lsdb {
+
+uint32_t LatencyHistogram::BucketIndex(uint64_t v) {
+  return std::min(static_cast<uint32_t>(std::bit_width(v)), kBuckets - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(uint32_t b) {
+  if (b == 0) return 0;
+  if (b >= kBuckets - 1) return ~uint64_t{0};  // overflow bucket
+  return (uint64_t{1} << b) - 1;
+}
+
+LatencyHistogram::LatencyHistogram(uint32_t shards)
+    : shards_(std::max(shards, 1u)) {}
+
+void LatencyHistogram::Record(uint32_t shard, uint64_t value) {
+  Shard& s = shards_[shard % shards_.size()];
+  // Single-writer shard: plain load + store (relaxed) is race-free against
+  // the only writer (this thread); concurrent Merge() readers tolerate
+  // slightly stale values.
+  const uint32_t b = BucketIndex(value);
+  s.buckets[b].store(s.buckets[b].load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+  s.sum.store(s.sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+  if (value > s.max.load(std::memory_order_relaxed)) {
+    s.max.store(value, std::memory_order_relaxed);
+  }
+  // count last, so a racing reader never sees count ahead of the buckets.
+  s.count.store(s.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Merge() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  uint32_t top = 0;  // highest occupied bucket
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] != 0) top = b;
+  }
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // The top bucket's upper bound can wildly overstate the tail; we
+      // know the exact max, which every sample in that bucket is <= to.
+      return b == top ? std::min(max, BucketUpperBound(b))
+                      : BucketUpperBound(b);
+    }
+  }
+  return max;
+}
+
+}  // namespace lsdb

@@ -1,0 +1,91 @@
+// Log-bucketed latency histogram with lock-free per-worker shards.
+//
+// Buckets are powers of two: bucket 0 holds the value 0 and bucket b >= 1
+// holds values in [2^(b-1), 2^b - 1], i.e. bucket index = bit_width(v); the
+// top bucket (63) additionally absorbs everything >= 2^62, so the histogram
+// covers the full uint64_t range and nanosecond latencies from single-digit
+// ns to hours all land somewhere.
+//
+// Concurrency model: the histogram is sharded. Each shard is written by
+// exactly one thread (the query-service worker with the same id), using
+// relaxed atomic stores — no CAS, no locks, no contention on the hot
+// Record() path. Readers Merge() all shards with relaxed loads at any
+// time; a merge that races a writer may be off by the in-flight sample,
+// which is fine for monitoring. A merge performed after the writers have
+// been joined (e.g. after WorkerPool::ParallelFor returns) is exact.
+
+#ifndef LSDB_OBS_LATENCY_HISTOGRAM_H_
+#define LSDB_OBS_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lsdb {
+
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kBuckets = 64;
+
+  /// Bucket index for a value: 0 for 0, else bit_width(v) so that bucket b
+  /// covers [2^(b-1), 2^b - 1], clamped to the overflow bucket kBuckets-1.
+  static uint32_t BucketIndex(uint64_t v);
+  /// Inclusive upper bound of bucket `b` (the value reported for samples
+  /// that landed in it): 0 for bucket 0, 2^b - 1 in between, and uint64 max
+  /// for the overflow bucket.
+  static uint64_t BucketUpperBound(uint32_t b);
+
+  /// Point-in-time merged view of all shards.
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;  ///< Exact sum of recorded values.
+    uint64_t max = 0;  ///< Exact maximum recorded value.
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /// Value at quantile `q` in [0, 1]: the upper bound of the bucket
+    /// containing the ceil(q * count)-th smallest sample (0 if empty).
+    /// The exact max is returned for the top-most occupied bucket, so
+    /// Quantile(1.0) == max.
+    uint64_t Quantile(double q) const;
+    uint64_t p50() const { return Quantile(0.50); }
+    uint64_t p90() const { return Quantile(0.90); }
+    uint64_t p99() const { return Quantile(0.99); }
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  /// A histogram with `shards` single-writer shards (clamped to >= 1).
+  explicit LatencyHistogram(uint32_t shards);
+
+  /// Records `value` into `shard`. The caller must guarantee that at most
+  /// one thread records into a given shard at a time (the query service
+  /// maps worker id -> shard id). Wait-free: two relaxed atomic
+  /// read-modify-writes on thread-private cache lines.
+  void Record(uint32_t shard, uint64_t value);
+
+  /// Merges all shards into one snapshot (relaxed loads; see file header
+  /// for the consistency contract).
+  Snapshot Merge() const;
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+ private:
+  /// One writer thread per shard; padded out to its own cache lines so
+  /// neighbouring workers never false-share.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_OBS_LATENCY_HISTOGRAM_H_

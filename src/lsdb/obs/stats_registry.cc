@@ -1,0 +1,152 @@
+#include "lsdb/obs/stats_registry.h"
+
+#include <cstdio>
+
+#include "lsdb/obs/tracer.h"
+
+namespace lsdb {
+
+namespace {
+
+/// Shortest round-trippable-ish text for a double; "%.6g" keeps renders
+/// deterministic across platforms for the values we emit (ratios, counts).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Sample name without its label set: everything before the first '{'.
+std::string BaseName(const std::string& sample_name) {
+  const size_t brace = sample_name.find('{');
+  return brace == std::string::npos ? sample_name
+                                    : sample_name.substr(0, brace);
+}
+
+/// `name{labels}` with the braces omitted for empty label sets.
+std::string Sample(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+/// `name{labels,extra}`, handling the empty-labels case.
+std::string SampleWith(const std::string& name, const std::string& labels,
+                       const std::string& extra) {
+  return labels.empty() ? name + "{" + extra + "}"
+                        : name + "{" + labels + "," + extra + "}";
+}
+
+std::string Escaped(const std::string& s) {
+  std::string out;
+  Tracer::JsonEscape(s.c_str(), &out);
+  return out;
+}
+
+}  // namespace
+
+StatsRegistry::Counter* StatsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+StatsRegistry::Gauge* StatsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+void StatsRegistry::RegisterHistogram(const std::string& name,
+                                      const std::string& labels,
+                                      const LatencyHistogram* h) {
+  std::lock_guard<std::mutex> lk(mu_);
+  histograms_[Sample(name, labels)] = HistogramView{labels, h};
+}
+
+std::string StatsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, counter] : counters_) {
+    const std::string base = BaseName(name);
+    if (base != last_base) {
+      out += "# TYPE " + base + " counter\n";
+      last_base = base;
+    }
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string base = BaseName(name);
+    if (base != last_base) {
+      out += "# TYPE " + base + " gauge\n";
+      last_base = base;
+    }
+    out += name + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [key, view] : histograms_) {
+    const std::string base = BaseName(key);
+    if (base != last_base) {
+      out += "# TYPE " + base + " summary\n";
+      last_base = base;
+    }
+    const LatencyHistogram::Snapshot s = view.histogram->Merge();
+    const struct {
+      const char* q;
+      uint64_t v;
+    } quantiles[] = {
+        {"0.5", s.p50()}, {"0.9", s.p90()}, {"0.99", s.p99()}};
+    for (const auto& q : quantiles) {
+      out += SampleWith(base, view.labels,
+                        std::string("quantile=\"") + q.q + "\"") +
+             " " + std::to_string(q.v) + "\n";
+    }
+    out += Sample(base + "_count", view.labels) + " " +
+           std::to_string(s.count) + "\n";
+    out += Sample(base + "_sum", view.labels) + " " + std::to_string(s.sum) +
+           "\n";
+    out += Sample(base + "_max", view.labels) + " " + std::to_string(s.max) +
+           "\n";
+  }
+  return out;
+}
+
+std::string StatsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + Escaped(name) + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + Escaped(name) + "\":" + FormatDouble(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, view] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const LatencyHistogram::Snapshot s = view.histogram->Merge();
+    out += "\"" + Escaped(key) + "\":{";
+    out += "\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + std::to_string(s.sum);
+    out += ",\"max\":" + std::to_string(s.max);
+    out += ",\"p50\":" + std::to_string(s.p50());
+    out += ",\"p90\":" + std::to_string(s.p90());
+    out += ",\"p99\":" + std::to_string(s.p99());
+    out += ",\"mean\":" + FormatDouble(s.mean());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace lsdb

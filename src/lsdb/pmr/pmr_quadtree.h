@@ -68,6 +68,7 @@ class PmrQuadtree : public SpatialIndex {
   Status Flush() override;
   uint64_t bytes() const override { return btree_.bytes(); }
   const MetricCounters& metrics() const override { return metrics_; }
+  const BufferPool* pool() const override { return &pool_; }
   Status CheckInvariants() override;
 
   /// Alternative window query: plain top-down traversal of the conceptual

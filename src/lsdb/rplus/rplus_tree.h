@@ -66,6 +66,7 @@ class RPlusTree : public SpatialIndex {
     return static_cast<uint64_t>(io_.live_pages()) * options_.page_size;
   }
   const MetricCounters& metrics() const override { return metrics_; }
+  const BufferPool* pool() const override { return &pool_; }
   Status CheckInvariants() override;
 
   /// Number of distinct segments stored.

@@ -50,6 +50,7 @@ class RStarTree : public SpatialIndex {
     return static_cast<uint64_t>(io_.live_pages()) * options_.page_size;
   }
   const MetricCounters& metrics() const override { return metrics_; }
+  const BufferPool* pool() const override { return &pool_; }
   Status CheckInvariants() override;
 
   uint64_t size() const { return size_; }

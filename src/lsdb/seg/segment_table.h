@@ -55,6 +55,10 @@ class SegmentTable {
 
   uint32_t records_per_page() const { return per_page_; }
 
+  /// The table's buffer pool (caller-owned), for cache-behaviour reports.
+  const BufferPool* pool() const { return pool_; }
+  BufferPool* pool() { return pool_; }
+
  private:
   BufferPool* pool_;
   MetricCounters* metrics_;

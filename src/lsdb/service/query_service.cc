@@ -1,5 +1,7 @@
 #include "lsdb/service/query_service.h"
 
+#include <chrono>
+
 #include "lsdb/query/incident.h"
 
 namespace lsdb {
@@ -12,6 +14,20 @@ const char* ServedIndexName(ServedIndex s) {
       return "R+";
     case ServedIndex::kPmr:
       return "PMR";
+  }
+  return "?";
+}
+
+const char* QueryTypeName(QueryType t) {
+  switch (t) {
+    case QueryType::kPoint:
+      return "point";
+    case QueryType::kWindow:
+      return "window";
+    case QueryType::kNearest:
+      return "nearest";
+    case QueryType::kIncident:
+      return "incident";
   }
   return "?";
 }
@@ -47,7 +63,76 @@ StatusOr<std::unique_ptr<QueryService>> QueryService::Build(
   std::unique_ptr<QueryService> svc(new QueryService(options));
   LSDB_RETURN_IF_ERROR(svc->BuildIndexes(map));
   svc->workers_ = std::make_unique<WorkerPool>(options.num_threads);
+  LSDB_RETURN_IF_ERROR(svc->SetUpObservability());
   return svc;
+}
+
+Status QueryService::SetUpObservability() {
+  // Histograms are created after the worker pool so shard count == worker
+  // count (one single-writer shard per worker).
+  for (ServedIndex which : kAllServedIndexes) {
+    for (QueryType type : kAllQueryTypes) {
+      auto& slot = histograms_[static_cast<size_t>(which)]
+                              [static_cast<size_t>(type)];
+      slot = std::make_unique<LatencyHistogram>(workers_->size());
+      stats_.RegisterHistogram(
+          "lsdb_query_latency_ns",
+          std::string("index=\"") + ServedIndexName(which) + "\",kind=\"" +
+              QueryTypeName(type) + "\"",
+          slot.get());
+    }
+  }
+  if (!options_.trace_path.empty()) {
+    TracerOptions topt;
+    topt.pool_event_sample_every = options_.trace_pool_sample_every;
+    LSDB_RETURN_IF_ERROR(tracer_.OpenFile(options_.trace_path, topt));
+  }
+  // Pool events flow to the service tracer (no-ops while it is disabled).
+  seg_pool_->SetTracer(&tracer_, "segments");
+  // The index-owned pools are private to each structure; their cache
+  // behaviour reaches the registry via RefreshGauges() instead.
+  return Status::OK();
+}
+
+StatsRegistry& QueryService::stats() {
+  RefreshGauges();
+  return stats_;
+}
+
+const LatencyHistogram& QueryService::latency_histogram(
+    ServedIndex which, QueryType type) const {
+  return *histograms_[static_cast<size_t>(which)][static_cast<size_t>(type)];
+}
+
+void QueryService::RefreshGauges() {
+  const struct {
+    const char* name;
+    const BufferPool* pool;
+  } pools[] = {
+      {"segments", seg_pool_.get()},
+      {"R*", rstar_->pool()},
+      {"R+", rplus_->pool()},
+      {"PMR", pmr_->pool()},
+  };
+  for (const auto& p : pools) {
+    const std::string labels = std::string("{pool=\"") + p.name + "\"}";
+    stats_.GetGauge("lsdb_bufferpool_hit_ratio" + labels)
+        ->Set(p.pool->hit_ratio());
+    stats_.GetGauge("lsdb_bufferpool_hits" + labels)
+        ->Set(static_cast<double>(p.pool->hits()));
+    stats_.GetGauge("lsdb_bufferpool_misses" + labels)
+        ->Set(static_cast<double>(p.pool->misses()));
+    stats_.GetGauge("lsdb_bufferpool_evictions" + labels)
+        ->Set(static_cast<double>(p.pool->evictions()));
+    stats_.GetGauge("lsdb_bufferpool_pin_waits" + labels)
+        ->Set(static_cast<double>(p.pool->pin_waits()));
+  }
+  for (uint32_t w = 0; w < workers_->size(); ++w) {
+    stats_
+        .GetGauge("lsdb_worker_items_processed{worker=\"" +
+                  std::to_string(w) + "\"}")
+        ->Set(static_cast<double>(workers_->items_processed(w)));
+  }
 }
 
 Status QueryService::BuildIndexes(const PolygonalMap& map) {
@@ -139,16 +224,65 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
   BatchResult out;
   out.responses.resize(batch.size());
   std::vector<PaddedCounters> locals(workers_->size());
+  const uint64_t id_base = next_query_id_.fetch_add(
+      batch.size(), std::memory_order_relaxed);
   workers_->ParallelFor(
       batch.size(), [&](uint32_t worker, uint64_t i) {
         ScopedCounterSink sink(&locals[worker].c);
+        // Snapshot the worker-private counters around the query so its
+        // exact metric deltas can be attributed to the span.
+        const MetricCounters before = locals[worker].c;
+        const auto t0 = std::chrono::steady_clock::now();
         out.responses[i] = ExecuteOne(idx, batch[i]);
+        const auto t1 = std::chrono::steady_clock::now();
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        out.responses[i].latency_ns = ns;
+        histogram(which, batch[i].type)->Record(worker, ns);
+        if (tracer_.enabled()) {
+          const MetricCounters d = locals[worker].c - before;
+          QuerySpan span;
+          span.query_id = id_base + i;
+          span.kind = QueryTypeName(batch[i].type);
+          span.structure = ServedIndexName(which);
+          span.latency_ns = ns;
+          span.disk_reads = d.disk_reads;
+          span.segment_comps = d.segment_comps;
+          span.bbox_comps = d.bbox_comps;
+          span.bucket_comps = d.bucket_comps;
+          span.worker = worker;
+          tracer_.EmitQuerySpan(span);
+        }
       });
   out.per_worker.reserve(locals.size());
   for (const PaddedCounters& pc : locals) {
     out.per_worker.push_back(pc.c);
     out.metrics += pc.c;
   }
+  // Batch-level registry rollup: one atomic add per (kind, metric), not
+  // per query, so the per-item hot path never contends on shared counters.
+  const char* iname = ServedIndexName(which);
+  uint64_t per_kind[std::size(kAllQueryTypes)] = {};
+  for (const QueryRequest& q : batch) ++per_kind[static_cast<size_t>(q.type)];
+  for (QueryType type : kAllQueryTypes) {
+    const uint64_t n = per_kind[static_cast<size_t>(type)];
+    if (n == 0) continue;
+    stats_
+        .GetCounter(std::string("lsdb_queries_total{index=\"") + iname +
+                    "\",kind=\"" + QueryTypeName(type) + "\"}")
+        ->Add(n);
+  }
+  const std::string mlabel = std::string("{index=\"") + iname + "\"}";
+  stats_.GetCounter("lsdb_disk_reads_total" + mlabel)
+      ->Add(out.metrics.disk_reads);
+  stats_.GetCounter("lsdb_segment_comps_total" + mlabel)
+      ->Add(out.metrics.segment_comps);
+  stats_.GetCounter("lsdb_bbox_comps_total" + mlabel)
+      ->Add(out.metrics.bbox_comps);
+  stats_.GetCounter("lsdb_bucket_comps_total" + mlabel)
+      ->Add(out.metrics.bucket_comps);
+  stats_.GetCounter("lsdb_batches_total" + mlabel)->Add(1);
   return out;
 }
 

@@ -20,11 +20,17 @@
 #ifndef LSDB_SERVICE_QUERY_SERVICE_H_
 #define LSDB_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lsdb/data/polygonal_map.h"
 #include "lsdb/index/spatial_index.h"
+#include "lsdb/obs/latency_histogram.h"
+#include "lsdb/obs/stats_registry.h"
+#include "lsdb/obs/tracer.h"
 #include "lsdb/pmr/pmr_quadtree.h"
 #include "lsdb/rplus/rplus_tree.h"
 #include "lsdb/rtree/rstar_tree.h"
@@ -46,6 +52,15 @@ struct ServiceOptions {
   /// so concurrent queries rarely contend on evictions; the paper harness
   /// keeps its own 16-frame pools and is not affected.
   uint32_t serving_buffer_frames = 256;
+
+  /// If non-empty, the service opens a Tracer on this file and emits one
+  /// JSONL span per served query plus sampled buffer-pool events. Empty
+  /// (default) leaves tracing disabled: the per-query cost is one relaxed
+  /// atomic load.
+  std::string trace_path;
+  /// 1-in-N sampling for buffer-pool trace events (1 = every event,
+  /// 0 = none). Query spans are never sampled.
+  uint64_t trace_pool_sample_every = 100;
 };
 
 class QueryService {
@@ -73,11 +88,34 @@ class QueryService {
   uint32_t num_threads() const { return workers_->size(); }
   uint32_t segment_count() const { return segs_->size(); }
 
+  // -- Observability ------------------------------------------------------
+
+  /// Per-service metric registry (no globals anywhere in the obs layer).
+  /// Query counts, per-query metric totals, latency summaries, and
+  /// buffer-pool gauges, all named lsdb_*. Pool/worker gauges are
+  /// refreshed on every stats() call, so render from this accessor.
+  StatsRegistry& stats();
+
+  /// Latency histogram for one structure x query kind, sharded per worker
+  /// and fed by ExecuteBatch. Merge() for percentiles.
+  const LatencyHistogram& latency_histogram(ServedIndex which,
+                                            QueryType type) const;
+
+  /// The service's tracer (disabled unless ServiceOptions::trace_path was
+  /// set; tests may AttachStream before issuing batches).
+  Tracer& tracer() { return tracer_; }
+
  private:
   explicit QueryService(const ServiceOptions& options);
 
   Status BuildIndexes(const PolygonalMap& map);
+  Status SetUpObservability();
+  void RefreshGauges();
   QueryResponse ExecuteOne(SpatialIndex* idx, const QueryRequest& q);
+  LatencyHistogram* histogram(ServedIndex which, QueryType type) {
+    return histograms_[static_cast<size_t>(which)][static_cast<size_t>(type)]
+        .get();
+  }
 
   ServiceOptions options_;
 
@@ -91,6 +129,14 @@ class QueryService {
   std::unique_ptr<PmrQuadtree> pmr_;
 
   std::unique_ptr<WorkerPool> workers_;
+
+  // Observability state (per service instance; see SetUpObservability).
+  StatsRegistry stats_;
+  Tracer tracer_;
+  /// [structure][query kind] latency histograms, shards == worker count.
+  std::unique_ptr<LatencyHistogram>
+      histograms_[std::size(kAllServedIndexes)][std::size(kAllQueryTypes)];
+  std::atomic<uint64_t> next_query_id_{0};  ///< Trace span ids.
 };
 
 }  // namespace lsdb

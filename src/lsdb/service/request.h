@@ -33,6 +33,11 @@ enum class QueryType : uint8_t {
   kNearest,   ///< Nearest segment to `point` (Euclidean).
   kIncident,  ///< Segments with `point` as an endpoint (paper query 1).
 };
+/// Stable lowercase name for metric labels and trace spans ("point", ...).
+const char* QueryTypeName(QueryType t);
+inline constexpr QueryType kAllQueryTypes[] = {
+    QueryType::kPoint, QueryType::kWindow, QueryType::kNearest,
+    QueryType::kIncident};
 
 struct QueryRequest {
   QueryType type = QueryType::kPoint;
@@ -57,10 +62,14 @@ struct QueryResponse {
   Status status;
   std::vector<SegmentHit> hits;  ///< kPoint / kWindow / kIncident.
   NearestResult nearest;         ///< kNearest (meaningful when status ok).
+  /// Wall time this query spent executing (observability only; filled by
+  /// ExecuteBatch, 0 from the sequential ground-truth path).
+  uint64_t latency_ns = 0;
 };
 
 /// Exact equality of two responses, including result order (used to check
-/// parallel batches against sequential ground truth).
+/// parallel batches against sequential ground truth). Observability fields
+/// (latency_ns) are deliberately excluded.
 bool SameResponse(const QueryResponse& a, const QueryResponse& b);
 
 struct BatchResult {

@@ -4,7 +4,8 @@
 
 namespace lsdb {
 
-WorkerPool::WorkerPool(uint32_t threads) {
+WorkerPool::WorkerPool(uint32_t threads)
+    : items_done_(std::clamp(threads, 1u, kMaxThreads)) {
   const uint32_t n = std::clamp(threads, 1u, kMaxThreads);
   threads_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -56,6 +57,7 @@ void WorkerPool::WorkerMain(uint32_t id) {
       const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       (*fn)(id, i);
+      items_done_[id].fetch_add(1, std::memory_order_relaxed);
     }
     {
       std::lock_guard<std::mutex> lk(mu_);

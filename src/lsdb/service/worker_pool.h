@@ -44,10 +44,20 @@ class WorkerPool {
   /// flight at a time (calls from multiple threads serialize).
   void ParallelFor(uint64_t count, const ItemFn& fn);
 
+  /// Items `worker` has processed over the pool's lifetime (all jobs).
+  /// Work is claimed dynamically, so the spread across workers shows how
+  /// well uneven per-item costs balanced; exported by the query service's
+  /// stats registry.
+  uint64_t items_processed(uint32_t worker) const {
+    return items_done_[worker].load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerMain(uint32_t id);
 
   std::vector<std::thread> threads_;
+  /// One slot per worker, written only by that worker (relaxed).
+  std::vector<std::atomic<uint64_t>> items_done_;
 
   std::mutex mu_;
   std::condition_variable work_ready_;

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <utility>
+
+#include "lsdb/obs/tracer.h"
 
 namespace lsdb {
 
@@ -98,6 +101,8 @@ StatusOr<uint32_t> BufferPool::GetVictimFrame(
     }
     page_to_frame_.erase(fr.page);
     fr.page = kInvalidPageId;
+    ++evictions_;
+    TraceEvent(PoolEvent::kEviction);
     return f;
   }
   // Every frame is pinned. If the calling thread holds all the pins,
@@ -107,6 +112,8 @@ StatusOr<uint32_t> BufferPool::GetVictimFrame(
   }
   // Another thread holds pins; block until one is released (bounded, so a
   // cross-thread pin cycle degrades to an error instead of a hang).
+  ++pin_waits_;
+  TraceEvent(PoolEvent::kPinWait);
   const auto timed_out =
       frame_released_.wait_for(
           lk, std::chrono::milliseconds(kExhaustedWaitMs)) ==
@@ -147,6 +154,8 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
         fr.in_lru = false;
       }
       PinLocked(f);
+      ++hits_;
+      TraceEvent(PoolEvent::kHit);
       return PageRef(this, f, id);
     }
     auto victim = GetVictimFrame(lk);
@@ -165,6 +174,8 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
     fr.dirty = false;
     PinLocked(f);
     page_to_frame_[id] = f;
+    ++misses_;
+    TraceEvent(PoolEvent::kMiss);
     return PageRef(this, f, id);
   }
 }
@@ -224,6 +235,47 @@ Status BufferPool::Free(PageId id) {
     frame_released_.notify_one();
   }
   return file_->Free(id);
+}
+
+uint64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+uint64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+uint64_t BufferPool::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+
+uint64_t BufferPool::pin_waits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pin_waits_;
+}
+
+double BufferPool::hit_ratio() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void BufferPool::SetTracer(Tracer* tracer, std::string pool_name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  tracer_ = tracer;
+  pool_name_ = std::move(pool_name);
+}
+
+void BufferPool::TraceEvent(PoolEvent e) const {
+  // Called with mu_ held; the tracer does its own sampling and locking
+  // (lock order pool -> tracer, never the reverse).
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->EmitPoolEvent(pool_name_.c_str(), e);
+  }
 }
 
 uint32_t BufferPool::pinned_frames() const {

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,9 @@
 #include "lsdb/util/status.h"
 
 namespace lsdb {
+
+class Tracer;
+enum class PoolEvent : uint8_t;  // full definition in lsdb/obs/tracer.h
 
 class BufferPool {
  public:
@@ -101,6 +105,30 @@ class BufferPool {
   /// Number of currently pinned frames (diagnostics / tests).
   uint32_t pinned_frames() const;
 
+  // -- Observability ------------------------------------------------------
+  // Lifetime pool behaviour, tracked independently of MetricCounters (the
+  // paper's metrics are untouched; these exist for cache-behaviour reports
+  // and the obs subsystem). All guarded by the pool mutex.
+
+  /// Fetches served from a resident frame.
+  uint64_t hits() const;
+  /// Fetches that had to read the page from the file.
+  uint64_t misses() const;
+  /// Pages pushed out of the pool to make room (LRU victims).
+  uint64_t evictions() const;
+  /// Times a Fetch/New had to wait for another thread to release a pin.
+  uint64_t pin_waits() const;
+  /// hits / (hits + misses); 0 when no fetches have happened yet. New()
+  /// calls are neither hits nor misses (they never read the file).
+  double hit_ratio() const;
+
+  /// Attaches `tracer` (not owned; may be null to detach) so pool events —
+  /// hit / miss / eviction / pin_wait — are emitted as sampled JSONL
+  /// lines tagged with `pool_name`. Call before sharing the pool across
+  /// threads; with no tracer attached (the default, and always the case in
+  /// the sequential paper harness) the cost is one null-pointer test.
+  void SetTracer(Tracer* tracer, std::string pool_name);
+
  private:
   struct Frame {
     std::vector<uint8_t> buf;
@@ -118,6 +146,7 @@ class BufferPool {
   void PinLocked(uint32_t frame);
   void Unpin(uint32_t frame);
   uint32_t SelfPinsLocked() const;
+  void TraceEvent(PoolEvent e) const;
 
   PageFile* file_;
   MetricCounters* metrics_;
@@ -132,6 +161,14 @@ class BufferPool {
   /// Outstanding pins per thread, for self-deadlock detection when the
   /// pool is exhausted. Guarded by mu_.
   std::unordered_map<std::thread::id, uint32_t> pins_by_thread_;
+
+  // Observability (guarded by mu_; see accessor docs).
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t pin_waits_ = 0;
+  Tracer* tracer_ = nullptr;  ///< Not owned; null = no tracing.
+  std::string pool_name_;
 };
 
 }  // namespace lsdb

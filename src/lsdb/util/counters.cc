@@ -4,14 +4,21 @@
 
 namespace lsdb {
 
+namespace {
+/// Saturating subtract: snapshot-and-diff callers can race a counter reset
+/// (or diff snapshots taken around one), in which case `b > a`; clamping to
+/// zero beats wrapping to ~2^64 "disk accesses" in a report.
+uint64_t SatSub(uint64_t a, uint64_t b) { return a < b ? 0 : a - b; }
+}  // namespace
+
 MetricCounters MetricCounters::operator-(const MetricCounters& rhs) const {
   MetricCounters out;
-  out.disk_reads = disk_reads - rhs.disk_reads;
-  out.disk_writes = disk_writes - rhs.disk_writes;
-  out.page_fetches = page_fetches - rhs.page_fetches;
-  out.segment_comps = segment_comps - rhs.segment_comps;
-  out.bbox_comps = bbox_comps - rhs.bbox_comps;
-  out.bucket_comps = bucket_comps - rhs.bucket_comps;
+  out.disk_reads = SatSub(disk_reads, rhs.disk_reads);
+  out.disk_writes = SatSub(disk_writes, rhs.disk_writes);
+  out.page_fetches = SatSub(page_fetches, rhs.page_fetches);
+  out.segment_comps = SatSub(segment_comps, rhs.segment_comps);
+  out.bbox_comps = SatSub(bbox_comps, rhs.bbox_comps);
+  out.bucket_comps = SatSub(bucket_comps, rhs.bucket_comps);
   return out;
 }
 

@@ -34,6 +34,8 @@ struct MetricCounters {
   /// Total potential disk activity as reported in the paper's tables.
   uint64_t disk_accesses() const { return disk_reads + disk_writes; }
 
+  /// Per-field saturating subtract (clamps to 0 instead of wrapping when a
+  /// counter was reset between the two snapshots being diffed).
   MetricCounters operator-(const MetricCounters& rhs) const;
   MetricCounters& operator+=(const MetricCounters& rhs);
 

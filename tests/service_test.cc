@@ -221,6 +221,41 @@ TEST_F(QueryServiceTest, StressParallelMatchesSequentialGroundTruth) {
   }
 }
 
+// Observability: per-worker histogram shards must merge to the exact batch
+// composition once the workers have joined (single-writer shards, merged
+// with relaxed loads). Run under ThreadSanitizer by scripts/ci.sh.
+TEST_F(QueryServiceTest, HistogramShardsMergeExactlyUnderFourWorkers) {
+  Build(4);
+  constexpr size_t kN = 800;  // kN / 4 queries of each kind
+  auto batch = MixedBatch(map_, kN, 13);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(svc_->ExecuteBatch(ServedIndex::kRStar, batch).ok());
+  }
+  uint64_t total = 0;
+  for (QueryType type : kAllQueryTypes) {
+    const LatencyHistogram::Snapshot s =
+        svc_->latency_histogram(ServedIndex::kRStar, type).Merge();
+    EXPECT_EQ(s.count, 3u * kN / 4) << QueryTypeName(type);
+    uint64_t in_buckets = 0;
+    for (uint64_t b : s.buckets) in_buckets += b;
+    EXPECT_EQ(in_buckets, s.count) << "lost samples, kind "
+                                   << QueryTypeName(type);
+    total += s.count;
+  }
+  EXPECT_EQ(total, 3u * kN);
+  // Other structures served nothing, so their histograms stay empty.
+  EXPECT_EQ(
+      svc_->latency_histogram(ServedIndex::kPmr, QueryType::kPoint).Merge()
+          .count,
+      0u);
+  // Responses carry per-query wall time from the parallel path.
+  auto res = svc_->ExecuteBatch(ServedIndex::kPmr, batch);
+  ASSERT_TRUE(res.ok());
+  uint64_t timed = 0;
+  for (const QueryResponse& r : res->responses) timed += r.latency_ns > 0;
+  EXPECT_GT(timed, 0u);
+}
+
 // Concurrent batches on *different* structures share the segment table's
 // buffer pool; run them from two extra threads to cross-contend.
 TEST_F(QueryServiceTest, ConcurrentCallersOnSharedSegmentTable) {

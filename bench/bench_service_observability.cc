@@ -12,7 +12,9 @@
 //     "threads": T, "batch": B, "trace_lines": L,
 //     "structures": [
 //       {"index": "R*", "queries": N, "qps": ..., "p50_ns": ...,
-//        "p90_ns": ..., "p99_ns": ..., "max_ns": ..., "hit_ratio": ...},
+//        "p90_ns": ..., "p99_ns": ..., "max_ns": ..., "hit_ratio": ...,
+//        "faults_injected": 0, "io_retries": 0, "checksum_failures": 0,
+//        "degraded": false},
 //       ...],
 //     "segment_pool_hit_ratio": ...
 //   }
@@ -156,6 +158,19 @@ int main(int argc, char** argv) {
     structures_json += ",\"p99_ns\":" + std::to_string(all.p99());
     structures_json += ",\"max_ns\":" + std::to_string(all.max);
     structures_json += ",\"hit_ratio\":" + FormatDouble(hit_ratio);
+    // Robustness counters: all zero in the default fault-free run, but the
+    // shape is stable so dashboards can rely on the keys.
+    const FaultStats& fs = (*svc)->fault_injector(which)->stats();
+    structures_json +=
+        ",\"faults_injected\":" + std::to_string(fs.total_faults());
+    structures_json +=
+        ",\"io_retries\":" +
+        std::to_string((*svc)->index(which)->pool()->io_retries());
+    structures_json +=
+        ",\"checksum_failures\":" +
+        std::to_string((*svc)->index(which)->pool()->checksum_failures());
+    structures_json += ",\"degraded\":";
+    structures_json += (*svc)->degraded(which) ? "true" : "false";
     structures_json += "}";
   }
   PrintRule(74);

@@ -4,10 +4,16 @@
 # Tier 1: configure, build, and run the full test suite.
 # Tier 2: rebuild with ThreadSanitizer (-DLSDB_SAN=thread) and re-run the
 #         concurrency-sensitive tests — the query service, worker pool,
-#         buffer pool, and the observability layer (sharded histograms,
-#         tracer, registry) — which must report zero races.
+#         buffer pool, the observability layer (sharded histograms,
+#         tracer, registry), and the robustness suite (concurrent batches
+#         with injected faults) — which must report zero races.
+# Tier 2b: rebuild with AddressSanitizer (-DLSDB_SAN=address) and run the
+#         fault-injection suite — checksums, corruption round trips,
+#         retries, breaker trips — which must report zero memory errors
+#         even while pages are corrupted and reads fail.
 # Tier 3: smoke-run the service observability bench and validate its
-#         machine-readable BENCH_service.json against the minimal schema.
+#         machine-readable BENCH_service.json against the minimal schema,
+#         robustness keys included.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +26,12 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 cmake -B build-tsan -S . -DLSDB_SAN=thread
 cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
-  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*'
+  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*'
+
+cmake -B build-asan -S . -DLSDB_SAN=address
+cmake --build build-asan -j"${JOBS}" --target lsdb_tests
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lsdb_tests \
+  --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*'
 
 ./build/bench/bench_service_observability Charles 2000 build/BENCH_service.json 4
 python3 - <<'EOF'
@@ -33,11 +44,16 @@ assert doc["bench"] == "service_observability"
 assert len(doc["structures"]) == 3, "expected R*, R+, PMR entries"
 for s in doc["structures"]:
     for key in ("index", "queries", "qps", "p50_ns", "p90_ns", "p99_ns",
-                "max_ns", "hit_ratio"):
+                "max_ns", "hit_ratio", "faults_injected", "io_retries",
+                "checksum_failures", "degraded"):
         assert key in s, f"structure entry missing key: {key}"
     assert s["queries"] > 0 and s["qps"] > 0
     assert s["p50_ns"] <= s["p90_ns"] <= s["p99_ns"] <= s["max_ns"]
     assert 0.0 <= s["hit_ratio"] <= 1.0
+    # Default bench run injects nothing: counters must be zero and the
+    # service healthy.
+    assert s["faults_injected"] == 0 and s["checksum_failures"] == 0
+    assert s["degraded"] is False
 for line in open("build/BENCH_service.json.trace.jsonl"):
     json.loads(line)
 print("BENCH_service.json schema ok")

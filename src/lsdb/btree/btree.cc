@@ -76,6 +76,14 @@ Status BTree::LoadNode(PageId id, Node* node) {
   node->keys.clear();
   node->children.clear();
   node->payloads.clear();
+  // An out-of-range count on a corrupt page would otherwise walk past the
+  // page buffer below.
+  if (kind == kLeafKind && count > LeafCapacity()) {
+    return Status::Corruption("btree leaf count exceeds capacity");
+  }
+  if (kind == kInternalKind && count > InternalCapacity()) {
+    return Status::Corruption("btree internal count exceeds capacity");
+  }
   if (kind == kLeafKind) {
     node->leaf = true;
     node->prev = GetU32(p + 4);
@@ -399,7 +407,12 @@ Status BTree::FixUnderflow(PageId parent_id, Node* parent, size_t idx,
 
 StatusOr<PageId> BTree::FindLeaf(uint64_t key) {
   PageId id = root_;
-  for (;;) {
+  // Bound the descent by the tree height: corrupt child pointers can form
+  // cycles, and an unbounded loop would hang the query.
+  for (uint32_t depth = 1;; ++depth) {
+    if (depth > height_) {
+      return Status::Corruption("btree descent exceeds tree height");
+    }
     Node node;
     LSDB_RETURN_IF_ERROR(LoadNode(id, &node));
     if (node.leaf) return id;
@@ -408,6 +421,14 @@ StatusOr<PageId> BTree::FindLeaf(uint64_t key) {
         node.keys.begin();
     id = node.children[idx];
   }
+}
+
+Status BTree::LoadChainedLeaf(PageId id, Node* node) {
+  LSDB_RETURN_IF_ERROR(LoadNode(id, node));
+  if (!node->leaf) {
+    return Status::Corruption("btree leaf chain reaches a non-leaf page");
+  }
+  return Status::OK();
 }
 
 StatusOr<bool> BTree::Contains(uint64_t key) {
@@ -426,11 +447,16 @@ StatusOr<uint64_t> BTree::SeekLE(uint64_t key) {
   auto it = std::upper_bound(leaf.keys.begin(), leaf.keys.end(), key);
   if (it != leaf.keys.begin()) return *(it - 1);
   // All keys here exceed `key`; the predecessor (if any) is the last key of
-  // the previous leaf (non-root leaves are never empty).
+  // the previous leaf (non-root leaves are never empty). The walk is
+  // bounded by the page count — a longer chain is a pointer cycle.
   PageId prev = leaf.prev;
+  uint64_t hops = 0;
   while (prev != kInvalidPageId) {
+    if (++hops > live_pages_) {
+      return Status::Corruption("btree leaf chain cycle");
+    }
     Node p;
-    LSDB_RETURN_IF_ERROR(LoadNode(prev, &p));
+    LSDB_RETURN_IF_ERROR(LoadChainedLeaf(prev, &p));
     if (!p.keys.empty()) return p.keys.back();
     prev = p.prev;
   }
@@ -445,9 +471,13 @@ StatusOr<uint64_t> BTree::SeekGE(uint64_t key) {
   auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
   if (it != leaf.keys.end()) return *it;
   PageId next = leaf.next;
+  uint64_t hops = 0;
   while (next != kInvalidPageId) {
+    if (++hops > live_pages_) {
+      return Status::Corruption("btree leaf chain cycle");
+    }
     Node n;
-    LSDB_RETURN_IF_ERROR(LoadNode(next, &n));
+    LSDB_RETURN_IF_ERROR(LoadChainedLeaf(next, &n));
     if (!n.keys.empty()) return n.keys.front();
     next = n.next;
   }
@@ -461,9 +491,13 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
   if (!leaf_id.ok()) return leaf_id.status();
   PageId id = *leaf_id;
   bool first = true;
+  uint64_t hops = 0;
   while (id != kInvalidPageId) {
+    if (++hops > live_pages_) {
+      return Status::Corruption("btree leaf chain cycle");
+    }
     Node leaf;
-    LSDB_RETURN_IF_ERROR(LoadNode(id, &leaf));
+    LSDB_RETURN_IF_ERROR(LoadChainedLeaf(id, &leaf));
     size_t i = 0;
     if (first) {
       i = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), lo) -

@@ -106,6 +106,9 @@ class BTree {
   uint32_t InternalCapacity() const;  // max number of keys
 
   Status LoadNode(PageId id, Node* node);
+  /// LoadNode that additionally requires a leaf — for prev/next chain
+  /// walks, where a non-leaf page means a corrupt sibling pointer.
+  Status LoadChainedLeaf(PageId id, Node* node);
   Status StoreNode(PageId id, const Node& node);
   StatusOr<PageId> AllocNode();
   Status FreeNode(PageId id);

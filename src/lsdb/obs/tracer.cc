@@ -131,6 +131,18 @@ void Tracer::EmitPoolEvent(const char* pool_name, PoolEvent event) {
   WriteLine(line);
 }
 
+void Tracer::EmitHealthEvent(const char* structure, const char* event) {
+  if (!enabled()) return;
+  std::string line;
+  line.reserve(64);
+  line += "{\"event\":\"health\",\"structure\":\"";
+  JsonEscape(structure, &line);
+  line += "\",\"state\":\"";
+  JsonEscape(event, &line);
+  line += "\"}";
+  WriteLine(line);
+}
+
 void Tracer::WriteLine(const std::string& line) {
   std::lock_guard<std::mutex> lk(mu_);
   if (out_ == nullptr) return;  // closed between the enabled() test and now

@@ -87,6 +87,11 @@ class Tracer {
   /// line so consumers can rescale counts.
   void EmitPoolEvent(const char* pool_name, PoolEvent event);
 
+  /// Emits a "health" line for a service-level state change — breaker
+  /// opened / closed — tagged with the structure it concerns. Never
+  /// sampled (these are rare and always interesting). No-op when disabled.
+  void EmitHealthEvent(const char* structure, const char* event);
+
   /// Lines written so far (post-sampling).
   uint64_t lines_emitted() const {
     return lines_emitted_.load(std::memory_order_relaxed);

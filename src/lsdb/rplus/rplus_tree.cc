@@ -86,11 +86,23 @@ Status RPlusTree::Flush() {
 Status RPlusTree::LoadLeafChain(PageId pid, RNode* node,
                                 std::vector<PageId>* chain) {
   LSDB_RETURN_IF_ERROR(io_.Load(pid, node));
+  if (!node->leaf()) {
+    return Status::Corruption("R+-tree leaf chain starts at a non-leaf");
+  }
   PageId next = node->overflow;
+  // A chain longer than the structure's page count is a pointer cycle.
+  uint64_t hops = 0;
   while (next != kInvalidPageId) {
+    if (++hops > io_.live_pages()) {
+      return Status::Corruption("R+-tree overflow chain cycle");
+    }
     chain->push_back(next);
     RNode part;
     LSDB_RETURN_IF_ERROR(io_.Load(next, &part));
+    if (!part.leaf()) {
+      return Status::Corruption(
+          "R+-tree overflow chain reaches a non-leaf page");
+    }
     node->entries.insert(node->entries.end(), part.entries.begin(),
                          part.entries.end());
     next = part.overflow;
@@ -573,15 +585,21 @@ Status RPlusTree::Erase(SegmentId id, const Segment& s) {
   return Status::OK();
 }
 
-Status RPlusTree::WindowQueryRec(PageId pid, const Rect& region,
-                                 const Rect& w,
+Status RPlusTree::WindowQueryRec(PageId pid, uint8_t expected_level,
+                                 const Rect& region, const Rect& w,
                                  std::unordered_set<SegmentId>* seen,
                                  std::vector<SegmentHit>* out) {
   (void)region;
   RNode node;
   LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
+  // Levels strictly decrease toward the leaves; a mismatch means a corrupt
+  // child pointer (and unbounded recursion if followed).
+  if (node.level != expected_level) {
+    return Status::Corruption("R+-tree node level mismatch on descent");
+  }
   if (node.leaf()) {
-    // Walk the page plus any overflow chain.
+    // Walk the page plus any overflow chain (cycle-bounded).
+    uint64_t hops = 0;
     for (;;) {
       for (const RNodeEntry& e : node.entries) {
         ++CounterSink(metrics_).bbox_comps;
@@ -593,15 +611,24 @@ Status RPlusTree::WindowQueryRec(PageId pid, const Rect& region,
         if (s.IntersectsRect(w)) out->push_back(SegmentHit{e.child, s});
       }
       if (node.overflow == kInvalidPageId) break;
+      if (++hops > io_.live_pages()) {
+        return Status::Corruption("R+-tree overflow chain cycle");
+      }
       const PageId next = node.overflow;
       LSDB_RETURN_IF_ERROR(io_.Load(next, &node));
+      if (!node.leaf()) {
+        return Status::Corruption(
+            "R+-tree overflow chain reaches a non-leaf page");
+      }
     }
     return Status::OK();
   }
   for (const RNodeEntry& e : node.entries) {
     ++CounterSink(metrics_).bbox_comps;
     if (e.rect.Intersects(w)) {
-      LSDB_RETURN_IF_ERROR(WindowQueryRec(e.child, e.rect, w, seen, out));
+      LSDB_RETURN_IF_ERROR(
+          WindowQueryRec(e.child, static_cast<uint8_t>(node.level - 1),
+                         e.rect, w, seen, out));
     }
   }
   return Status::OK();
@@ -610,7 +637,7 @@ Status RPlusTree::WindowQueryRec(PageId pid, const Rect& region,
 Status RPlusTree::WindowQueryEx(const Rect& w,
                                 std::vector<SegmentHit>* out) {
   std::unordered_set<SegmentId> seen;
-  return WindowQueryRec(root_, world_, w, &seen, out);
+  return WindowQueryRec(root_, root_level_, world_, w, &seen, out);
 }
 
 StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
@@ -621,7 +648,8 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
     double dist;
     int kind;
     uint32_t id;
-    Segment seg;  // valid for kExactSegment
+    uint8_t level;  // expected node level, valid for kNode
+    Segment seg;    // valid for kExactSegment
     bool operator>(const Item& o) const {
       if (dist != o.dist) return dist > o.dist;
       return kind > o.kind;
@@ -629,7 +657,7 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
   };
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
   std::unordered_set<SegmentId> refined;
-  pq.push(Item{0.0, kNode, root_, Segment{}});
+  pq.push(Item{0.0, kNode, root_, root_level_, Segment{}});
   while (!pq.empty()) {
     const Item top = pq.top();
     pq.pop();
@@ -638,6 +666,10 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
     }
     RNode node;
     LSDB_RETURN_IF_ERROR(io_.Load(top.id, &node));
+    if (node.level != top.level) {
+      return Status::Corruption("R+-tree node level mismatch on descent");
+    }
+    uint64_t hops = 0;
     for (;;) {
       for (const RNodeEntry& e : node.entries) {
         ++CounterSink(metrics_).bbox_comps;
@@ -646,15 +678,24 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
           Segment s;
           LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
           ++CounterSink(metrics_).segment_comps;
-          pq.push(Item{s.SquaredDistanceTo(p), kExactSegment, e.child, s});
+          pq.push(
+              Item{s.SquaredDistanceTo(p), kExactSegment, e.child, 0, s});
         } else {
           const double d = static_cast<double>(e.rect.SquaredDistanceTo(p));
-          pq.push(Item{d, kNode, e.child, Segment{}});
+          pq.push(Item{d, kNode, e.child,
+                       static_cast<uint8_t>(node.level - 1), Segment{}});
         }
       }
       if (node.leaf() && node.overflow != kInvalidPageId) {
+        if (++hops > io_.live_pages()) {
+          return Status::Corruption("R+-tree overflow chain cycle");
+        }
         const PageId next = node.overflow;
         LSDB_RETURN_IF_ERROR(io_.Load(next, &node));
+        if (!node.leaf()) {
+          return Status::Corruption(
+              "R+-tree overflow chain reaches a non-leaf page");
+        }
         continue;
       }
       break;

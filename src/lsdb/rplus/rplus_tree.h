@@ -115,7 +115,8 @@ class RPlusTree : public SpatialIndex {
 
   Status EraseRec(PageId pid, const Rect& region, SegmentId id,
                   const Segment& s, bool* found);
-  Status WindowQueryRec(PageId pid, const Rect& region, const Rect& w,
+  Status WindowQueryRec(PageId pid, uint8_t expected_level,
+                        const Rect& region, const Rect& w,
                         std::unordered_set<SegmentId>* seen,
                         std::vector<SegmentHit>* out);
   Status CheckRec(PageId pid, uint8_t expected_level, const Rect& region,

@@ -14,9 +14,25 @@ Status RNodeIO::Load(PageId id, RNode* node) {
   auto ref = pool_->Fetch(id);
   if (!ref.ok()) return ref.status();
   const uint8_t* p = ref->data();
+  // Validate the header before trusting any of it: a checksum-valid page
+  // can still be the wrong kind of page (stale pointer, software bug), and
+  // a bad count would read past the page buffer.
+  const uint8_t kind = p[0];
+  if (kind != 1 && kind != 2) {
+    return Status::Corruption("R-node page " + std::to_string(id) +
+                              " has invalid kind byte");
+  }
   node->level = p[1];
+  if ((kind == 1) != (node->level == 0)) {
+    return Status::Corruption("R-node page " + std::to_string(id) +
+                              " kind/level mismatch");
+  }
   uint16_t count;
   std::memcpy(&count, p + 2, 2);
+  if (count > Capacity()) {
+    return Status::Corruption("R-node page " + std::to_string(id) +
+                              " entry count exceeds capacity");
+  }
   std::memcpy(&node->overflow, p + 4, 4);
   node->entries.clear();
   node->entries.reserve(count);

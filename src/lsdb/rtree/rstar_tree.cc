@@ -82,11 +82,18 @@ Status RStarTree::ChoosePath(const Rect& r, uint8_t target_level,
   path->clear();
   PageId pid = root_;
   for (;;) {
+    // The path can never be deeper than the tree; a longer one means a
+    // corrupt child pointer formed a cycle.
+    if (path->size() > static_cast<size_t>(root_level_) + 1) {
+      return Status::Corruption("R*-tree descent exceeds tree height");
+    }
     path->push_back(pid);
     RNode node;
     LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
     if (node.level == target_level) return Status::OK();
-    assert(!node.entries.empty());
+    if (node.entries.empty()) {
+      return Status::Corruption("empty internal R*-tree node on descent");
+    }
     size_t best = 0;
     if (node.level == target_level + 1) {
       // R* rule: children receive the entry directly — minimize the
@@ -461,10 +468,16 @@ Status RStarTree::Erase(SegmentId id, const Segment& s) {
   return Status::OK();
 }
 
-Status RStarTree::WindowQueryRec(PageId pid, const Rect& w,
+Status RStarTree::WindowQueryRec(PageId pid, uint8_t expected_level,
+                                 const Rect& w,
                                  std::vector<SegmentHit>* out) {
   RNode node;
   LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
+  // Levels must strictly decrease toward the leaves; a mismatch means a
+  // corrupt child pointer (and would otherwise recurse unboundedly).
+  if (node.level != expected_level) {
+    return Status::Corruption("R*-tree node level mismatch on descent");
+  }
   for (const RNodeEntry& e : node.entries) {
     ++CounterSink(metrics_).bbox_comps;
     if (!e.rect.Intersects(w)) continue;
@@ -474,7 +487,8 @@ Status RStarTree::WindowQueryRec(PageId pid, const Rect& w,
       ++CounterSink(metrics_).segment_comps;
       if (s.IntersectsRect(w)) out->push_back(SegmentHit{e.child, s});
     } else {
-      LSDB_RETURN_IF_ERROR(WindowQueryRec(e.child, w, out));
+      LSDB_RETURN_IF_ERROR(WindowQueryRec(
+          e.child, static_cast<uint8_t>(node.level - 1), w, out));
     }
   }
   return Status::OK();
@@ -482,7 +496,7 @@ Status RStarTree::WindowQueryRec(PageId pid, const Rect& w,
 
 Status RStarTree::WindowQueryEx(const Rect& w,
                                 std::vector<SegmentHit>* out) {
-  return WindowQueryRec(root_, w, out);
+  return WindowQueryRec(root_, root_level_, w, out);
 }
 
 StatusOr<NearestResult> RStarTree::Nearest(const Point& p) {
@@ -496,14 +510,15 @@ StatusOr<NearestResult> RStarTree::Nearest(const Point& p) {
     double dist;
     int kind;
     uint32_t id;
-    Segment seg;  // valid for kExactSegment
+    uint8_t level;  // expected node level, valid for kNode
+    Segment seg;    // valid for kExactSegment
     bool operator>(const Item& o) const {
       if (dist != o.dist) return dist > o.dist;
       return kind > o.kind;
     }
   };
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
-  pq.push(Item{0.0, kNode, root_, Segment{}});
+  pq.push(Item{0.0, kNode, root_, root_level_, Segment{}});
   while (!pq.empty()) {
     const Item top = pq.top();
     pq.pop();
@@ -512,16 +527,20 @@ StatusOr<NearestResult> RStarTree::Nearest(const Point& p) {
     }
     RNode node;
     LSDB_RETURN_IF_ERROR(io_.Load(top.id, &node));
+    if (node.level != top.level) {
+      return Status::Corruption("R*-tree node level mismatch on descent");
+    }
     for (const RNodeEntry& e : node.entries) {
       ++CounterSink(metrics_).bbox_comps;
       if (node.leaf()) {
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
         ++CounterSink(metrics_).segment_comps;
-        pq.push(Item{s.SquaredDistanceTo(p), kExactSegment, e.child, s});
+        pq.push(Item{s.SquaredDistanceTo(p), kExactSegment, e.child, 0, s});
       } else {
         const double d = static_cast<double>(e.rect.SquaredDistanceTo(p));
-        pq.push(Item{d, kNode, e.child, Segment{}});
+        pq.push(Item{d, kNode, e.child,
+                     static_cast<uint8_t>(node.level - 1), Segment{}});
       }
     }
   }

@@ -86,7 +86,7 @@ class RStarTree : public SpatialIndex {
   /// Finds the leaf containing entry (mbr,id); fills the root-to-leaf path.
   Status FindLeafPath(PageId pid, const Rect& mbr, SegmentId id,
                       std::vector<PageId>* path, bool* found);
-  Status WindowQueryRec(PageId pid, const Rect& w,
+  Status WindowQueryRec(PageId pid, uint8_t expected_level, const Rect& w,
                         std::vector<SegmentHit>* out);
   Status CheckRec(PageId pid, uint8_t expected_level, const Rect& parent,
                   bool is_root, uint32_t* pages, uint64_t* segments);

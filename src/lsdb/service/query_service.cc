@@ -126,6 +126,31 @@ void QueryService::RefreshGauges() {
         ->Set(static_cast<double>(p.pool->evictions()));
     stats_.GetGauge("lsdb_bufferpool_pin_waits" + labels)
         ->Set(static_cast<double>(p.pool->pin_waits()));
+    stats_.GetGauge("lsdb_pool_io_retries" + labels)
+        ->Set(static_cast<double>(p.pool->io_retries()));
+    stats_.GetGauge("lsdb_pool_checksum_failures" + labels)
+        ->Set(static_cast<double>(p.pool->checksum_failures()));
+  }
+  for (ServedIndex which : kAllServedIndexes) {
+    const std::string labels =
+        std::string("{index=\"") + ServedIndexName(which) + "\"}";
+    const CircuitBreaker& b = breakers_[static_cast<size_t>(which)];
+    stats_.GetGauge("lsdb_degraded" + labels)->Set(b.open() ? 1.0 : 0.0);
+    stats_.GetGauge("lsdb_breaker_rejected_total" + labels)
+        ->Set(static_cast<double>(b.rejected()));
+    stats_.GetGauge("lsdb_breaker_times_opened" + labels)
+        ->Set(static_cast<double>(b.times_opened()));
+    const FaultStats& fs = fault_injector(which)->stats();
+    stats_.GetGauge("lsdb_fault_reads" + labels)
+        ->Set(static_cast<double>(fs.reads.load()));
+    stats_.GetGauge("lsdb_fault_read_transient" + labels)
+        ->Set(static_cast<double>(fs.transient_read_faults.load()));
+    stats_.GetGauge("lsdb_fault_read_permanent" + labels)
+        ->Set(static_cast<double>(fs.permanent_read_faults.load()));
+    stats_.GetGauge("lsdb_fault_bitflips" + labels)
+        ->Set(static_cast<double>(fs.bitflips.load()));
+    stats_.GetGauge("lsdb_fault_total" + labels)
+        ->Set(static_cast<double>(fs.total_faults()));
   }
   for (uint32_t w = 0; w < workers_->size(); ++w) {
     stats_
@@ -147,16 +172,30 @@ Status QueryService::BuildIndexes(const PolygonalMap& map) {
                                    nullptr);
   segs_ = std::make_unique<SegmentTable>(seg_pool_.get(), nullptr);
   for (const Segment& s : map.segments) {
-    auto id = segs_->Append(s);
-    if (!id.ok()) return id.status();
+    LSDB_ASSIGN_OR_RETURN([[maybe_unused]] const SegmentId id,
+                          segs_->Append(s));
   }
 
   rstar_file_ = std::make_unique<MemPageFile>(io.page_size);
   rplus_file_ = std::make_unique<MemPageFile>(io.page_size);
   pmr_file_ = std::make_unique<MemPageFile>(io.page_size);
-  rstar_ = std::make_unique<RStarTree>(io, rstar_file_.get(), segs_.get());
-  rplus_ = std::make_unique<RPlusTree>(io, rplus_file_.get(), segs_.get());
-  pmr_ = std::make_unique<PmrQuadtree>(io, pmr_file_.get(), segs_.get());
+  // Each structure's pool talks to its file through a fault injector. The
+  // injectors stay transparent (no plan) during the build, so structure
+  // layout and paper metrics are byte-identical with or without them.
+  MemPageFile* files[] = {rstar_file_.get(), rplus_file_.get(),
+                          pmr_file_.get()};
+  for (ServedIndex which : kAllServedIndexes) {
+    injectors_[static_cast<size_t>(which)] =
+        std::make_unique<FaultInjectingPageFile>(
+            files[static_cast<size_t>(which)]);
+    breakers_[static_cast<size_t>(which)].set_options(options_.breaker);
+  }
+  rstar_ = std::make_unique<RStarTree>(
+      io, fault_injector(ServedIndex::kRStar), segs_.get());
+  rplus_ = std::make_unique<RPlusTree>(
+      io, fault_injector(ServedIndex::kRPlus), segs_.get());
+  pmr_ = std::make_unique<PmrQuadtree>(
+      io, fault_injector(ServedIndex::kPmr), segs_.get());
   LSDB_RETURN_IF_ERROR(rstar_->Init());
   LSDB_RETURN_IF_ERROR(rplus_->Init());
   LSDB_RETURN_IF_ERROR(pmr_->Init());
@@ -170,6 +209,17 @@ Status QueryService::BuildIndexes(const PolygonalMap& map) {
     }
     LSDB_RETURN_IF_ERROR(idx->Flush());
     idx->Freeze();
+  }
+  if (options_.inject_faults) {
+    // Arm only now that everything is built, flushed, and frozen.
+    // Decorrelate the per-structure streams so one structure's fault draw
+    // sequence does not mirror another's.
+    for (ServedIndex which : kAllServedIndexes) {
+      FaultPlan plan = options_.fault_plan;
+      plan.seed += 0x9e3779b97f4a7c15ull *
+                   (static_cast<uint64_t>(which) + 1);
+      fault_injector(which)->set_plan(plan);
+    }
   }
   return Status::OK();
 }
@@ -186,9 +236,15 @@ SpatialIndex* QueryService::index(ServedIndex which) {
   return nullptr;
 }
 
-QueryResponse QueryService::ExecuteOne(SpatialIndex* idx,
+QueryResponse QueryService::ExecuteOne(ServedIndex which, SpatialIndex* idx,
                                        const QueryRequest& q) {
+  CircuitBreaker& breaker = breakers_[static_cast<size_t>(which)];
   QueryResponse r;
+  if (!breaker.AllowRequest()) {
+    r.status = Status::Unavailable(
+        std::string(ServedIndexName(which)) + " index degraded: breaker open");
+    return r;
+  }
   switch (q.type) {
     case QueryType::kPoint:
       r.status = idx->PointQueryEx(q.point, &r.hits);
@@ -205,6 +261,15 @@ QueryResponse QueryService::ExecuteOne(SpatialIndex* idx,
     case QueryType::kIncident:
       r.status = IncidentSegments(idx, q.point, &r.hits);
       break;
+  }
+  if (CircuitBreaker::IsFailure(r.status)) {
+    if (breaker.RecordFailure()) {
+      tracer_.EmitHealthEvent(ServedIndexName(which), "breaker_open");
+    }
+  } else if (CircuitBreaker::IsSuccess(r.status)) {
+    if (breaker.RecordSuccess()) {
+      tracer_.EmitHealthEvent(ServedIndexName(which), "breaker_closed");
+    }
   }
   return r;
 }
@@ -233,7 +298,7 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
         // exact metric deltas can be attributed to the span.
         const MetricCounters before = locals[worker].c;
         const auto t0 = std::chrono::steady_clock::now();
-        out.responses[i] = ExecuteOne(idx, batch[i]);
+        out.responses[i] = ExecuteOne(which, idx, batch[i]);
         const auto t1 = std::chrono::steady_clock::now();
         const uint64_t ns = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
@@ -295,7 +360,7 @@ StatusOr<BatchResult> QueryService::ExecuteBatchSequential(
   out.per_worker.resize(1);
   ScopedCounterSink sink(&out.per_worker[0]);
   for (size_t i = 0; i < batch.size(); ++i) {
-    out.responses[i] = ExecuteOne(idx, batch[i]);
+    out.responses[i] = ExecuteOne(which, idx, batch[i]);
   }
   out.metrics += out.per_worker[0];
   return out;

@@ -35,9 +35,11 @@
 #include "lsdb/rplus/rplus_tree.h"
 #include "lsdb/rtree/rstar_tree.h"
 #include "lsdb/seg/segment_table.h"
+#include "lsdb/service/circuit_breaker.h"
 #include "lsdb/service/request.h"
 #include "lsdb/service/worker_pool.h"
 #include "lsdb/storage/buffer_pool.h"
+#include "lsdb/storage/fault_injection.h"
 #include "lsdb/storage/page_file.h"
 
 namespace lsdb {
@@ -61,6 +63,18 @@ struct ServiceOptions {
   /// 1-in-N sampling for buffer-pool trace events (1 = every event,
   /// 0 = none). Query spans are never sampled.
   uint64_t trace_pool_sample_every = 100;
+
+  // -- Robustness ----------------------------------------------------------
+
+  /// Arm `fault_plan` on every index's fault injector once the build is
+  /// frozen. The build itself always runs fault-free, so structures and
+  /// paper metrics are unaffected; only serving reads see faults.
+  bool inject_faults = false;
+  /// The seeded plan to arm (per-index injectors derive decorrelated seeds
+  /// from plan.seed so the three structures fail independently).
+  FaultPlan fault_plan;
+  /// Per-structure circuit-breaker thresholds.
+  CircuitBreaker::Options breaker;
 };
 
 class QueryService {
@@ -88,6 +102,24 @@ class QueryService {
   uint32_t num_threads() const { return workers_->size(); }
   uint32_t segment_count() const { return segs_->size(); }
 
+  // -- Robustness ----------------------------------------------------------
+
+  /// The fault injector wrapping `which`'s page file. Always present (a
+  /// transparent pass-through unless a plan is armed); tests use it to arm
+  /// plans or kill a structure outright (FailAllReads).
+  FaultInjectingPageFile* fault_injector(ServedIndex which) {
+    return injectors_[static_cast<size_t>(which)].get();
+  }
+  /// The circuit breaker guarding `which`.
+  CircuitBreaker& breaker(ServedIndex which) {
+    return breakers_[static_cast<size_t>(which)];
+  }
+  /// True while `which`'s breaker is open (requests fail fast with
+  /// kUnavailable except half-open probes).
+  bool degraded(ServedIndex which) {
+    return breakers_[static_cast<size_t>(which)].open();
+  }
+
   // -- Observability ------------------------------------------------------
 
   /// Per-service metric registry (no globals anywhere in the obs layer).
@@ -111,7 +143,8 @@ class QueryService {
   Status BuildIndexes(const PolygonalMap& map);
   Status SetUpObservability();
   void RefreshGauges();
-  QueryResponse ExecuteOne(SpatialIndex* idx, const QueryRequest& q);
+  QueryResponse ExecuteOne(ServedIndex which, SpatialIndex* idx,
+                           const QueryRequest& q);
   LatencyHistogram* histogram(ServedIndex which, QueryType type) {
     return histograms_[static_cast<size_t>(which)][static_cast<size_t>(type)]
         .get();
@@ -124,9 +157,15 @@ class QueryService {
   std::unique_ptr<SegmentTable> segs_;
 
   std::unique_ptr<MemPageFile> rstar_file_, rplus_file_, pmr_file_;
+  /// [ServedIndex] fault injectors between each structure's pool and its
+  /// backing file; transparent until a plan is armed.
+  std::unique_ptr<FaultInjectingPageFile>
+      injectors_[std::size(kAllServedIndexes)];
   std::unique_ptr<RStarTree> rstar_;
   std::unique_ptr<RPlusTree> rplus_;
   std::unique_ptr<PmrQuadtree> pmr_;
+  /// [ServedIndex] per-structure degradation breakers.
+  CircuitBreaker breakers_[std::size(kAllServedIndexes)];
 
   std::unique_ptr<WorkerPool> workers_;
 

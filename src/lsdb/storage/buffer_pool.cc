@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lsdb/obs/tracer.h"
+#include "lsdb/util/crc32c.h"
 
 namespace lsdb {
 
@@ -81,6 +82,44 @@ void BufferPool::PinLocked(uint32_t frame) {
   ++pins_by_thread_[std::this_thread::get_id()];
 }
 
+Status BufferPool::ReadPageVerified(PageId id, uint8_t* buf) {
+  for (uint32_t attempt = 1;; ++attempt) {
+    uint32_t stored = 0;
+    const Status s = file_->Read(id, buf, &stored);
+    if (s.ok()) {
+      if (crc32c::Compute(buf, file_->page_size()) != stored) {
+        ++checksum_failures_;
+        return Status::Corruption("page " + std::to_string(id) +
+                                  " failed checksum verification");
+      }
+      return s;
+    }
+    // Only transient-looking IO errors are worth retrying; corruption and
+    // argument errors are final.
+    if (!s.IsIoError() || attempt >= retry_max_attempts_) return s;
+    ++io_retries_;
+    if (retry_backoff_us_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(retry_backoff_us_ * attempt));
+    }
+  }
+}
+
+Status BufferPool::WritePageStamped(PageId id, const uint8_t* buf) {
+  const uint32_t crc = crc32c::Compute(buf, file_->page_size());
+  for (uint32_t attempt = 1;; ++attempt) {
+    const Status s = file_->Write(id, buf, crc);
+    if (s.ok() || !s.IsIoError() || attempt >= retry_max_attempts_) {
+      return s;
+    }
+    ++io_retries_;
+    if (retry_backoff_us_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(retry_backoff_us_ * attempt));
+    }
+  }
+}
+
 StatusOr<uint32_t> BufferPool::GetVictimFrame(
     std::unique_lock<std::mutex>& lk) {
   if (!free_frames_.empty()) {
@@ -95,7 +134,15 @@ StatusOr<uint32_t> BufferPool::GetVictimFrame(
     fr.in_lru = false;
     assert(fr.pin_count == 0);
     if (fr.dirty) {
-      LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
+      const Status s = WritePageStamped(fr.page, fr.buf.data());
+      if (!s.ok()) {
+        // Re-insert the frame at the LRU head. Leaving it out would leak
+        // it — still mapped in page_to_frame_ but never evictable again —
+        // and a few failed write-backs would wedge the whole pool.
+        fr.lru_pos = lru_.insert(lru_.begin(), f);
+        fr.in_lru = true;
+        return s;
+      }
       if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_writes;
       fr.dirty = false;
     }
@@ -163,7 +210,7 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
     if (*victim == kRetryFrame) continue;  // waited: re-check the page map
     const uint32_t f = *victim;
     Frame& fr = frames_[f];
-    const Status s = file_->Read(id, fr.buf.data());
+    const Status s = ReadPageVerified(id, fr.buf.data());
     if (!s.ok()) {
       free_frames_.push_back(f);
       frame_released_.notify_one();
@@ -208,7 +255,7 @@ Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lk(mu_);
   for (Frame& fr : frames_) {
     if (fr.page != kInvalidPageId && fr.dirty) {
-      LSDB_RETURN_IF_ERROR(file_->Write(fr.page, fr.buf.data()));
+      LSDB_RETURN_IF_ERROR(WritePageStamped(fr.page, fr.buf.data()));
       if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_writes;
       fr.dirty = false;
     }
@@ -262,6 +309,22 @@ double BufferPool::hit_ratio() const {
   const uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0
                     : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+uint64_t BufferPool::io_retries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return io_retries_;
+}
+
+uint64_t BufferPool::checksum_failures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return checksum_failures_;
+}
+
+void BufferPool::SetRetryPolicy(uint32_t max_attempts, uint32_t backoff_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  retry_max_attempts_ = max_attempts < 1 ? 1 : max_attempts;
+  retry_backoff_us_ = backoff_us;
 }
 
 void BufferPool::SetTracer(Tracer* tracer, std::string pool_name) {

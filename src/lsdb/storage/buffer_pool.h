@@ -50,6 +50,12 @@ class BufferPool {
   /// release a pin before giving up with ResourceExhausted.
   static constexpr int kExhaustedWaitMs = 1000;
 
+  /// Default bounded-retry policy for transient kIoError from the backing
+  /// file: total attempts per IO, and the linear backoff unit between them
+  /// (attempt k sleeps k * backoff_us). Deterministic — no jitter.
+  static constexpr uint32_t kDefaultIoAttempts = 3;
+  static constexpr uint32_t kDefaultIoBackoffUs = 100;
+
   /// `metrics` may be null (counters dropped). The pool does not own either
   /// pointer; both must outlive it.
   BufferPool(PageFile* file, uint32_t frame_count, MetricCounters* metrics);
@@ -121,6 +127,17 @@ class BufferPool {
   /// hits / (hits + misses); 0 when no fetches have happened yet. New()
   /// calls are neither hits nor misses (they never read the file).
   double hit_ratio() const;
+  /// Transient-IO retries performed (reads + write-backs, all attempts
+  /// after the first).
+  uint64_t io_retries() const;
+  /// Pages that failed CRC verification on miss (each surfaced to the
+  /// caller as Status::Corruption).
+  uint64_t checksum_failures() const;
+
+  /// Overrides the transient-IO retry policy. `max_attempts` >= 1 is the
+  /// total tries per IO (1 = no retry); `backoff_us` the linear backoff
+  /// unit. Call before sharing the pool across threads.
+  void SetRetryPolicy(uint32_t max_attempts, uint32_t backoff_us);
 
   /// Attaches `tracer` (not owned; may be null to detach) so pool events —
   /// hit / miss / eviction / pin_wait — are emitted as sampled JSONL
@@ -143,6 +160,13 @@ class BufferPool {
   /// when all frames are pinned by *other* threads — waits for a release.
   /// Requires `lk` held; may drop it while waiting.
   StatusOr<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lk);
+  /// Reads page `id` from the file with bounded transient-IO retries, then
+  /// verifies its stored CRC-32C; a mismatch is Status::Corruption. Called
+  /// with mu_ held (page IO is serialized by design; see file comment).
+  Status ReadPageVerified(PageId id, uint8_t* buf);
+  /// Computes and stamps the page checksum, then writes with bounded
+  /// transient-IO retries. Called with mu_ held.
+  Status WritePageStamped(PageId id, const uint8_t* buf);
   void PinLocked(uint32_t frame);
   void Unpin(uint32_t frame);
   uint32_t SelfPinsLocked() const;
@@ -167,6 +191,10 @@ class BufferPool {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t pin_waits_ = 0;
+  uint64_t io_retries_ = 0;
+  uint64_t checksum_failures_ = 0;
+  uint32_t retry_max_attempts_ = kDefaultIoAttempts;
+  uint32_t retry_backoff_us_ = kDefaultIoBackoffUs;
   Tracer* tracer_ = nullptr;  ///< Not owned; null = no tracing.
   std::string pool_name_;
 };

@@ -7,9 +7,61 @@
 #include <cerrno>
 #include <cstring>
 
+#include "lsdb/util/crc32c.h"
+
 namespace lsdb {
 
-MemPageFile::MemPageFile(uint32_t page_size) : PageFile(page_size) {
+namespace {
+
+/// pread that retries EINTR and continues after short transfers until `n`
+/// bytes are read. Hitting EOF mid-page is an error (the page is supposed
+/// to exist in full).
+Status FullPread(int fd, void* buf, size_t n, off_t off) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IoError("pread: unexpected end of file");
+    p += r;
+    off += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// pwrite that retries EINTR and continues after short transfers.
+Status FullPwrite(int fd, const void* buf, size_t n, off_t off) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pwrite(fd, p, n, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IoError("pwrite: wrote zero bytes");
+    p += r;
+    off += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+uint32_t ZeroPageCrc(uint32_t page_size) {
+  std::vector<uint8_t> zero(page_size, 0);
+  return crc32c::Compute(zero.data(), zero.size());
+}
+
+}  // namespace
+
+Status PageFile::Write(PageId id, const void* buf) {
+  return Write(id, buf, crc32c::Compute(buf, page_size_));
+}
+
+MemPageFile::MemPageFile(uint32_t page_size)
+    : PageFile(page_size), zero_crc_(ZeroPageCrc(page_size)) {
   assert(page_size >= 64);
 }
 
@@ -21,19 +73,21 @@ uint32_t MemPageFile::live_page_count() const {
   return static_cast<uint32_t>(pages_.size() - free_list_.size());
 }
 
-Status MemPageFile::Read(PageId id, void* buf) {
+Status MemPageFile::Read(PageId id, void* buf, uint32_t* checksum) {
   if (id >= pages_.size() || !live_[id]) {
     return Status::InvalidArgument("read of unallocated page");
   }
   std::memcpy(buf, pages_[id].get(), page_size_);
+  *checksum = crcs_[id];
   return Status::OK();
 }
 
-Status MemPageFile::Write(PageId id, const void* buf) {
+Status MemPageFile::Write(PageId id, const void* buf, uint32_t checksum) {
   if (id >= pages_.size() || !live_[id]) {
     return Status::InvalidArgument("write of unallocated page");
   }
   std::memcpy(pages_[id].get(), buf, page_size_);
+  crcs_[id] = checksum;
   return Status::OK();
 }
 
@@ -43,12 +97,14 @@ StatusOr<PageId> MemPageFile::Allocate() {
     free_list_.pop_back();
     live_[id] = true;
     std::memset(pages_[id].get(), 0, page_size_);
+    crcs_[id] = zero_crc_;
     return id;
   }
   const PageId id = static_cast<PageId>(pages_.size());
   auto page = std::make_unique<uint8_t[]>(page_size_);
   std::memset(page.get(), 0, page_size_);
   pages_.push_back(std::move(page));
+  crcs_.push_back(zero_crc_);
   live_.push_back(true);
   return id;
 }
@@ -78,13 +134,15 @@ StatusOr<std::unique_ptr<PosixPageFile>> PosixPageFile::Open(
     return Status::IoError("open " + path + ": " + std::strerror(errno));
   }
   const off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0 || size % page_size != 0) {
+  const uint32_t slot = page_size + kPageTrailerSize;
+  if (size < 0 || size % slot != 0) {
     ::close(fd);
-    return Status::Corruption("file size is not a multiple of page size");
+    return Status::Corruption(
+        "file size is not a multiple of the page slot size");
   }
   auto file =
       std::unique_ptr<PosixPageFile>(new PosixPageFile(fd, page_size));
-  file->page_count_ = static_cast<uint32_t>(size / page_size);
+  file->page_count_ = static_cast<uint32_t>(size / slot);
   file->live_.assign(file->page_count_, true);
   return file;
 }
@@ -102,43 +160,50 @@ uint32_t PosixPageFile::live_page_count() const {
   return page_count_ - static_cast<uint32_t>(free_list_.size());
 }
 
-Status PosixPageFile::Read(PageId id, void* buf) {
+Status PosixPageFile::Read(PageId id, void* buf, uint32_t* checksum) {
   if (id >= page_count_ || !live_[id]) {
     return Status::InvalidArgument("read of unallocated page");
   }
-  const off_t off = static_cast<off_t>(id) * page_size_;
-  const ssize_t n = ::pread(fd_, buf, page_size_, off);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pread failed");
-  }
+  LSDB_RETURN_IF_ERROR(FullPread(fd_, buf, page_size_, SlotOffset(id)));
+  uint8_t trailer[kPageTrailerSize];
+  LSDB_RETURN_IF_ERROR(FullPread(fd_, trailer, sizeof(trailer),
+                                 SlotOffset(id) + page_size_));
+  *checksum = static_cast<uint32_t>(trailer[0]) |
+              static_cast<uint32_t>(trailer[1]) << 8 |
+              static_cast<uint32_t>(trailer[2]) << 16 |
+              static_cast<uint32_t>(trailer[3]) << 24;
   return Status::OK();
 }
 
-Status PosixPageFile::Write(PageId id, const void* buf) {
+Status PosixPageFile::Write(PageId id, const void* buf, uint32_t checksum) {
   if (id >= page_count_ || !live_[id]) {
     return Status::InvalidArgument("write of unallocated page");
   }
-  const off_t off = static_cast<off_t>(id) * page_size_;
-  const ssize_t n = ::pwrite(fd_, buf, page_size_, off);
-  if (n != static_cast<ssize_t>(page_size_)) {
-    return Status::IoError("pwrite failed");
-  }
-  return Status::OK();
+  // One contiguous slot write: page bytes then the trailer, so a page and
+  // its checksum are always issued together.
+  std::vector<uint8_t> slot(slot_size());
+  std::memcpy(slot.data(), buf, page_size_);
+  slot[page_size_] = static_cast<uint8_t>(checksum);
+  slot[page_size_ + 1] = static_cast<uint8_t>(checksum >> 8);
+  slot[page_size_ + 2] = static_cast<uint8_t>(checksum >> 16);
+  slot[page_size_ + 3] = static_cast<uint8_t>(checksum >> 24);
+  return FullPwrite(fd_, slot.data(), slot.size(), SlotOffset(id));
 }
 
 StatusOr<PageId> PosixPageFile::Allocate() {
   std::vector<uint8_t> zero(page_size_, 0);
+  const uint32_t zero_crc = crc32c::Compute(zero.data(), zero.size());
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
     live_[id] = true;
-    LSDB_RETURN_IF_ERROR(Write(id, zero.data()));
+    LSDB_RETURN_IF_ERROR(Write(id, zero.data(), zero_crc));
     return id;
   }
   const PageId id = page_count_;
   ++page_count_;
   live_.push_back(true);
-  const Status s = Write(id, zero.data());
+  const Status s = Write(id, zero.data(), zero_crc);
   if (!s.ok()) {
     --page_count_;
     live_.pop_back();

@@ -5,13 +5,25 @@
 // is the raw storage; all access goes through a BufferPool which implements
 // the 16-page LRU cache of the paper and counts disk accesses.
 //
+// Checksums: each stored page carries a CRC-32C of its contents, kept
+// *out of band* — the logical page stays exactly page_size bytes, so page
+// capacities (and therefore the paper's Table 1/2 metrics) are unchanged.
+// The backend stores the checksum next to the page (a trailer on disk, a
+// side array in memory) and hands it back on Read; the BufferPool stamps it
+// on write-back and verifies it on miss, surfacing silent corruption as
+// Status::Corruption. Backends never verify themselves: the fault-injection
+// decorator sits between pool and backend, so corruption it introduces is
+// caught by the pool exactly like real media corruption.
+//
 // Two backends are provided:
 //  * MemPageFile   — pages live in memory. Used by tests and benchmarks;
 //                    disk-access *counts* are identical to a real disk
 //                    because they are produced by the buffer pool, not the
 //                    backend.
 //  * PosixPageFile — pages live in a real file (pread/pwrite), demonstrating
-//                    that the structures are genuinely disk-resident.
+//                    that the structures are genuinely disk-resident. On
+//                    disk each page occupies page_size + 4 bytes: the page
+//                    followed by its little-endian CRC-32C trailer.
 
 #ifndef LSDB_STORAGE_PAGE_FILE_H_
 #define LSDB_STORAGE_PAGE_FILE_H_
@@ -27,6 +39,9 @@ namespace lsdb {
 
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Bytes of per-page checksum trailer stored by on-disk backends.
+inline constexpr uint32_t kPageTrailerSize = 4;
 
 /// Abstract fixed-page storage.
 class PageFile {
@@ -44,41 +59,64 @@ class PageFile {
   /// Number of currently live (allocated and not freed) pages.
   virtual uint32_t live_page_count() const = 0;
 
-  /// Reads page `id` into `buf` (page_size bytes).
-  virtual Status Read(PageId id, void* buf) = 0;
-  /// Writes page `id` from `buf` (page_size bytes).
-  virtual Status Write(PageId id, const void* buf) = 0;
-  /// Allocates a zeroed page, reusing freed pages when possible.
+  /// Reads page `id` into `buf` (page_size bytes) and its stored CRC-32C
+  /// into `*checksum`. The backend does not verify; the caller (normally
+  /// the BufferPool) compares against crc32c::Compute of `buf`.
+  virtual Status Read(PageId id, void* buf, uint32_t* checksum) = 0;
+  /// Writes page `id` from `buf` (page_size bytes) with `checksum` stored
+  /// alongside it.
+  virtual Status Write(PageId id, const void* buf, uint32_t checksum) = 0;
+  /// Allocates a zeroed page (with a matching stored checksum), reusing
+  /// freed pages when possible.
   virtual StatusOr<PageId> Allocate() = 0;
   /// Returns a page to the free list. The caller must ensure no live
   /// references remain.
   virtual Status Free(PageId id) = 0;
 
+  /// Convenience: read discarding the stored checksum (no verification).
+  Status Read(PageId id, void* buf) {
+    uint32_t crc;
+    return Read(id, buf, &crc);
+  }
+  /// Convenience: write computing the checksum from `buf`.
+  Status Write(PageId id, const void* buf);
+
  protected:
   uint32_t page_size_;
 };
 
-/// In-memory page file.
+/// In-memory page file. Checksums live in a side array — same verification
+/// semantics as the on-disk layout without changing page addressing.
 class MemPageFile : public PageFile {
  public:
   explicit MemPageFile(uint32_t page_size);
 
+  using PageFile::Read;
+  using PageFile::Write;
+
   uint32_t page_count() const override;
   uint32_t live_page_count() const override;
-  Status Read(PageId id, void* buf) override;
-  Status Write(PageId id, const void* buf) override;
+  Status Read(PageId id, void* buf, uint32_t* checksum) override;
+  Status Write(PageId id, const void* buf, uint32_t checksum) override;
   StatusOr<PageId> Allocate() override;
   Status Free(PageId id) override;
 
  private:
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  std::vector<uint32_t> crcs_;  ///< Stored checksum per page.
   std::vector<PageId> free_list_;
   std::vector<bool> live_;
+  const uint32_t zero_crc_;  ///< CRC-32C of an all-zero page.
 };
 
 /// POSIX file-backed page file. The free list is kept in memory for the
 /// lifetime of the object; persisting it across process restarts is out of
 /// scope for this study (the paper builds its structures fresh per run).
+///
+/// On-disk layout: page `id` occupies bytes [id * (page_size + 4),
+/// (id + 1) * (page_size + 4)): page_size content bytes followed by the
+/// 4-byte little-endian CRC-32C trailer. All transfers loop over short
+/// pread/pwrite returns and retry EINTR.
 class PosixPageFile : public PageFile {
  public:
   /// Creates (truncates) `path`.
@@ -91,15 +129,23 @@ class PosixPageFile : public PageFile {
       const std::string& path, uint32_t page_size);
   ~PosixPageFile() override;
 
+  using PageFile::Read;
+  using PageFile::Write;
+
   uint32_t page_count() const override;
   uint32_t live_page_count() const override;
-  Status Read(PageId id, void* buf) override;
-  Status Write(PageId id, const void* buf) override;
+  Status Read(PageId id, void* buf, uint32_t* checksum) override;
+  Status Write(PageId id, const void* buf, uint32_t checksum) override;
   StatusOr<PageId> Allocate() override;
   Status Free(PageId id) override;
 
  private:
   PosixPageFile(int fd, uint32_t page_size);
+
+  uint32_t slot_size() const { return page_size_ + kPageTrailerSize; }
+  off_t SlotOffset(PageId id) const {
+    return static_cast<off_t>(id) * slot_size();
+  }
 
   int fd_;
   uint32_t page_count_ = 0;

@@ -1,0 +1,29 @@
+// Copyright (c) lsdb authors. Licensed under the MIT license.
+//
+// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+// Used as the 4-byte page-trailer checksum in the storage layer: the
+// BufferPool stamps it on every page written back and verifies it on every
+// page read, turning silent on-disk corruption (bit flips, torn writes)
+// into a typed Status::Corruption instead of garbage traversal.
+//
+// Implementation is a portable slice-by-8 table walk — no hardware
+// dependencies, identical results on every platform, ~1 GB/s which is far
+// above anything the 1K-page storage layer needs.
+
+#ifndef LSDB_UTIL_CRC32C_H_
+#define LSDB_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lsdb {
+namespace crc32c {
+
+/// CRC-32C of `n` bytes at `data`. `init` chains computations: pass the
+/// previous result to extend a running checksum, 0 to start fresh.
+uint32_t Compute(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace crc32c
+}  // namespace lsdb
+
+#endif  // LSDB_UTIL_CRC32C_H_

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kResourceExhausted = 5, ///< E.g. buffer pool has no evictable frame.
   kUnimplemented = 6,   ///< Feature intentionally not supported.
   kInternal = 7,        ///< Invariant violation inside the library.
+  kUnavailable = 8,     ///< Degraded component; request rejected fast.
 };
 
 /// Value-semantic result of a fallible operation.
@@ -57,6 +58,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -64,6 +68,8 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
@@ -122,6 +128,19 @@ class StatusOr {
     ::lsdb::Status _st = (expr);            \
     if (!_st.ok()) return _st;              \
   } while (0)
+
+/// Evaluate `expr` (a StatusOr<T>); on error return its Status, otherwise
+/// assign the value to `lhs`, which may be a declaration:
+///   LSDB_ASSIGN_OR_RETURN(auto page, pool->Fetch(id));
+#define LSDB_ASSIGN_OR_RETURN(lhs, expr)                                \
+  LSDB_ASSIGN_OR_RETURN_IMPL_(LSDB_STATUS_CONCAT_(_statusor_, __LINE__), \
+                              lhs, expr)
+#define LSDB_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+#define LSDB_STATUS_CONCAT_(a, b) LSDB_STATUS_CONCAT_IMPL_(a, b)
+#define LSDB_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace lsdb
 

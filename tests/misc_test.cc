@@ -118,13 +118,13 @@ class FaultyPageFile : public PageFile {
   uint32_t live_page_count() const override {
     return inner_.live_page_count();
   }
-  Status Read(PageId id, void* buf) override {
+  Status Read(PageId id, void* buf, uint32_t* checksum) override {
     if (Spend()) return Status::IoError("injected read fault");
-    return inner_.Read(id, buf);
+    return inner_.Read(id, buf, checksum);
   }
-  Status Write(PageId id, const void* buf) override {
+  Status Write(PageId id, const void* buf, uint32_t checksum) override {
     if (Spend()) return Status::IoError("injected write fault");
-    return inner_.Write(id, buf);
+    return inner_.Write(id, buf, checksum);
   }
   StatusOr<PageId> Allocate() override {
     if (Spend()) return Status::IoError("injected alloc fault");

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
 
 #include "lsdb/grid/uniform_grid.h"
@@ -108,6 +109,95 @@ TYPED_TEST(PersistenceTest, ReopenedIndexAnswersIdentically) {
                      extra.SquaredDistanceTo(Point{8, 8}));
     ASSERT_TRUE(index.CheckInvariants().ok());
   }
+}
+
+// On-disk corruption round trip: flip one byte in the middle of every data
+// page of the index file (leaving the CRC trailers as-is), reopen, and run
+// queries. Every operation must either succeed or fail with a *typed*
+// kCorruption — never crash, hang, or silently return wrong data — and at
+// least one corruption must actually be reported.
+TYPED_TEST(PersistenceTest, OnDiskCorruptionIsTypedNotFatal) {
+  const IndexOptions opt = TestOptions();
+  const std::string table_path =
+      ::testing::TempDir() + "/lsdb_corrupt_table.pages";
+  const std::string index_path =
+      ::testing::TempDir() + "/lsdb_corrupt_index.pages";
+  Rng rng(43);
+  const auto segs = RandomSegments(&rng, 300, 1024, 96);
+  {
+    auto table_file = PosixPageFile::Create(table_path, opt.page_size);
+    auto index_file = PosixPageFile::Create(index_path, opt.page_size);
+    ASSERT_TRUE(table_file.ok() && index_file.ok());
+    BufferPool table_pool(table_file->get(), opt.buffer_frames, nullptr);
+    SegmentTable table(&table_pool, nullptr);
+    TypeParam index(opt, index_file->get(), &table);
+    ASSERT_TRUE(index.Init().ok());
+    for (const Segment& s : segs) {
+      auto id = table.Append(s);
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(index.Insert(*id, s).ok());
+    }
+    ASSERT_TRUE(index.Flush().ok());
+    ASSERT_TRUE(table.Flush().ok());
+  }
+
+  // Corrupt every page except page 0 (the superblock), so Open() succeeds
+  // and the damage is discovered on the query path. One flipped byte in the
+  // middle of the page invalidates its CRC-32C trailer.
+  const uint64_t slot = opt.page_size + kPageTrailerSize;
+  {
+    std::fstream f(index_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(0, std::ios::end);
+    const uint64_t bytes = static_cast<uint64_t>(f.tellg());
+    ASSERT_EQ(bytes % slot, 0u);
+    const uint64_t pages = bytes / slot;
+    ASSERT_GT(pages, 1u);
+    for (uint64_t p = 1; p < pages; ++p) {
+      const uint64_t off = p * slot + opt.page_size / 2;
+      f.seekg(static_cast<std::streamoff>(off));
+      char b = 0;
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x40);
+      f.seekp(static_cast<std::streamoff>(off));
+      f.write(&b, 1);
+    }
+  }
+
+  auto table_file = PosixPageFile::Open(table_path, opt.page_size);
+  auto index_file = PosixPageFile::Open(index_path, opt.page_size);
+  ASSERT_TRUE(table_file.ok() && index_file.ok());
+  BufferPool table_pool(table_file->get(), opt.buffer_frames, nullptr);
+  SegmentTable table(&table_pool, nullptr);
+  ASSERT_TRUE(table.Open().ok());
+  TypeParam index(opt, index_file->get(), &table);
+  const Status open_status = index.Open();
+  int corruptions = 0;
+  if (open_status.ok()) {
+    Rng qrng(44);
+    for (int i = 0; i < 25; ++i) {
+      const Point a{static_cast<Coord>(qrng.Uniform(1024)),
+                    static_cast<Coord>(qrng.Uniform(1024))};
+      const Point b{static_cast<Coord>(qrng.Uniform(1024)),
+                    static_cast<Coord>(qrng.Uniform(1024))};
+      std::vector<SegmentHit> hits;
+      const Status s = index.WindowQueryEx(Rect::Bound(a, b), &hits);
+      ASSERT_TRUE(s.ok() || s.IsCorruption()) << s.ToString();
+      corruptions += s.IsCorruption();
+      auto nn = index.Nearest(a);
+      ASSERT_TRUE(nn.ok() || nn.status().IsCorruption() ||
+                  nn.status().IsNotFound())
+          << nn.status().ToString();
+      corruptions += nn.status().IsCorruption();
+    }
+  } else {
+    // Some structures read beyond the superblock on Open; that read is
+    // allowed to surface the corruption immediately.
+    ASSERT_TRUE(open_status.IsCorruption()) << open_status.ToString();
+    corruptions = 1;
+  }
+  EXPECT_GT(corruptions, 0);
 }
 
 TEST(PersistenceNegativeTest, KindMismatchRejected) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -275,6 +276,138 @@ TEST_F(QueryServiceTest, ConcurrentCallersOnSharedSegmentTable) {
   ASSERT_TRUE(r1.ok() && r2.ok());
   EXPECT_TRUE(SameResponses(*r1, *seq_rstar));
   EXPECT_TRUE(SameResponses(*r2, *seq_pmr));
+}
+
+// -- Robustness --------------------------------------------------------------
+
+bool IsTypedServingStatus(const Status& s) {
+  return s.ok() || s.IsIoError() || s.IsCorruption() || s.IsUnavailable() ||
+         s.IsNotFound();
+}
+
+class ServiceRobustnessTest : public ::testing::Test {
+ protected:
+  void Build(const ServiceOptions& base) {
+    map_ = SmallMap();
+    ServiceOptions opt = base;
+    // Small serving pools so queries actually reach the (possibly faulty)
+    // page files instead of being absorbed by a warm cache.
+    opt.serving_buffer_frames = 16;
+    auto svc = QueryService::Build(map_, opt);
+    ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+    svc_ = std::move(*svc);
+  }
+
+  /// Full-world windows: each touches more pages than the 16-frame pool
+  /// holds, so every query performs real reads.
+  std::vector<QueryRequest> FullWindows(size_t n) {
+    return std::vector<QueryRequest>(
+        n, QueryRequest::WindowQ(Rect::Of(0, 0, 16383, 16383)));
+  }
+
+  PolygonalMap map_;
+  std::unique_ptr<QueryService> svc_;
+};
+
+TEST_F(ServiceRobustnessTest, BreakerTripsWhileOtherStructuresKeepServing) {
+  Build(ServiceOptions{});
+  std::ostringstream trace;
+  svc_->tracer().AttachStream(&trace);
+  auto probe_batch = MixedBatch(map_, 100, 21);
+  auto rstar_baseline =
+      svc_->ExecuteBatchSequential(ServedIndex::kRStar, probe_batch);
+  auto pmr_baseline =
+      svc_->ExecuteBatchSequential(ServedIndex::kPmr, probe_batch);
+  ASSERT_TRUE(rstar_baseline.ok() && pmr_baseline.ok());
+
+  // Kill the R+-tree's storage outright.
+  svc_->fault_injector(ServedIndex::kRPlus)->FailAllReads(true);
+  auto dead = svc_->ExecuteBatchSequential(ServedIndex::kRPlus,
+                                           FullWindows(100));
+  ASSERT_TRUE(dead.ok());
+  size_t io_errors = 0, unavailable = 0;
+  for (const QueryResponse& r : dead->responses) {
+    ASSERT_TRUE(r.status.IsIoError() || r.status.IsUnavailable())
+        << r.status.ToString();
+    io_errors += r.status.IsIoError();
+    unavailable += r.status.IsUnavailable();
+  }
+  EXPECT_TRUE(svc_->degraded(ServedIndex::kRPlus));
+  EXPECT_GE(io_errors, svc_->breaker(ServedIndex::kRPlus)
+                           .options().failure_threshold);
+  EXPECT_GT(unavailable, 0u);  // breaker rejected the bulk without I/O
+  EXPECT_GE(svc_->breaker(ServedIndex::kRPlus).times_opened(), 1u);
+  EXPECT_NE(trace.str().find("\"state\":\"breaker_open\""), std::string::npos);
+
+  // The sibling structures are untouched and still answer correctly.
+  auto rstar_now =
+      svc_->ExecuteBatchSequential(ServedIndex::kRStar, probe_batch);
+  auto pmr_now = svc_->ExecuteBatchSequential(ServedIndex::kPmr, probe_batch);
+  ASSERT_TRUE(rstar_now.ok() && pmr_now.ok());
+  EXPECT_TRUE(SameResponses(*rstar_now, *rstar_baseline));
+  EXPECT_TRUE(SameResponses(*pmr_now, *pmr_baseline));
+  EXPECT_FALSE(svc_->degraded(ServedIndex::kRStar));
+  EXPECT_FALSE(svc_->degraded(ServedIndex::kPmr));
+
+  // Storage heals: a half-open probe succeeds and the breaker closes.
+  svc_->fault_injector(ServedIndex::kRPlus)->FailAllReads(false);
+  auto healed = svc_->ExecuteBatchSequential(
+      ServedIndex::kRPlus,
+      FullWindows(2 * svc_->breaker(ServedIndex::kRPlus)
+                          .options().probe_interval + 2));
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(svc_->degraded(ServedIndex::kRPlus));
+  EXPECT_TRUE(healed->responses.back().status.ok());
+  EXPECT_NE(trace.str().find("\"state\":\"breaker_closed\""),
+            std::string::npos);
+  svc_->tracer().Close();
+}
+
+// The acceptance scenario from the issue: a seeded 1% transient-read +
+// 0.1% bit-flip plan, 10k mixed queries per structure across 4 workers.
+// The batch must complete with every response either ok or a typed
+// kIoError / kCorruption / kUnavailable — no crashes, no untyped errors.
+TEST_F(ServiceRobustnessTest, SeededFaultPlanTenThousandQueriesAllTyped) {
+  ServiceOptions opt;
+  opt.num_threads = 4;
+  opt.inject_faults = true;
+  opt.fault_plan.read_transient_rate = 0.01;
+  opt.fault_plan.bitflip_rate = 0.001;
+  Build(opt);
+  auto batch = MixedBatch(map_, 10000, 42);
+  for (ServedIndex which : kAllServedIndexes) {
+    auto res = svc_->ExecuteBatch(which, batch);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    size_t ok = 0;
+    for (const QueryResponse& r : res->responses) {
+      ASSERT_TRUE(IsTypedServingStatus(r.status))
+          << ServedIndexName(which) << ": " << r.status.ToString();
+      ok += r.status.ok();
+    }
+    // Retries absorb most transient faults; the vast majority succeeds.
+    EXPECT_GT(ok, batch.size() / 2) << ServedIndexName(which);
+    EXPECT_GT(svc_->fault_injector(which)->stats().total_faults(), 0u)
+        << ServedIndexName(which);
+  }
+  // The robustness metrics are exported through the /metrics snapshot.
+  const std::string prom = svc_->stats().RenderPrometheus();
+  for (const char* metric :
+       {"lsdb_fault_reads", "lsdb_fault_read_transient", "lsdb_fault_bitflips",
+        "lsdb_fault_total", "lsdb_degraded", "lsdb_breaker_rejected_total",
+        "lsdb_pool_io_retries", "lsdb_pool_checksum_failures"}) {
+    EXPECT_NE(prom.find(metric), std::string::npos) << metric;
+  }
+}
+
+TEST_F(ServiceRobustnessTest, InjectionOffLeavesServingFaultFree) {
+  Build(ServiceOptions{});
+  for (ServedIndex which : kAllServedIndexes) {
+    auto res = svc_->ExecuteBatch(which, MixedBatch(map_, 200, 17));
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(svc_->fault_injector(which)->stats().total_faults(), 0u);
+    EXPECT_FALSE(svc_->degraded(which));
+    EXPECT_EQ(svc_->breaker(which).times_opened(), 0u);
+  }
 }
 
 }  // namespace

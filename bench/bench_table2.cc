@@ -12,6 +12,7 @@
 //   bbox/bucket comps gap: PMR two orders of magnitude below the R-trees.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "lsdb/harness/experiment.h"
@@ -21,17 +22,30 @@ using namespace lsdb;        // NOLINT
 using namespace lsdb::bench; // NOLINT
 
 int main(int argc, char** argv) {
-  const std::string county = argc > 1 ? argv[1] : "Charles";
+  // --bulk builds the structures bottom-up (src/lsdb/build/); query
+  // metrics then reflect the packed layout rather than the paper's
+  // incrementally grown one.
+  bool bulk = false;
+  std::string county = "Charles";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bulk") == 0) {
+      bulk = true;
+    } else {
+      county = argv[i];
+    }
+  }
   const PolygonalMap map = CountyMap(county);
   if (map.segments.empty()) {
     std::fprintf(stderr, "unknown county %s\n", county.c_str());
     return 1;
   }
   std::printf("Table 2: per-query metrics for %s county (%zu segments,"
-              " 1000 queries per workload)\n\n",
-              county.c_str(), map.segments.size());
+              " 1000 queries per workload)%s\n\n",
+              county.c_str(), map.segments.size(),
+              bulk ? " [bulk-loaded]" : "");
 
   ExperimentOptions opt;  // paper defaults: 1K pages, 16 frames, 1000 q
+  opt.bulk_build = bulk;
   Experiment exp(map, opt);
   Status st = exp.BuildAll();
   if (!st.ok()) {

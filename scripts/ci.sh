@@ -13,7 +13,9 @@
 #         even while pages are corrupted and reads fail.
 # Tier 3: smoke-run the service observability bench and validate its
 #         machine-readable BENCH_service.json against the minimal schema,
-#         robustness keys included.
+#         robustness keys included; smoke-run the bulk-build bench —
+#         whose exit status already enforces bulk-vs-incremental query
+#         equivalence and invariants — and validate BENCH_build.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,7 +33,7 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
 cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lsdb_tests \
-  --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*'
+  --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*:BulkLoadTest.*'
 
 ./build/bench/bench_service_observability Charles 2000 build/BENCH_service.json 4
 python3 - <<'EOF'
@@ -57,6 +59,30 @@ for s in doc["structures"]:
 for line in open("build/BENCH_service.json.trace.jsonl"):
     json.loads(line)
 print("BENCH_service.json schema ok")
+EOF
+
+./build/bench/bench_bulk_build --smoke Charles build/BENCH_build.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("build/BENCH_build.json"))
+for key in ("bench", "county", "segments", "smoke", "structures"):
+    assert key in doc, f"BENCH_build.json missing key: {key}"
+assert doc["bench"] == "bulk_build"
+assert doc["smoke"] is True and doc["segments"] > 0
+assert [s["index"] for s in doc["structures"]] == ["R*", "R+", "PMR"]
+for s in doc["structures"]:
+    for key in ("incremental", "bulk", "speedup", "equivalent",
+                "invariants_ok"):
+        assert key in s, f"structure entry missing key: {key}"
+    for side in (s["incremental"], s["bulk"]):
+        for key in ("seconds", "disk_accesses", "pages", "height",
+                    "avg_occupancy"):
+            assert key in side, f"build side missing key: {key}"
+        assert side["pages"] > 0 and side["height"] >= 1
+    # The bench exits nonzero on failed checks; assert anyway so a stale
+    # file cannot pass.
+    assert s["equivalent"] is True and s["invariants_ok"] is True
+print("BENCH_build.json schema ok")
 EOF
 
 echo "ci: all checks passed"

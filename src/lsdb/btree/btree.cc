@@ -256,6 +256,115 @@ Status BTree::InsertRec(PageId node_id, uint64_t key,
   return Status::OK();
 }
 
+namespace {
+
+/// Number of groups to pack `n` items into so that every group holds at
+/// least `min_per` and at most `2 * min_per - 1 + (target - min_per)`...
+/// concretely: start from ceil(n / target) groups and shed groups until
+/// the evenly distributed minimum floor(n / k) reaches `min_per`. The
+/// caller distributes remainders one-per-group from the left, so group
+/// sizes are floor(n/k) or floor(n/k)+1, and floor(n/k)+1 never exceeds
+/// `target` <= capacity (if it did, ceil(n/target) would have been larger).
+uint64_t PackGroupCount(uint64_t n, uint64_t target, uint64_t min_per) {
+  uint64_t k = (n + target - 1) / target;
+  while (k > 1 && n / k < min_per) --k;
+  return k;
+}
+
+}  // namespace
+
+Status BTree::BulkLoad(const std::vector<uint64_t>& keys,
+                       const uint8_t* payloads, double fill) {
+  if (size_ != 0 || height_ != 1 || live_pages_ != 1) {
+    return Status::InvalidArgument("BulkLoad requires a fresh empty tree");
+  }
+  assert(payload_size_ == 0 || payloads != nullptr || keys.empty());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] <= keys[i - 1]) {
+      return Status::InvalidArgument("BulkLoad keys must strictly ascend");
+    }
+  }
+  const uint64_t n = keys.size();
+  if (n == 0) return Status::OK();
+
+  const uint64_t cap = LeafCapacity();
+  const uint64_t min_keys = cap / 2;
+  const uint64_t target = std::max<uint64_t>(
+      std::max<uint64_t>(1, min_keys),
+      std::min(cap, static_cast<uint64_t>(fill * static_cast<double>(cap))));
+  const uint64_t k = PackGroupCount(n, target, min_keys);
+
+  // Allocate every leaf page id up front (the Init() root doubles as the
+  // first leaf) so each page is written exactly once, chain links included.
+  std::vector<PageId> leaf_ids(k, root_);
+  for (uint64_t i = 1; i < k; ++i) {
+    auto id = AllocNode();
+    if (!id.ok()) return id.status();
+    leaf_ids[i] = *id;
+  }
+
+  struct ChildRef {
+    uint64_t first_key;  // smallest key in the child's subtree
+    PageId pid;
+  };
+  std::vector<ChildRef> level;
+  level.reserve(k);
+  const uint64_t base = n / k, extra = n % k;
+  uint64_t pos = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    const uint64_t cnt = base + (i < extra ? 1 : 0);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.prev = i > 0 ? leaf_ids[i - 1] : kInvalidPageId;
+    leaf.next = i + 1 < k ? leaf_ids[i + 1] : kInvalidPageId;
+    leaf.keys.assign(keys.begin() + pos, keys.begin() + pos + cnt);
+    if (payload_size_ > 0) {
+      leaf.payloads.assign(payloads + pos * payload_size_,
+                           payloads + (pos + cnt) * payload_size_);
+    }
+    LSDB_RETURN_IF_ERROR(StoreNode(leaf_ids[i], leaf));
+    level.push_back(ChildRef{leaf.keys.front(), leaf_ids[i]});
+    pos += cnt;
+  }
+
+  // Build internal levels until one node references everything. Internal
+  // nodes are packed by child count; a node with c children holds c - 1
+  // keys, so the non-root minimum of InternalCapacity()/2 keys translates
+  // to InternalCapacity()/2 + 1 children.
+  uint32_t height = 1;
+  while (level.size() > 1) {
+    ++height;
+    const uint64_t child_cap = static_cast<uint64_t>(InternalCapacity()) + 1;
+    const uint64_t kk =
+        PackGroupCount(level.size(), child_cap,
+                       static_cast<uint64_t>(InternalCapacity()) / 2 + 1);
+    std::vector<ChildRef> next;
+    next.reserve(kk);
+    const uint64_t b = level.size() / kk, e = level.size() % kk;
+    uint64_t at = 0;
+    for (uint64_t i = 0; i < kk; ++i) {
+      const uint64_t cnt = b + (i < e ? 1 : 0);
+      auto id = AllocNode();
+      if (!id.ok()) return id.status();
+      Node node;
+      node.leaf = false;
+      node.children.push_back(level[at].pid);
+      for (uint64_t j = 1; j < cnt; ++j) {
+        node.keys.push_back(level[at + j].first_key);
+        node.children.push_back(level[at + j].pid);
+      }
+      LSDB_RETURN_IF_ERROR(StoreNode(*id, node));
+      next.push_back(ChildRef{level[at].first_key, *id});
+      at += cnt;
+    }
+    level = std::move(next);
+  }
+  root_ = level[0].pid;
+  height_ = height;
+  size_ = n;
+  return Status::OK();
+}
+
 Status BTree::Erase(uint64_t key) {
   bool underflow = false;
   LSDB_RETURN_IF_ERROR(EraseRec(root_, key, &underflow));

@@ -48,6 +48,17 @@ class BTree {
   /// Removes a key. Returns NotFound if absent.
   Status Erase(uint64_t key);
 
+  /// Bulk-loads a freshly Init()ed, empty tree from strictly ascending
+  /// keys (`payloads` holds keys.size() * payload_size bytes, record i at
+  /// offset i * payload_size; may be null when payload_size is 0). Leaves
+  /// are packed left-to-right to `fill` of LeafCapacity() — never below
+  /// the non-root minimum occupancy — with the prev/next chain threaded
+  /// through them, and internal levels are built bottom-up from the leaf
+  /// run. The result is indistinguishable from a tree grown by Insert()
+  /// except for its (tighter) page layout.
+  Status BulkLoad(const std::vector<uint64_t>& keys, const uint8_t* payloads,
+                  double fill = 1.0);
+
   /// Membership test.
   StatusOr<bool> Contains(uint64_t key);
 

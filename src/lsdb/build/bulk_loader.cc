@@ -1,0 +1,25 @@
+#include "lsdb/build/bulk_loader.h"
+
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/rplus/rplus_tree.h"
+#include "lsdb/rtree/rstar_tree.h"
+
+namespace lsdb {
+
+Status BulkLoad(SpatialIndex* index, const BulkItems& items) {
+  if (auto* rstar = dynamic_cast<RStarTree*>(index)) {
+    return rstar->BulkLoad(items);
+  }
+  if (auto* rplus = dynamic_cast<RPlusTree*>(index)) {
+    return rplus->BulkLoad(items);
+  }
+  if (auto* pmr = dynamic_cast<PmrQuadtree*>(index)) {
+    return pmr->BulkLoad(items);
+  }
+  for (const auto& [id, seg] : items) {
+    LSDB_RETURN_IF_ERROR(index->Insert(id, seg));
+  }
+  return Status::OK();
+}
+
+}  // namespace lsdb

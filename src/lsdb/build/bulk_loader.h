@@ -1,0 +1,51 @@
+// Bulk-loading front door.
+//
+// The paper builds every structure by inserting the ~50k TIGER segments of
+// a county one at a time; construction dominates experiment wall-clock.
+// The builders in this directory construct each structure bottom-up from a
+// pre-sorted array instead, writing every page exactly once:
+//
+//  * R*-tree   — Hilbert packing: sort segment MBRs by the Hilbert index
+//                of their centers, pack leaves to a fill factor, then
+//                build the upper levels level-by-level (bulk_rstar.cc).
+//  * R+-tree   — recursive top-down partition by min-cut sweep lines (the
+//                incremental split's cost function, evaluated in linear
+//                time over radix-sorted boundary views), writing the
+//                disjoint leaf regions directly and packing the upper
+//                levels along the partition tree (bulk_rplus.cc).
+//  * PMR       — top-down decomposition of the world in memory into the
+//                (locational code, segment id) tuple set, LSD radix sort,
+//                one-pass bottom-up B-tree load (bulk_pmr.cc, relying on
+//                BTree::BulkLoad).
+//
+// Every builder requires a freshly Init()ed, empty index and yields a
+// structure whose query results are identical to the incrementally built
+// one (the bulk_load_test.cc equivalence suite asserts this per query
+// class), ready to Freeze() for serving. The paper-table benches keep
+// using incremental insertion by default so Table 1/2 metrics are
+// unchanged; pass --bulk to opt in.
+
+#ifndef LSDB_BUILD_BULK_LOADER_H_
+#define LSDB_BUILD_BULK_LOADER_H_
+
+#include <utility>
+#include <vector>
+
+#include "lsdb/geom/segment.h"
+#include "lsdb/index/spatial_index.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+/// (segment id, geometry) records for the bulk builders; geometry must
+/// match the shared segment table entry for the id.
+using BulkItems = std::vector<std::pair<SegmentId, Segment>>;
+
+/// Dispatches to the structure-specific builder (R*, R+, or PMR).
+/// Indexes without a bulk path — the uniform grid, whose incremental build
+/// is already a single linear pass — fall back to one-at-a-time Insert().
+Status BulkLoad(SpatialIndex* index, const BulkItems& items);
+
+}  // namespace lsdb
+
+#endif  // LSDB_BUILD_BULK_LOADER_H_

@@ -1,0 +1,150 @@
+// Bulk construction of the PMR quadtree (linear quadtree form).
+//
+// Instead of interleaving block splits with B-tree insertions, the bulk
+// path decomposes the world top-down entirely in memory: every block whose
+// occupancy exceeds the splitting threshold is split (so the decomposition
+// depends only on the segment set, not on insertion order), and each final
+// leaf emits its (locational code, segment id) tuples — or its sentinel
+// when empty, keeping the leaf set a partition of the world. The tuples
+// are then LSD-radix-sorted by packed key and handed to BTree::BulkLoad,
+// which writes every B-tree page exactly once.
+//
+// Note the structural difference from incremental insertion: the
+// probabilistic PMR rule splits an overflowing block *once* per insertion,
+// so an incrementally grown tree can retain blocks above the threshold;
+// the bulk decomposition splits until every leaf is at or below it (or at
+// max depth). Query results are identical either way — every segment is
+// stored in every intersecting leaf and queries deduplicate — which is
+// what the equivalence suite asserts.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/util/counters.h"
+
+namespace lsdb {
+
+namespace {
+
+constexpr uint8_t kZeroPayload8[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+struct Tuple {
+  uint64_t key;
+  std::array<uint8_t, 8> payload;
+};
+
+/// LSD radix sort by key, 8 passes of 8 bits. Stable, O(8n); the tuple
+/// keys are distinct (block, segment) pairs so the result is a strictly
+/// ascending key run as BTree::BulkLoad requires.
+void RadixSortByKey(std::vector<Tuple>* tuples) {
+  std::vector<Tuple> scratch(tuples->size());
+  for (uint32_t pass = 0; pass < 8; ++pass) {
+    const uint32_t shift = pass * 8;
+    uint64_t counts[256] = {};
+    for (const Tuple& t : *tuples) ++counts[(t.key >> shift) & 0xff];
+    uint64_t sum = 0;
+    for (uint64_t& c : counts) {
+      const uint64_t n = c;
+      c = sum;
+      sum += n;
+    }
+    for (const Tuple& t : *tuples) {
+      scratch[counts[(t.key >> shift) & 0xff]++] = t;
+    }
+    tuples->swap(scratch);
+  }
+}
+
+}  // namespace
+
+Status PmrQuadtree::BulkLoad(
+    const std::vector<std::pair<SegmentId, Segment>>& items) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
+  if (size_ != 0 || tuple_count_ != 0 || btree_.size() != 1) {
+    return Status::InvalidArgument("BulkLoad requires a fresh empty tree");
+  }
+  for (const auto& [id, seg] : items) {
+    if (!seg.IntersectsRect(geom_.WorldRect())) {
+      return Status::InvalidArgument("segment outside the world");
+    }
+    if (id == kSentinelId) {
+      return Status::InvalidArgument("segment id collides with sentinel");
+    }
+  }
+
+  // Top-down decomposition. A frame owns the indexes (into `items`) of the
+  // segments intersecting its block; blocks over the threshold split into
+  // the four child blocks with one segment/region intersection test per
+  // candidate (counted as a bucket computation, as in SplitBlock).
+  std::vector<Tuple> tuples;
+  struct Frame {
+    QuadBlock block;
+    std::vector<uint32_t> idx;
+  };
+  std::vector<Frame> stack;
+  Frame root;
+  root.block = QuadBlock{0, 0};
+  root.idx.resize(items.size());
+  for (uint32_t i = 0; i < items.size(); ++i) root.idx[i] = i;
+  stack.push_back(std::move(root));
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.idx.size() > threshold_ && f.block.depth < geom_.max_depth()) {
+      for (int q = 3; q >= 0; --q) {
+        const QuadBlock child = f.block.Child(q);
+        ++CounterSink(metrics_).bucket_comps;
+        const Rect region = geom_.BlockRegion(child);
+        Frame cf;
+        cf.block = child;
+        for (uint32_t i : f.idx) {
+          if (items[i].second.IntersectsRect(region)) cf.idx.push_back(i);
+        }
+        stack.push_back(std::move(cf));
+      }
+      continue;
+    }
+    if (f.idx.empty()) {
+      Tuple t;
+      t.key = geom_.PackKey(f.block, kSentinelId);
+      std::memcpy(t.payload.data(), kZeroPayload8, 8);
+      tuples.push_back(t);
+      continue;
+    }
+    for (uint32_t i : f.idx) {
+      Tuple t;
+      t.key = geom_.PackKey(f.block, items[i].first);
+      EncodeBbox(items[i].second.Mbr(), t.payload.data());
+      tuples.push_back(t);
+      ++tuple_count_;
+    }
+  }
+
+  RadixSortByKey(&tuples);
+
+  std::vector<uint64_t> keys;
+  keys.reserve(tuples.size());
+  std::vector<uint8_t> payloads;
+  const bool with_payload = options_.pmr_store_bboxes;
+  if (with_payload) payloads.reserve(tuples.size() * 8);
+  for (const Tuple& t : tuples) {
+    keys.push_back(t.key);
+    if (with_payload) {
+      payloads.insert(payloads.end(), t.payload.begin(), t.payload.end());
+    }
+  }
+
+  // Drop the Init() sentinel so the B-tree is pristine for the one-pass
+  // load, then load the full sorted tuple set.
+  LSDB_RETURN_IF_ERROR(
+      btree_.Erase(geom_.PackKey(QuadBlock{0, 0}, kSentinelId)));
+  LSDB_RETURN_IF_ERROR(btree_.BulkLoad(
+      keys, with_payload ? payloads.data() : nullptr, options_.bulk_fill));
+  size_ = items.size();
+  return Status::OK();
+}
+
+}  // namespace lsdb

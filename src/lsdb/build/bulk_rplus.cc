@@ -1,0 +1,562 @@
+// Top-down bulk construction of the R+-tree.
+//
+// The incremental path arrives at a disjoint leaf partition by splitting
+// one overfull node at a time; the bulk path computes the partition
+// directly, using the same min-cut rule as RPlusTree::ChooseLeafSplit —
+// fewest segments cut, ties broken by the most even distribution, x axis
+// and smaller lines preferred — restricted to a central candidate band so
+// the recursion depth stays logarithmic (see ChooseSplit), and evaluated
+// in linear time per region:
+//
+//  * The MBR boundary views are radix-sorted once at the root and every
+//    subdivision filters them (filtering a sorted array preserves order),
+//    so no further sorting happens anywhere in the recursion.
+//  * Candidate lines are scanned ascending with monotone two-pointer
+//    counts, making one split decision O(items in region), not O(n^2).
+//  * Each view element carries its item's lo AND hi bound for the axis,
+//    so classifying an item against the split line never touches the item
+//    table; the exact segment/region intersection test (a segment can
+//    miss a corner its MBR overlaps) runs only for the few segments whose
+//    MBR straddles the line.
+//
+// The recursion tree of the partition is itself the upper-level structure:
+// sibling regions tile their parent by construction, so internal nodes
+// are packed by grouping maximal subtrees of at most a page of children —
+// no cut rectangles, no downward splits. Leaf overflow chains still
+// handle unsplittable regions (paper footnote 2), exactly as the
+// incremental path does.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "lsdb/rplus/rplus_tree.h"
+
+namespace lsdb {
+
+namespace {
+
+/// Closed halves sharing the split line (mirrors SplitRegion in
+/// rplus_tree.cc, which is file-local there).
+void SplitHalves(const Rect& region, bool x_axis, Coord line, Rect* left,
+                 Rect* right) {
+  *left = region;
+  *right = region;
+  if (x_axis) {
+    left->xmax = line;
+    right->xmin = line;
+  } else {
+    left->ymax = line;
+    right->ymin = line;
+  }
+}
+
+/// Per-item geometry, indexed by position in the caller's item list.
+struct ItemData {
+  RNodeEntry entry;
+  Segment seg;
+};
+
+/// One view element: both MBR bounds of one item along one axis. A view
+/// is an array of these sorted by lo (lo-view) or by hi (hi-view). The
+/// user-provided default constructor deliberately leaves the members
+/// uninitialized so vector::resize in the filter hot path does not zero
+/// memory that is about to be overwritten.
+struct Bound {
+  Bound() {}  // NOLINT(modernize-use-equals-default): skip zero-init
+  Bound(Coord l, Coord h, uint32_t i) : lo(l), hi(h), item(i) {}
+  Coord lo;
+  Coord hi;
+  uint32_t item;
+};
+
+/// LSD radix sort of a view by the 32-bit key extracted by `key` (biased
+/// to unsigned so negative coordinates order correctly), 8 bits per pass.
+/// Stable, so equal keys keep their item-index order. Passes above the
+/// highest differing byte are identity permutations and are skipped —
+/// with 16-bit world coordinates the sort is two passes, not four.
+template <typename Key>
+void RadixSortView(std::vector<Bound>* v, Key key) {
+  const size_t n = v->size();
+  if (n == 0) return;
+  auto biased = [&key](const Bound& b) {
+    return static_cast<uint32_t>(key(b)) ^ 0x80000000u;
+  };
+  uint32_t mn = biased((*v)[0]), mx = mn;
+  for (const Bound& b : *v) {
+    const uint32_t k = biased(b);
+    mn = std::min(mn, k);
+    mx = std::max(mx, k);
+  }
+  std::vector<Bound> scratch(n);
+  for (uint32_t pass = 0; pass < 4; ++pass) {
+    const uint32_t shift = pass * 8;
+    if (mn >> shift == mx >> shift) break;  // all higher bytes identical
+    uint32_t counts[256] = {};
+    for (const Bound& b : *v) ++counts[biased(b) >> shift & 0xff];
+    uint32_t sum = 0;
+    for (uint32_t& c : counts) {
+      const uint32_t k = c;
+      c = sum;
+      sum += k;
+    }
+    for (const Bound& b : *v) scratch[counts[biased(b) >> shift & 0xff]++] = b;
+    v->swap(scratch);
+  }
+}
+
+/// One region under subdivision plus its node in the partition tree. The
+/// item set is materialized four times (lo/hi view per axis); every view
+/// holds the same items, so any one of them enumerates the region.
+struct Frame {
+  Rect region;
+  uint32_t pnode;
+  std::vector<Bound> xlo, xhi, ylo, yhi;
+};
+
+/// Partition-tree node, recorded while subdividing and reused afterwards
+/// to pack the internal levels.
+struct PNode {
+  Rect region;
+  int32_t left = -1;   // children in the partition tree (-1: leaf)
+  int32_t right = -1;
+  PageId leaf_page = kInvalidPageId;
+};
+
+struct SplitChoice {
+  bool found = false;
+  bool x_axis = false;
+  Coord line = 0;
+  uint64_t cuts = 0;
+  uint64_t imbalance = 0;
+};
+
+class Partitioner {
+ public:
+  /// Banded candidate lines must keep at least 1/kBand of a region's items
+  /// on each side: the larger child then holds at most (1 - 1/kBand) of
+  /// them (plus cut duplicates), bounding the recursion depth.
+  static constexpr uint64_t kBand = 3;
+
+  Partitioner(const std::vector<ItemData>& items, RPlusSplitPolicy policy)
+      : items_(items), policy_(policy), side_(items.size(), 0) {}
+
+  /// Same cost function and tie-breaks as RPlusTree::ChooseLeafSplit: for
+  /// a line v an MBR is fully left iff hi < v and fully right iff lo > v;
+  /// candidates are the boundary values strictly inside the region, and
+  /// selection is lexicographic on (cuts, imbalance, smaller line) — or
+  /// (imbalance, cuts, smaller line) under kEvenCount — with the y axis
+  /// displacing x only when strictly better, exactly the
+  /// strict-improvement order of the incremental ascending scan.
+  ///
+  /// One divergence from the incremental chooser, which only ever sees one
+  /// overfull node at a time: candidates are first restricted to the
+  /// central band where both sides keep at least 1/kBand of the items
+  /// (the "median sweep"). Without the band a zero-cut line hugging a
+  /// sparse border beats every balanced line, the recursion peels slivers,
+  /// and the build degenerates to quadratic. The band guarantees the
+  /// larger child shrinks geometrically; if no boundary falls inside it
+  /// (heavily clustered data) the unrestricted scan runs as a fallback.
+  bool ChooseSplit(const Frame& f, bool* x_axis, Coord* line) const {
+    if (policy_ == RPlusSplitPolicy::kMidpoint) {
+      const Rect& region = f.region;
+      const bool x = region.Width() >= region.Height();
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const bool ax = attempt == 0 ? x : !x;
+        const Coord lo = ax ? region.xmin : region.ymin;
+        const Coord hi = ax ? region.xmax : region.ymax;
+        if (hi - lo >= 2) {
+          *x_axis = ax;
+          *line = static_cast<Coord>((static_cast<int64_t>(lo) + hi) / 2);
+          return true;
+        }
+      }
+      return false;
+    }
+    SplitChoice best = ChooseBanded(f, /*banded=*/true);
+    if (!best.found) best = ChooseBanded(f, /*banded=*/false);
+    if (!best.found) return false;
+    *x_axis = best.x_axis;
+    *line = best.line;
+    return true;
+  }
+
+  /// Splits f into the two halves of `line`, recording the two child
+  /// partition-tree nodes. Every item of a frame intersects the frame's
+  /// region, so an item whose MBR lies strictly left of the line belongs
+  /// to the left half only (all its region points have coordinate <= MBR
+  /// max < line), symmetrically on the right; only MBRs touching the
+  /// line need the exact segment tests. Returns false (leaving left/right
+  /// untouched) when the line separated nothing.
+  bool Split(const Frame& f, bool x_axis, Coord line, Frame* left,
+             Frame* right) {
+    SplitHalves(f.region, x_axis, line, &left->region, &right->region);
+    const uint64_t m = f.xlo.size();
+    uint64_t nl = 0, nr = 0;
+    for (const Bound& b : x_axis ? f.xlo : f.ylo) {
+      uint8_t s;
+      if (b.hi < line) {
+        s = 1;
+      } else if (b.lo > line) {
+        s = 2;
+      } else {
+        const Segment& seg = items_[b.item].seg;
+        s = 0;
+        if (seg.IntersectsRect(left->region)) s |= 1;
+        if (seg.IntersectsRect(right->region)) s |= 2;
+      }
+      side_[b.item] = s;
+      nl += s & 1;
+      nr += (s >> 1) & 1;
+    }
+    if (nl == m && nr == m) return false;
+    FilterView(f.xlo, nl, nr, &left->xlo, &right->xlo);
+    FilterView(f.xhi, nl, nr, &left->xhi, &right->xhi);
+    FilterView(f.ylo, nl, nr, &left->ylo, &right->ylo);
+    FilterView(f.yhi, nl, nr, &left->yhi, &right->yhi);
+    return true;
+  }
+
+ private:
+  SplitChoice ChooseBanded(const Frame& f, bool banded) const {
+    SplitChoice bx =
+        ChooseAxis(f.xlo, f.xhi, f.region.xmin, f.region.xmax, banded);
+    bx.x_axis = true;
+    const SplitChoice by =
+        ChooseAxis(f.ylo, f.yhi, f.region.ymin, f.region.ymax, banded);
+    if (by.found && (!bx.found || Better(by, bx))) return by;
+    return bx;
+  }
+
+  /// Strict-improvement order between candidates on different axes (the
+  /// within-axis line tie-break does not carry across axes: x keeps ties).
+  bool Better(const SplitChoice& a, const SplitChoice& b) const {
+    if (policy_ == RPlusSplitPolicy::kEvenCount) {
+      return a.imbalance < b.imbalance ||
+             (a.imbalance == b.imbalance && a.cuts < b.cuts);
+    }
+    return a.cuts < b.cuts || (a.cuts == b.cuts && a.imbalance < b.imbalance);
+  }
+
+  /// Best line on one axis: two ascending scans (lo values, then hi
+  /// values), each with a monotone pointer into the opposite view, so the
+  /// axis costs at most one linear pass regardless of candidate count.
+  /// With `banded`, only lines keeping at least m/kBand items on each side
+  /// compete (see ChooseSplit), and both scans are clipped to the band by
+  /// binary search, covering just the middle of each view.
+  SplitChoice ChooseAxis(const std::vector<Bound>& los,
+                         const std::vector<Bound>& his, Coord rlo, Coord rhi,
+                         bool banded) const {
+    SplitChoice best;
+    const uint64_t m = los.size();
+    const uint64_t q = banded ? (m + kBand - 1) / kBand : 0;
+    const RPlusSplitPolicy policy = policy_;
+    auto take = [&best, q, m, policy](Coord v, uint64_t left,
+                                      uint64_t right) {
+      if (q != 0 && (left < q || right < q)) return;
+      const uint64_t cuts = m - left - right;
+      const uint64_t imb = left > right ? left - right : right - left;
+      const bool better =
+          policy == RPlusSplitPolicy::kEvenCount
+              ? (imb < best.imbalance ||
+                 (imb == best.imbalance &&
+                  (cuts < best.cuts ||
+                   (cuts == best.cuts && v < best.line))))
+              : (cuts < best.cuts ||
+                 (cuts == best.cuts &&
+                  (imb < best.imbalance ||
+                   (imb == best.imbalance && v < best.line))));
+      if (!best.found || better) {
+        best.found = true;
+        best.cuts = cuts;
+        best.imbalance = imb;
+        best.line = v;
+      }
+    };
+
+    // Scan 1: candidates are lo values; left = #(hi < v) via `hi_lt`,
+    // right = m - #(lo <= v) = m - k2. In the banded case, left >= q
+    // requires v > his[q-1].hi (jump there by binary search) and
+    // right >= q bounds k2, ending the scan early.
+    uint64_t k = 0;
+    uint64_t hi_lt = 0;  // #(hi < v), pointer into his
+    if (q != 0) {
+      const Coord vmin = his[q - 1].hi;
+      k = static_cast<uint64_t>(
+          std::upper_bound(los.begin(), los.end(), vmin,
+                           [](Coord a, const Bound& b) { return a < b.lo; }) -
+          los.begin());
+      hi_lt = q;  // his[0..q-1].hi <= vmin < v for every considered v
+    }
+    while (k < m) {
+      const Coord v = los[k].lo;
+      uint64_t k2 = k + 1;
+      while (k2 < m && los[k2].lo == v) ++k2;
+      if (v >= rhi) break;
+      if (q != 0 && m - k2 < q) break;  // right side below the band
+      if (v > rlo) {
+        while (hi_lt < m && his[hi_lt].hi < v) ++hi_lt;
+        // #(lo <= v) == k2 because los is sorted by lo.
+        take(v, hi_lt, m - k2);
+      }
+      k = k2;
+    }
+
+    // Scan 2: candidates are hi values; left = #(hi < v) = the run's first
+    // index, right = m - #(lo <= v) via `lo_le`. Banded: start at index q
+    // (skipping a partial duplicate run, whose first index is < q and thus
+    // outside the band) and stop once #(lo <= v) exceeds m - q.
+    k = 0;
+    uint64_t lo_le = 0;  // #(lo <= v), pointer into los
+    if (q != 0) {
+      k = q;
+      while (k < m && his[k].hi == his[k - 1].hi) ++k;
+      if (k < m) {
+        lo_le = static_cast<uint64_t>(
+            std::upper_bound(
+                los.begin(), los.end(), his[k].hi,
+                [](Coord a, const Bound& b) { return a < b.lo; }) -
+            los.begin());
+      }
+    }
+    while (k < m) {
+      const Coord v = his[k].hi;
+      uint64_t k2 = k + 1;
+      while (k2 < m && his[k2].hi == v) ++k2;
+      if (v >= rhi) break;
+      while (lo_le < m && los[lo_le].lo <= v) ++lo_le;
+      if (q != 0 && m - lo_le < q) break;  // right side below the band
+      if (v > rlo) {
+        // #(hi < v) == k because his is sorted by hi and k starts a run.
+        take(v, k, m - lo_le);
+      }
+      k = k2;
+    }
+    return best;
+  }
+
+  /// Distributes one sorted view into the two children by the membership
+  /// bits of Split(). The stores are unconditional (one slack slot keeps
+  /// the trailing store in bounds), so the loop has no data-dependent
+  /// branches; order — and therefore sortedness — is preserved.
+  void FilterView(const std::vector<Bound>& src, uint64_t nl, uint64_t nr,
+                  std::vector<Bound>* l, std::vector<Bound>* r) const {
+    l->resize(nl + 1);
+    r->resize(nr + 1);
+    Bound* lp = l->data();
+    Bound* rp = r->data();
+    uint64_t li = 0, ri = 0;
+    for (const Bound& b : src) {
+      const uint8_t s = side_[b.item];
+      lp[li] = b;
+      li += s & 1;
+      rp[ri] = b;
+      ri += (s >> 1) & 1;
+    }
+    l->pop_back();
+    r->pop_back();
+  }
+
+  const std::vector<ItemData>& items_;
+  RPlusSplitPolicy policy_;
+  std::vector<uint8_t> side_;  // scratch: per-item membership bits
+};
+
+}  // namespace
+
+Status RPlusTree::BulkLoad(
+    const std::vector<std::pair<SegmentId, Segment>>& items) {
+  LSDB_RETURN_IF_ERROR(CheckMutable());
+  if (size_ != 0 || root_level_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires a fresh empty tree");
+  }
+  const uint64_t n = items.size();
+  if (n == 0) return Status::OK();
+
+  std::vector<ItemData> data;
+  data.reserve(n);
+  for (const auto& [id, seg] : items) {
+    if (!seg.IntersectsRect(world_)) {
+      return Status::InvalidArgument(
+          "BulkLoad item lies outside the world rectangle");
+    }
+    data.push_back(ItemData{RNodeEntry{seg.Mbr(), id}, seg});
+  }
+
+  const uint64_t target = std::max<uint64_t>(
+      1, std::min<uint64_t>(cap_, static_cast<uint64_t>(
+                                      options_.bulk_fill *
+                                      static_cast<double>(cap_))));
+
+  // The partition writes fresh leaves; recycle the Init() root page so the
+  // page count matches a build that had reused it.
+  LSDB_RETURN_IF_ERROR(io_.Free(root_));
+
+  // The only sorts of the build: each subdivision below filters these.
+  Partitioner part(data, policy_);
+  Frame top;
+  top.region = world_;
+  top.xlo.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Rect& r = data[i].entry.rect;
+    top.xlo[i] = Bound{r.xmin, r.xmax, i};
+  }
+  top.xhi = top.xlo;
+  top.ylo.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Rect& r = data[i].entry.rect;
+    top.ylo[i] = Bound{r.ymin, r.ymax, i};
+  }
+  top.yhi = top.ylo;
+  RadixSortView(&top.xlo, [](const Bound& b) { return b.lo; });
+  RadixSortView(&top.xhi, [](const Bound& b) { return b.hi; });
+  RadixSortView(&top.ylo, [](const Bound& b) { return b.lo; });
+  RadixSortView(&top.yhi, [](const Bound& b) { return b.hi; });
+
+  // Recursive min-cut partition. Writes a leaf per final region — empty
+  // regions included, because the disjointness invariant requires the leaf
+  // regions to tile their parent exactly — and falls back to overflow
+  // chains when a region cannot be split (paper footnote 2).
+  std::vector<PNode> ptree;
+  ptree.push_back(PNode{world_, -1, -1, kInvalidPageId});
+  top.pnode = 0;
+  std::vector<Frame> stack;
+  stack.push_back(std::move(top));
+  uint64_t leaf_count = 0;
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const uint64_t cnt = f.xlo.size();
+    bool split_done = false;
+    if (cnt > target) {
+      bool x_axis = false;
+      Coord line = 0;
+      if (part.ChooseSplit(f, &x_axis, &line)) {
+        Frame left, right;
+        if (part.Split(f, x_axis, line, &left, &right)) {
+          left.pnode = static_cast<uint32_t>(ptree.size());
+          right.pnode = left.pnode + 1;
+          ptree[f.pnode].left = static_cast<int32_t>(left.pnode);
+          ptree[f.pnode].right = static_cast<int32_t>(right.pnode);
+          ptree.push_back(PNode{left.region, -1, -1, kInvalidPageId});
+          ptree.push_back(PNode{right.region, -1, -1, kInvalidPageId});
+          // Right before left so the left half pops first and leaves are
+          // written in spatial (partition) order.
+          stack.push_back(std::move(right));
+          stack.push_back(std::move(left));
+          split_done = true;
+        }
+        // else: the line separated nothing; chain instead of recursing
+        // forever.
+      }
+    }
+    if (split_done) continue;
+    auto pid = io_.Alloc();
+    if (!pid.ok()) return pid.status();
+    RNode node;
+    node.entries.reserve(cnt);
+    for (const Bound& b : f.xlo) node.entries.push_back(data[b.item].entry);
+    LSDB_RETURN_IF_ERROR(StoreLeafChain(*pid, std::move(node)));
+    ptree[f.pnode].leaf_page = *pid;
+    ++leaf_count;
+  }
+
+  if (leaf_count == 1) {
+    root_ = ptree[0].leaf_page;
+    root_level_ = 0;
+    size_ = n;
+    return Status::OK();
+  }
+
+  // Pack the upper levels along the partition tree: a node is emitted for
+  // every maximal subtree holding at most a page of current-level
+  // entries. Sibling subtree regions tile their parent, so the resulting
+  // children are disjoint and cover each node's region exactly — the R+
+  // invariants hold with no downward splitting.
+  std::vector<std::vector<RNodeEntry>> at_node(ptree.size());
+  uint64_t level_count = 0;
+  for (uint32_t i = 0; i < ptree.size(); ++i) {
+    if (ptree[i].leaf_page != kInvalidPageId) {
+      at_node[i].push_back(RNodeEntry{ptree[i].region, ptree[i].leaf_page});
+      ++level_count;
+    }
+  }
+  // Subtree entry counts, bottom-up (children precede parents in index
+  // order is NOT guaranteed, so compute by reverse scan: children are
+  // always appended after their parent, hence a reverse pass sees every
+  // child before its parent).
+  std::vector<uint64_t> cnt(ptree.size());
+  uint8_t level = 0;
+  while (level_count > cap_) {
+    ++level;
+    for (size_t i = ptree.size(); i-- > 0;) {
+      cnt[i] = at_node[i].size();
+      if (ptree[i].left >= 0) {
+        cnt[i] += cnt[ptree[i].left] + cnt[ptree[i].right];
+      }
+    }
+    // Emit nodes for maximal subtrees with <= cap_ entries; descend into
+    // larger ones. An explicit stack keeps this iterative.
+    std::vector<uint32_t> walk{0};
+    uint64_t new_count = 0;
+    while (!walk.empty()) {
+      const uint32_t p = walk.back();
+      walk.pop_back();
+      if (cnt[p] == 0) continue;
+      if (cnt[p] > cap_) {
+        // Interior pnode (a leaf pnode's count <= cap_ always: a single
+        // entry); visit left before right to keep spatial order.
+        walk.push_back(static_cast<uint32_t>(ptree[p].right));
+        walk.push_back(static_cast<uint32_t>(ptree[p].left));
+        continue;
+      }
+      // Gather the subtree's entries in partition order.
+      RNode node;
+      node.level = level;
+      std::vector<uint32_t> gather{p};
+      while (!gather.empty()) {
+        const uint32_t g = gather.back();
+        gather.pop_back();
+        node.entries.insert(node.entries.end(), at_node[g].begin(),
+                            at_node[g].end());
+        at_node[g].clear();
+        if (ptree[g].left >= 0 &&
+            cnt[ptree[g].left] + cnt[ptree[g].right] > 0) {
+          gather.push_back(static_cast<uint32_t>(ptree[g].right));
+          gather.push_back(static_cast<uint32_t>(ptree[g].left));
+        }
+      }
+      auto pid = io_.Alloc();
+      if (!pid.ok()) return pid.status();
+      LSDB_RETURN_IF_ERROR(io_.Store(*pid, node));
+      at_node[p].push_back(RNodeEntry{ptree[p].region, *pid});
+      ++new_count;
+    }
+    level_count = new_count;
+  }
+
+  // Root: the remaining entries, gathered in partition order.
+  ++level;
+  RNode root_node;
+  root_node.level = level;
+  std::vector<uint32_t> gather{0};
+  while (!gather.empty()) {
+    const uint32_t g = gather.back();
+    gather.pop_back();
+    root_node.entries.insert(root_node.entries.end(), at_node[g].begin(),
+                             at_node[g].end());
+    if (ptree[g].left >= 0) {
+      gather.push_back(static_cast<uint32_t>(ptree[g].right));
+      gather.push_back(static_cast<uint32_t>(ptree[g].left));
+    }
+  }
+  auto pid = io_.Alloc();
+  if (!pid.ok()) return pid.status();
+  LSDB_RETURN_IF_ERROR(io_.Store(*pid, root_node));
+  root_ = *pid;
+  root_level_ = level;
+  size_ = n;
+  return Status::OK();
+}
+
+}  // namespace lsdb

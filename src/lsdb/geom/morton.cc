@@ -35,6 +35,34 @@ void MortonDecode(uint32_t code, uint32_t* x, uint32_t* y) {
   *y = Compact1By1(code >> 1);
 }
 
+uint64_t HilbertEncode(uint32_t order, uint32_t x, uint32_t y) {
+  assert(order >= 1 && order <= 16);
+  assert(x < (1u << order) && y < (1u << order));
+  // Classical xy -> d conversion: walk the quadrant bits from the most
+  // significant down, accumulating the sub-square index and rotating /
+  // reflecting the remaining coordinates into the sub-square's frame.
+  uint64_t d = 0;
+  for (uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) ? 1 : 0;
+    const uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Only the bits below s remain meaningful; mask before reflecting so
+    // the subtraction cannot underflow.
+    x &= s - 1;
+    y &= s - 1;
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      const uint32_t t = x;
+      x = y;
+      y = t;
+    }
+  }
+  return d;
+}
+
 namespace {
 /// Mask of the bits below `bit` that belong to the same dimension
 /// (bit-2, bit-4, ...).

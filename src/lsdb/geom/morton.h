@@ -33,6 +33,13 @@ uint32_t MortonEncode(uint32_t x, uint32_t y);
 /// Inverse of MortonEncode.
 void MortonDecode(uint32_t code, uint32_t* x, uint32_t* y);
 
+/// Hilbert curve index of cell (x, y) on a 2^order x 2^order grid
+/// (order <= 16; the result occupies 2*order bits). Unlike the Morton
+/// order, consecutive Hilbert indexes are always 4-adjacent cells, which
+/// makes it the better sort key for packing R-tree leaves: a run of
+/// consecutive indexes covers a compact blob instead of a Z-shaped strip.
+uint64_t HilbertEncode(uint32_t order, uint32_t x, uint32_t y);
+
 /// BIGMIN (Tropf & Herzog 1981): the smallest Morton code z' > z whose
 /// decoded point lies in the rectangle spanned component-wise by
 /// Decode(zmin)..Decode(zmax). Returns false when no such code exists.

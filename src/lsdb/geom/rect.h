@@ -43,9 +43,15 @@ struct Rect {
   /// Half perimeter (margin), the R*-tree split metric.
   int64_t Margin() const { return empty() ? 0 : Width() + Height(); }
 
+  /// Center rounded toward -infinity on both axes. Floor division (an
+  /// arithmetic shift, well-defined on signed values since C++20) keeps the
+  /// rounding direction uniform across the origin; `/ 2` would truncate
+  /// toward zero and bias centers upward for negative coordinate sums,
+  /// skewing R* reinsert distance ordering and Hilbert bulk-load keys on
+  /// maps spanning negative coordinates.
   Point Center() const {
-    return Point{static_cast<Coord>((static_cast<int64_t>(xmin) + xmax) / 2),
-                 static_cast<Coord>((static_cast<int64_t>(ymin) + ymax) / 2)};
+    return Point{static_cast<Coord>((static_cast<int64_t>(xmin) + xmax) >> 1),
+                 static_cast<Coord>((static_cast<int64_t>(ymin) + ymax) >> 1)};
   }
 
   bool Contains(const Point& p) const {

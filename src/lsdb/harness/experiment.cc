@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "lsdb/build/bulk_loader.h"
 #include "lsdb/query/incident.h"
 #include "lsdb/query/point_gen.h"
 #include "lsdb/query/polygon.h"
@@ -91,8 +92,17 @@ Status Experiment::BuildAll() {
   auto build = [this](StructureKind kind, SpatialIndex* idx) -> Status {
     const MetricCounters before = idx->metrics();
     const auto t0 = std::chrono::steady_clock::now();
-    for (SegmentId id = 0; id < map_.segments.size(); ++id) {
-      LSDB_RETURN_IF_ERROR(idx->Insert(id, map_.segments[id]));
+    if (options_.bulk_build) {
+      BulkItems items;
+      items.reserve(map_.segments.size());
+      for (SegmentId id = 0; id < map_.segments.size(); ++id) {
+        items.emplace_back(id, map_.segments[id]);
+      }
+      LSDB_RETURN_IF_ERROR(lsdb::BulkLoad(idx, items));
+    } else {
+      for (SegmentId id = 0; id < map_.segments.size(); ++id) {
+        LSDB_RETURN_IF_ERROR(idx->Insert(id, map_.segments[id]));
+      }
     }
     LSDB_RETURN_IF_ERROR(idx->Flush());
     const auto t1 = std::chrono::steady_clock::now();
@@ -276,7 +286,8 @@ Status Experiment::RunAllQueries(std::vector<QueryStats>* out) {
 
 StatusOr<BuildStats> Experiment::BuildOne(const PolygonalMap& map,
                                           StructureKind kind,
-                                          const IndexOptions& index_options) {
+                                          const IndexOptions& index_options,
+                                          bool bulk) {
   MemPageFile seg_file(index_options.page_size);
   BufferPool seg_pool(&seg_file, index_options.buffer_frames, nullptr);
   SegmentTable segs(&seg_pool, nullptr);
@@ -313,8 +324,17 @@ StatusOr<BuildStats> Experiment::BuildOne(const PolygonalMap& map,
     }
   }
   const auto t0 = std::chrono::steady_clock::now();
-  for (SegmentId id = 0; id < map.segments.size(); ++id) {
-    LSDB_RETURN_IF_ERROR(idx->Insert(id, map.segments[id]));
+  if (bulk) {
+    BulkItems items;
+    items.reserve(map.segments.size());
+    for (SegmentId id = 0; id < map.segments.size(); ++id) {
+      items.emplace_back(id, map.segments[id]);
+    }
+    LSDB_RETURN_IF_ERROR(lsdb::BulkLoad(idx.get(), items));
+  } else {
+    for (SegmentId id = 0; id < map.segments.size(); ++id) {
+      LSDB_RETURN_IF_ERROR(idx->Insert(id, map.segments[id]));
+    }
   }
   LSDB_RETURN_IF_ERROR(idx->Flush());
   const auto t1 = std::chrono::steady_clock::now();
@@ -323,6 +343,19 @@ StatusOr<BuildStats> Experiment::BuildOne(const PolygonalMap& map,
   st.bytes = idx->bytes();
   st.disk_accesses = idx->metrics().disk_accesses();
   st.cpu_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (auto* rstar = dynamic_cast<RStarTree*>(idx.get())) {
+    st.avg_occupancy = rstar->AverageLeafOccupancy();
+    st.height = rstar->height();
+  } else if (auto* rplus = dynamic_cast<RPlusTree*>(idx.get())) {
+    st.avg_occupancy = rplus->AverageLeafOccupancy();
+    st.height = rplus->height();
+  } else if (auto* pmr = dynamic_cast<PmrQuadtree*>(idx.get())) {
+    auto occ = pmr->AverageBucketOccupancy();
+    st.avg_occupancy = occ.ok() ? *occ : 0.0;
+    st.height = pmr->btree()->height();
+  } else {
+    st.height = 1;
+  }
   return st;
 }
 

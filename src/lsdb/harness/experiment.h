@@ -74,6 +74,10 @@ struct ExperimentOptions {
   uint64_t query_seed = 42;
   bool include_grid = false;    ///< Also build the uniform-grid baseline.
   double window_area_fraction = 0.0001;  ///< Paper: 0.01% of map area.
+  /// Construct via the bottom-up bulk builders (src/lsdb/build/) instead
+  /// of one-at-a-time insertion. Query results are identical; build cost
+  /// and node layout differ, so the paper-table benches leave this off.
+  bool bulk_build = false;
 };
 
 class Experiment {
@@ -96,10 +100,12 @@ class Experiment {
   SegmentTable* segment_table() { return segs_.get(); }
   const PolygonalMap& map() const { return map_; }
 
-  /// Builds a single structure over a fresh table (Figure 6 sweep).
+  /// Builds a single structure over a fresh table (Figure 6 sweep; also
+  /// the bulk-build bench, which flips `bulk`).
   static StatusOr<BuildStats> BuildOne(const PolygonalMap& map,
                                        StructureKind kind,
-                                       const IndexOptions& index_options);
+                                       const IndexOptions& index_options,
+                                       bool bulk = false);
 
  private:
   struct QueryInputs;  // pregenerated, shared across structures

@@ -44,6 +44,13 @@ struct IndexOptions {
 
   // Uniform grid.
   uint32_t grid_log2_cells = 7;  ///< 2^g x 2^g cells.
+
+  // Bulk loading (src/lsdb/build/). Fraction of a page's capacity the
+  // bottom-up builders fill when packing leaves; clamped to the node
+  // minimum occupancy from below. 1.0 packs pages full, which minimizes
+  // size and query I/O but makes the first post-build insertion into a
+  // node split it.
+  double bulk_fill = 1.0;
 };
 
 /// A query hit: segment id plus its geometry (already fetched from the

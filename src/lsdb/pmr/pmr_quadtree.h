@@ -27,6 +27,7 @@
 #include <functional>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "lsdb/btree/btree.h"
@@ -51,6 +52,15 @@ class PmrQuadtree : public SpatialIndex {
   Status Open();
 
   std::string Name() const override { return "PMR"; }
+
+  /// Bottom-up bulk build (src/lsdb/build/bulk_pmr.cc): decomposes the
+  /// world top-down in memory (splitting every block over the threshold,
+  /// so the decomposition is insertion-order independent), radix-sorts the
+  /// resulting (locational code, segment id) tuples, and bulk-loads the
+  /// B-tree in one left-to-right pass. Requires a freshly Init()ed, empty
+  /// structure; every item must intersect the world rectangle.
+  Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
+
   Status Insert(SegmentId id, const Segment& s) override;
   Status Erase(SegmentId id, const Segment& s) override;
   /// Window query via the Aref-Samet style block-cover decomposition:

@@ -28,6 +28,7 @@
 
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "lsdb/index/spatial_index.h"
@@ -56,6 +57,17 @@ class RPlusTree : public SpatialIndex {
   Status Open();
 
   std::string Name() const override { return "R+"; }
+
+  /// Bottom-up bulk build (src/lsdb/build/bulk_rplus.cc): a recursive
+  /// top-down partition of the world by min-cut sweep lines (the same cost
+  /// function as the incremental split, evaluated in linear time per
+  /// region over radix-sorted boundary views) writes the disjoint leaf
+  /// regions directly; the upper levels are packed along the partition
+  /// tree, whose sibling regions tile each parent by construction.
+  /// Requires a freshly Init()ed, empty tree; every item must intersect
+  /// the world rectangle.
+  Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
+
   Status Insert(SegmentId id, const Segment& s) override;
   Status Erase(SegmentId id, const Segment& s) override;
   Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;

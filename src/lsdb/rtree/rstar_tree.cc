@@ -16,11 +16,19 @@ RStarTree::RStarTree(const IndexOptions& options, PageFile* file,
       io_(&pool_),
       segs_(segs) {
   cap_ = io_.Capacity();
+  // m <= M/2 keeps every split feasible: the R* split distributes M+1
+  // entries into two groups of at least m each.
   min_entries_ = std::max<uint32_t>(
-      2, static_cast<uint32_t>(cap_ * options.rstar_min_fill));
+      1, std::min(cap_ / 2,
+                  std::max<uint32_t>(2, static_cast<uint32_t>(
+                                           cap_ * options.rstar_min_fill))));
   reinsert_count_ = static_cast<uint32_t>(cap_ * options.rstar_reinsert_frac);
-  if (reinsert_count_ >= cap_ - min_entries_) {
-    reinsert_count_ = cap_ > min_entries_ ? cap_ - min_entries_ - 1 : 0;
+  // Beckmann et al.'s p = 30% of M. An overflowing node holds M+1 entries
+  // and must keep at least m of them after removal, so p <= M + 1 - m; a
+  // node left at exactly m is valid (underflow is only < m), and forced
+  // re-insertion never removes entries again from the same node.
+  if (reinsert_count_ > cap_ + 1 - min_entries_) {
+    reinsert_count_ = cap_ + 1 - min_entries_;
   }
 }
 

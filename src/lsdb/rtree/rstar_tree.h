@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lsdb/index/spatial_index.h"
@@ -40,6 +41,15 @@ class RStarTree : public SpatialIndex {
   Status Open();
 
   std::string Name() const override { return "R*"; }
+
+  /// Bottom-up Hilbert-packed build (src/lsdb/build/bulk_rstar.cc).
+  /// Requires a freshly Init()ed, empty tree; `items` are (segment id,
+  /// geometry) records whose geometry matches the shared segment table.
+  /// Produces the same queryable index as inserting every item one at a
+  /// time — verified by the equivalence suite — at a fraction of the cost,
+  /// with leaves packed to options.bulk_fill of capacity.
+  Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
+
   Status Insert(SegmentId id, const Segment& s) override;
   Status Erase(SegmentId id, const Segment& s) override;
   Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "lsdb/build/bulk_loader.h"
 #include "lsdb/query/incident.h"
 
 namespace lsdb {
@@ -200,12 +201,23 @@ Status QueryService::BuildIndexes(const PolygonalMap& map) {
   LSDB_RETURN_IF_ERROR(rplus_->Init());
   LSDB_RETURN_IF_ERROR(pmr_->Init());
 
+  BulkItems items;
+  if (options_.bulk_build) {
+    items.reserve(map.segments.size());
+    for (SegmentId id = 0; id < map.segments.size(); ++id) {
+      items.emplace_back(id, map.segments[id]);
+    }
+  }
   for (SpatialIndex* idx :
        {static_cast<SpatialIndex*>(rstar_.get()),
         static_cast<SpatialIndex*>(rplus_.get()),
         static_cast<SpatialIndex*>(pmr_.get())}) {
-    for (SegmentId id = 0; id < map.segments.size(); ++id) {
-      LSDB_RETURN_IF_ERROR(idx->Insert(id, map.segments[id]));
+    if (options_.bulk_build) {
+      LSDB_RETURN_IF_ERROR(lsdb::BulkLoad(idx, items));
+    } else {
+      for (SegmentId id = 0; id < map.segments.size(); ++id) {
+        LSDB_RETURN_IF_ERROR(idx->Insert(id, map.segments[id]));
+      }
     }
     LSDB_RETURN_IF_ERROR(idx->Flush());
     idx->Freeze();

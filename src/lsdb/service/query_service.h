@@ -54,6 +54,10 @@ struct ServiceOptions {
   /// so concurrent queries rarely contend on evictions; the paper harness
   /// keeps its own 16-frame pools and is not affected.
   uint32_t serving_buffer_frames = 256;
+  /// Build the served structures with the bottom-up bulk builders
+  /// (src/lsdb/build/) instead of one-at-a-time insertion. Served query
+  /// results are identical; startup is much faster on large maps.
+  bool bulk_build = false;
 
   /// If non-empty, the service opens a Tracer on this file and emits one
   /// JSONL span per served query plus sampled buffer-pool events. Empty

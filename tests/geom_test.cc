@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "lsdb/geom/clip.h"
 #include "lsdb/geom/morton.h"
 #include "lsdb/geom/point.h"
@@ -52,6 +54,25 @@ TEST(RectTest, DegenerateRectsAreValid) {
   EXPECT_EQ(r.Area(), 0);
   EXPECT_TRUE(r.Contains(Point{3, 3}));
   EXPECT_FALSE(r.Contains(Point{3, 4}));
+}
+
+TEST(RectTest, CenterFloorsTowardNegativeInfinity) {
+  // Positive odd sums round down, as before.
+  EXPECT_EQ(Rect::Of(0, 0, 3, 5).Center(), (Point{1, 2}));
+  // Negative odd sums must also round toward -infinity. Truncating division
+  // would yield {-1, -2} here, biasing centers upward across the origin.
+  EXPECT_EQ(Rect::Of(-3, -5, 0, 0).Center(), (Point{-2, -3}));
+  EXPECT_EQ(Rect::Of(-1, -1, 0, 0).Center(), (Point{-1, -1}));
+  // Floor keeps the rounding direction uniform: translating a rect by a
+  // constant translates its center by the same constant, even across zero.
+  EXPECT_EQ(Rect::Of(2, 2, 5, 5).Center(), (Point{3, 3}));
+  EXPECT_EQ(Rect::Of(-5, -5, -2, -2).Center(), (Point{-4, -4}));
+  // No overflow at coordinate extremes (sum computed in 64-bit).
+  const Coord lo = std::numeric_limits<Coord>::min();
+  const Coord hi = std::numeric_limits<Coord>::max();
+  EXPECT_EQ(Rect::Of(lo, lo, hi, hi).Center(), (Point{-1, -1}));
+  EXPECT_EQ(Rect::Of(lo, lo, lo + 2, lo + 2).Center(),
+            (Point{lo + 1, lo + 1}));
 }
 
 TEST(RectTest, ContainsIsClosed) {

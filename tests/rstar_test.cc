@@ -160,6 +160,35 @@ TEST(RStarTest, PaperPageCapacityAt1K) {
   EXPECT_EQ(RNodeIO(&pool).Capacity(), 50u);
 }
 
+TEST(RStarTest, SmallFanoutReinsertClampKeepsInvariants) {
+  // cap_ = (108-12)/20 = 4, min_entries_ = max(2, floor(4*0.4)) = 2. At this
+  // fanout the forced-reinsert clamp boundary matters: an overflowing node
+  // holds cap_+1 = 5 entries and may legitimately be left with exactly
+  // min_entries_ = 2 after removal (p <= M+1-m). The old clamp was off by
+  // two; either way CheckInvariants() must hold after every single insert.
+  IndexOptions opt;
+  opt.page_size = 108;  // >= 104 bytes needed by the superblock on Flush.
+  opt.world_log2 = 10;
+  RStarFixture f(opt);
+  Rng rng(53);
+  const auto segs = RandomSegments(&rng, 200, 1024, 64);
+  std::vector<SegmentId> ids;
+  for (const Segment& s : segs) {
+    ids.push_back(f.Add(s));
+    const Status st = f.tree.CheckInvariants();
+    ASSERT_TRUE(st.ok()) << "after insert " << f.tree.size() << ": "
+                         << st.ToString();
+  }
+  EXPECT_EQ(f.tree.size(), 200u);
+  EXPECT_GT(f.tree.height(), 2u);
+  // Deletions at tiny fanout exercise condense/underflow too.
+  for (size_t i = 0; i < segs.size(); i += 3) {
+    ASSERT_TRUE(f.tree.Erase(ids[i], segs[i]).ok());
+    const Status st = f.tree.CheckInvariants();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
 TEST(RStarTest, MetricsCountBoundingBoxWork) {
   RStarFixture f;
   Rng rng(41);

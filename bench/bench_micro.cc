@@ -16,6 +16,7 @@
 #include "lsdb/rtree/rstar_tree.h"
 #include "lsdb/seg/segment_table.h"
 #include "lsdb/util/random.h"
+#include "bench_util.h"
 
 namespace lsdb {
 namespace {
@@ -88,10 +89,11 @@ void BM_BTreeInsert(benchmark::State& state) {
   MemPageFile file(1024);
   BufferPool pool(&file, 64, nullptr);
   BTree tree(&pool);
-  (void)tree.Init();
+  bench::CheckOk(tree.Init(), "BTree::Init");
   for (auto _ : state) {
-    // Mostly-unique random keys; duplicates are rejected cheaply.
-    (void)tree.Insert(rng.Next());
+    // Mostly-unique random keys; duplicates are rejected cheaply — that
+    // benign error is the one Status deliberately dropped here.
+    tree.Insert(rng.Next()).IgnoreError();
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -102,8 +104,9 @@ void BM_BTreeSeekLE(benchmark::State& state) {
   MemPageFile file(1024);
   BufferPool pool(&file, 64, nullptr);
   BTree tree(&pool);
-  (void)tree.Init();
-  for (int i = 0; i < 100000; ++i) (void)tree.Insert(rng.Next());
+  bench::CheckOk(tree.Init(), "BTree::Init");
+  // Duplicate keys are rejected with a benign error; everything else aborts.
+  for (int i = 0; i < 100000; ++i) tree.Insert(rng.Next()).IgnoreError();
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.SeekLE(rng.Next()));
   }
@@ -130,30 +133,32 @@ struct StructureRig {
     seg_file = std::make_unique<MemPageFile>(opt.page_size);
     seg_pool = std::make_unique<BufferPool>(seg_file.get(), 16, nullptr);
     table = std::make_unique<SegmentTable>(seg_pool.get(), nullptr);
-    for (const Segment& s : BenchMap().segments) (void)table->Append(s);
+    for (const Segment& s : BenchMap().segments) {
+      bench::CheckOk(table->Append(s).status(), "SegmentTable::Append");
+    }
     file = std::make_unique<MemPageFile>(opt.page_size);
     switch (kind) {
       case 0: {
         auto t = std::make_unique<RStarTree>(opt, file.get(), table.get());
-        (void)t->Init();
+        bench::CheckOk(t->Init(), "SpatialIndex::Init");
         index = std::move(t);
         break;
       }
       case 1: {
         auto t = std::make_unique<RPlusTree>(opt, file.get(), table.get());
-        (void)t->Init();
+        bench::CheckOk(t->Init(), "SpatialIndex::Init");
         index = std::move(t);
         break;
       }
       case 2: {
         auto t = std::make_unique<PmrQuadtree>(opt, file.get(), table.get());
-        (void)t->Init();
+        bench::CheckOk(t->Init(), "SpatialIndex::Init");
         index = std::move(t);
         break;
       }
       default: {
         auto t = std::make_unique<UniformGrid>(opt, file.get(), table.get());
-        (void)t->Init();
+        bench::CheckOk(t->Init(), "SpatialIndex::Init");
         index = std::move(t);
         break;
       }
@@ -162,7 +167,8 @@ struct StructureRig {
 
   void BuildAll() {
     for (SegmentId id = 0; id < BenchMap().segments.size(); ++id) {
-      (void)index->Insert(id, BenchMap().segments[id]);
+      bench::CheckOk(index->Insert(id, BenchMap().segments[id]),
+                     "SpatialIndex::Insert");
     }
   }
 
@@ -192,7 +198,9 @@ void BM_StructureWindowQuery(benchmark::State& state) {
     const Coord x = static_cast<Coord>(rng.Uniform(16384 - 160));
     const Coord y = static_cast<Coord>(rng.Uniform(16384 - 160));
     std::vector<SegmentHit> hits;
-    (void)rig.index->WindowQueryEx(Rect::Of(x, y, x + 160, y + 160), &hits);
+    bench::CheckOk(rig.index->WindowQueryEx(
+                       Rect::Of(x, y, x + 160, y + 160), &hits),
+                   "WindowQueryEx");
     benchmark::DoNotOptimize(hits.size());
   }
   state.SetItemsProcessed(state.iterations());

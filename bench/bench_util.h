@@ -5,13 +5,24 @@
 #define LSDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "lsdb/data/county_generator.h"
 #include "lsdb/data/polygonal_map.h"
+#include "lsdb/util/status.h"
 
 namespace lsdb::bench {
+
+/// Aborts the bench if a setup/measurement step fails. A bench that keeps
+/// running past a failed Init/Insert measures garbage; fail loudly instead.
+inline void CheckOk(const Status& s, const char* what) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what, s.ToString().c_str());
+    std::abort();
+  }
+}
 
 /// Generates all six Maryland county maps on the 16K grid (deterministic).
 inline std::vector<PolygonalMap> AllCountyMaps(uint32_t world_log2 = 14) {

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # CI entry point.
 #
-# Tier 1: configure, build, and run the full test suite.
+# Tier 0: scripts/lint.sh — clang-tidy (when installed), the lsdb_lint
+#         domain rules, and clang-format --dry-run (when installed).
+#         Fails fast: nothing else runs on a lint violation.
+# Tier 1: configure with -DLSDB_WERROR=ON (warnings are errors, which
+#         also hardens the [[nodiscard]] Status discipline into a build
+#         break), build, and run the full test suite.
 # Tier 2: rebuild with ThreadSanitizer (-DLSDB_SAN=thread) and re-run the
 #         concurrency-sensitive tests — the query service, worker pool,
 #         buffer pool, the observability layer (sharded histograms,
@@ -11,6 +16,11 @@
 #         fault-injection suite — checksums, corruption round trips,
 #         retries, breaker trips — which must report zero memory errors
 #         even while pages are corrupted and reads fail.
+# Tier 2c: rebuild with UndefinedBehaviorSanitizer (-DLSDB_SAN=undefined,
+#         which also enables the float checks GCC leaves out of the
+#         default group and compiles every hit as non-recoverable) and
+#         re-run the ENTIRE ctest suite. halt_on_error turns any UB into
+#         a test failure.
 # Tier 3: smoke-run the service observability bench and validate its
 #         machine-readable BENCH_service.json against the minimal schema,
 #         robustness keys included; smoke-run the bulk-build bench —
@@ -21,7 +31,9 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc)"
 
-cmake -B build -S .
+./scripts/lint.sh
+
+cmake -B build -S . -DLSDB_WERROR=ON
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
@@ -34,6 +46,11 @@ cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lsdb_tests \
   --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*:BulkLoadTest.*'
+
+cmake -B build-ubsan -S . -DLSDB_SAN=undefined
+cmake --build build-ubsan -j"${JOBS}"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-ubsan --output-on-failure -j"${JOBS}"
 
 ./build/bench/bench_service_observability Charles 2000 build/BENCH_service.json 4
 python3 - <<'EOF'

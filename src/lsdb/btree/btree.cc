@@ -46,7 +46,7 @@ uint32_t BTree::InternalCapacity() const {
 }
 
 Status BTree::Init() {
-  assert(root_ == kInvalidPageId);
+  assert(root_ == kInvalidPageId);  // NOLINT(lsdb-assert-on-disk): Init precondition on in-memory state
   auto id = AllocNode();
   if (!id.ok()) return id.status();
   root_ = *id;
@@ -125,8 +125,8 @@ Status BTree::StoreNode(PageId id, const Node& node) {
   p[0] = node.leaf ? kLeafKind : kInternalKind;
   PutU16(p + 2, static_cast<uint16_t>(node.keys.size()));
   if (node.leaf) {
-    assert(node.keys.size() <= LeafCapacity());
-    assert(node.payloads.size() == node.keys.size() * payload_size_);
+    assert(node.keys.size() <= LeafCapacity());  // NOLINT(lsdb-assert-on-disk): write-path invariant on the in-memory node
+    assert(node.payloads.size() == node.keys.size() * payload_size_);  // NOLINT(lsdb-assert-on-disk): write-path invariant on the in-memory node
     PutU32(p + 4, node.prev);
     PutU32(p + 8, node.next);
     uint8_t* q = p + kHeaderSize;
@@ -140,8 +140,8 @@ Status BTree::StoreNode(PageId id, const Node& node) {
       }
     }
   } else {
-    assert(node.keys.size() <= InternalCapacity());
-    assert(node.children.size() == node.keys.size() + 1);
+    assert(node.keys.size() <= InternalCapacity());  // NOLINT(lsdb-assert-on-disk): write-path invariant on the in-memory node
+    assert(node.children.size() == node.keys.size() + 1);  // NOLINT(lsdb-assert-on-disk): write-path invariant on the in-memory node
     uint8_t* q = p + kHeaderSize;
     PutU32(q, node.children[0]);
     q += 4;
@@ -155,7 +155,7 @@ Status BTree::StoreNode(PageId id, const Node& node) {
 }
 
 Status BTree::Insert(uint64_t key, const void* payload) {
-  assert(payload_size_ == 0 || payload != nullptr);
+  assert(payload_size_ == 0 || payload != nullptr);  // NOLINT(lsdb-assert-on-disk): caller contract, not disk data
   SplitResult split;
   LSDB_RETURN_IF_ERROR(InsertRec(
       root_, key, static_cast<const uint8_t*>(payload), &split));
@@ -278,7 +278,7 @@ Status BTree::BulkLoad(const std::vector<uint64_t>& keys,
   if (size_ != 0 || height_ != 1 || live_pages_ != 1) {
     return Status::InvalidArgument("BulkLoad requires a fresh empty tree");
   }
-  assert(payload_size_ == 0 || payloads != nullptr || keys.empty());
+  assert(payload_size_ == 0 || payloads != nullptr || keys.empty());  // NOLINT(lsdb-assert-on-disk): caller contract, not disk data
   for (size_t i = 1; i < keys.size(); ++i) {
     if (keys[i] <= keys[i - 1]) {
       return Status::InvalidArgument("BulkLoad keys must strictly ascend");

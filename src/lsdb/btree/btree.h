@@ -38,15 +38,15 @@ class BTree {
   /// Call Init() before first use.
   explicit BTree(BufferPool* pool, uint32_t payload_size = 0);
 
-  Status Init();
+  [[nodiscard]] Status Init();
 
   /// Inserts a key (with `payload_size` bytes from `payload`, which may be
   /// null only when payload_size is 0). Returns InvalidArgument if the key
   /// already exists.
-  Status Insert(uint64_t key, const void* payload = nullptr);
+  [[nodiscard]] Status Insert(uint64_t key, const void* payload = nullptr);
 
   /// Removes a key. Returns NotFound if absent.
-  Status Erase(uint64_t key);
+  [[nodiscard]] Status Erase(uint64_t key);
 
   /// Bulk-loads a freshly Init()ed, empty tree from strictly ascending
   /// keys (`payloads` holds keys.size() * payload_size bytes, record i at
@@ -56,22 +56,22 @@ class BTree {
   /// through them, and internal levels are built bottom-up from the leaf
   /// run. The result is indistinguishable from a tree grown by Insert()
   /// except for its (tighter) page layout.
-  Status BulkLoad(const std::vector<uint64_t>& keys, const uint8_t* payloads,
+  [[nodiscard]] Status BulkLoad(const std::vector<uint64_t>& keys, const uint8_t* payloads,
                   double fill = 1.0);
 
   /// Membership test.
-  StatusOr<bool> Contains(uint64_t key);
+  [[nodiscard]] StatusOr<bool> Contains(uint64_t key);
 
   /// Greatest stored key <= `key`; NotFound if all keys are greater.
-  StatusOr<uint64_t> SeekLE(uint64_t key);
+  [[nodiscard]] StatusOr<uint64_t> SeekLE(uint64_t key);
 
   /// Least stored key >= `key`; NotFound if all keys are smaller.
-  StatusOr<uint64_t> SeekGE(uint64_t key);
+  [[nodiscard]] StatusOr<uint64_t> SeekGE(uint64_t key);
 
   /// Visits all records with keys in [lo, hi] in ascending order.
   /// `payload` points at the record's payload bytes (valid only during the
   /// call; null when payload_size is 0). `fn` returns false to stop early.
-  Status Scan(uint64_t lo, uint64_t hi,
+  [[nodiscard]] Status Scan(uint64_t lo, uint64_t hi,
               const std::function<bool(uint64_t, const uint8_t*)>& fn);
 
   /// Number of stored keys.
@@ -101,7 +101,7 @@ class BTree {
 
   /// Validates structural invariants (sorted keys, key/child counts, leaf
   /// chain consistency, separator correctness). For tests.
-  Status CheckInvariants();
+  [[nodiscard]] Status CheckInvariants();
 
  private:
   struct Node {
@@ -116,13 +116,13 @@ class BTree {
   uint32_t LeafCapacity() const;
   uint32_t InternalCapacity() const;  // max number of keys
 
-  Status LoadNode(PageId id, Node* node);
+  [[nodiscard]] Status LoadNode(PageId id, Node* node);
   /// LoadNode that additionally requires a leaf — for prev/next chain
   /// walks, where a non-leaf page means a corrupt sibling pointer.
-  Status LoadChainedLeaf(PageId id, Node* node);
-  Status StoreNode(PageId id, const Node& node);
-  StatusOr<PageId> AllocNode();
-  Status FreeNode(PageId id);
+  [[nodiscard]] Status LoadChainedLeaf(PageId id, Node* node);
+  [[nodiscard]] Status StoreNode(PageId id, const Node& node);
+  [[nodiscard]] StatusOr<PageId> AllocNode();
+  [[nodiscard]] Status FreeNode(PageId id);
 
   struct SplitResult {
     bool split = false;
@@ -130,21 +130,21 @@ class BTree {
     PageId right = kInvalidPageId;
   };
 
-  Status InsertRec(PageId node_id, uint64_t key, const uint8_t* payload,
+  [[nodiscard]] Status InsertRec(PageId node_id, uint64_t key, const uint8_t* payload,
                    SplitResult* out);
 
   /// Erase from the subtree at node_id. `*underflow` reports whether the
   /// node is now below its minimum occupancy.
-  Status EraseRec(PageId node_id, uint64_t key, bool* underflow);
+  [[nodiscard]] Status EraseRec(PageId node_id, uint64_t key, bool* underflow);
   /// Rebalances child `idx` of `parent` (stored at parent_id) after it
   /// underflowed: borrow from an adjacent sibling or merge.
-  Status FixUnderflow(PageId parent_id, Node* parent, size_t idx,
+  [[nodiscard]] Status FixUnderflow(PageId parent_id, Node* parent, size_t idx,
                       bool* parent_dirty);
 
   /// Descends to the leaf that would contain `key`; returns its page id.
-  StatusOr<PageId> FindLeaf(uint64_t key);
+  [[nodiscard]] StatusOr<PageId> FindLeaf(uint64_t key);
 
-  Status CheckRec(PageId id, uint32_t depth, uint64_t lo, bool has_lo,
+  [[nodiscard]] Status CheckRec(PageId id, uint32_t depth, uint64_t lo, bool has_lo,
                   uint64_t hi, bool has_hi, uint32_t* leaf_depth,
                   uint64_t* key_count, uint32_t* page_count);
 

@@ -44,7 +44,7 @@ using BulkItems = std::vector<std::pair<SegmentId, Segment>>;
 /// Dispatches to the structure-specific builder (R*, R+, or PMR).
 /// Indexes without a bulk path — the uniform grid, whose incremental build
 /// is already a single linear pass — fall back to one-at-a-time Insert().
-Status BulkLoad(SpatialIndex* index, const BulkItems& items);
+[[nodiscard]] Status BulkLoad(SpatialIndex* index, const BulkItems& items);
 
 }  // namespace lsdb
 

@@ -165,7 +165,29 @@ void QuadGeometry::UnpackKey(uint64_t key, QuadBlock* b,
   const uint32_t depth = static_cast<uint32_t>((key >> 32) & 0xfu);
   const uint32_t full = static_cast<uint32_t>(key >> 36);
   b->depth = static_cast<uint8_t>(depth);
-  b->morton = full >> (2 * (max_depth_ - depth));
+  // A depth nibble above max_depth_ cannot come from PackKey; decode it
+  // without shifting so the expression stays defined for arbitrary (e.g.
+  // corrupt) inputs. Disk-read paths use UnpackKeyChecked to reject them.
+  b->morton = depth <= max_depth_ ? full >> (2 * (max_depth_ - depth)) : full;
+}
+
+Status QuadGeometry::UnpackKeyChecked(uint64_t key, QuadBlock* b,
+                                      uint32_t* segid) const {
+  const uint32_t depth = static_cast<uint32_t>((key >> 32) & 0xfu);
+  const uint32_t full = static_cast<uint32_t>(key >> 36);
+  if (depth > max_depth_) {
+    return Status::Corruption("quadtree key depth exceeds max depth");
+  }
+  if (static_cast<uint64_t>(full) >= (uint64_t{1} << (2 * max_depth_))) {
+    return Status::Corruption("quadtree key locational code out of range");
+  }
+  const uint32_t sub_bits = 2 * (max_depth_ - depth);
+  if ((full & ((uint32_t{1} << sub_bits) - 1)) != 0) {
+    return Status::Corruption(
+        "quadtree key locational code set below block resolution");
+  }
+  UnpackKey(key, b, segid);
+  return Status::OK();
 }
 
 uint64_t QuadGeometry::SubtreeKeyLow(const QuadBlock& b) const {

@@ -20,6 +20,7 @@
 
 #include "lsdb/geom/point.h"
 #include "lsdb/geom/rect.h"
+#include "lsdb/util/status.h"
 
 namespace lsdb {
 
@@ -93,8 +94,18 @@ class QuadGeometry {
 
   /// Packs a block + segment id into a B-tree key.
   uint64_t PackKey(const QuadBlock& b, uint32_t segid) const;
-  /// Inverse of PackKey.
+  /// Inverse of PackKey. Total: defined for every 64-bit input, including
+  /// depth nibbles above max_depth() (which PackKey never produces — such
+  /// keys decode with an unshifted locational code rather than hitting an
+  /// out-of-range shift). Callers decoding keys read from disk should use
+  /// UnpackKeyChecked instead.
   void UnpackKey(uint64_t key, QuadBlock* b, uint32_t* segid) const;
+  /// UnpackKey for untrusted (disk-loaded) keys: rejects keys no PackKey
+  /// call can have produced — depth nibble above max_depth(), locational
+  /// code out of range or with bits below the block's resolution — with
+  /// Status::Corruption, leaving *b/*segid untouched on failure.
+  [[nodiscard]] Status UnpackKeyChecked(uint64_t key, QuadBlock* b,
+                                        uint32_t* segid) const;
 
   /// Smallest key of any tuple stored for block b itself.
   uint64_t BlockKeyLow(const QuadBlock& b) const { return PackKey(b, 0); }

@@ -31,7 +31,7 @@ UniformGrid::UniformGrid(const IndexOptions& options, PageFile* file,
     : options_(options),
       pool_(file, options.buffer_frames, &metrics_),
       segs_(segs) {
-  assert(options.grid_log2_cells <= options.world_log2);
+  assert(options.grid_log2_cells <= options.world_log2);  // NOLINT(lsdb-assert-on-disk): constructor option validation
   cells_ = 1u << options.grid_log2_cells;
   cell_shift_ = options.world_log2 - options.grid_log2_cells;
   slots_per_dir_page_ = options.page_size / 4;

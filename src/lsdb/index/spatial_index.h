@@ -76,29 +76,29 @@ class SpatialIndex {
 
   /// Inserts segment `id` with geometry `s` (the geometry must match the
   /// segment table entry for `id`).
-  virtual Status Insert(SegmentId id, const Segment& s) = 0;
+  [[nodiscard]] virtual Status Insert(SegmentId id, const Segment& s) = 0;
 
   /// Removes segment `id`. Returns NotFound if absent.
-  virtual Status Erase(SegmentId id, const Segment& s) = 0;
+  [[nodiscard]] virtual Status Erase(SegmentId id, const Segment& s) = 0;
 
   /// Appends to *out every segment whose geometry intersects the closed
   /// window `w`, without duplicates (order unspecified).
-  virtual Status WindowQueryEx(const Rect& w,
+  [[nodiscard]] virtual Status WindowQueryEx(const Rect& w,
                                std::vector<SegmentHit>* out) = 0;
 
   /// Id-only convenience wrapper around WindowQueryEx.
-  Status WindowQuery(const Rect& w, std::vector<SegmentId>* out);
+  [[nodiscard]] Status WindowQuery(const Rect& w, std::vector<SegmentId>* out);
 
   /// Every segment whose geometry contains `p` (degenerate window query).
-  Status PointQueryEx(const Point& p, std::vector<SegmentHit>* out);
-  Status PointQuery(const Point& p, std::vector<SegmentId>* out);
+  [[nodiscard]] Status PointQueryEx(const Point& p, std::vector<SegmentHit>* out);
+  [[nodiscard]] Status PointQuery(const Point& p, std::vector<SegmentId>* out);
 
   /// Nearest segment to `p` by Euclidean distance (ties arbitrary).
   /// Returns NotFound on an empty index.
-  virtual StatusOr<NearestResult> Nearest(const Point& p) = 0;
+  [[nodiscard]] virtual StatusOr<NearestResult> Nearest(const Point& p) = 0;
 
   /// Writes all dirty pages back to the page file.
-  virtual Status Flush() = 0;
+  [[nodiscard]] virtual Status Flush() = 0;
 
   /// Index size in bytes (excluding the shared segment table, as in the
   /// paper's Table 1).
@@ -113,7 +113,7 @@ class SpatialIndex {
   virtual const BufferPool* pool() const { return nullptr; }
 
   /// Validates internal invariants (tests only).
-  virtual Status CheckInvariants() { return Status::OK(); }
+  [[nodiscard]] virtual Status CheckInvariants() { return Status::OK(); }
 
   /// Read-only serving mode. After Freeze(), Insert/Erase fail with
   /// FailedPrecondition-style InvalidArgument until Thaw(). Queries on a
@@ -126,7 +126,7 @@ class SpatialIndex {
 
  protected:
   /// Guard for mutating entry points; call first in Insert/Erase.
-  Status CheckMutable() const {
+  [[nodiscard]] Status CheckMutable() const {
     if (frozen_) {
       return Status::InvalidArgument("index is frozen for serving");
     }

@@ -21,7 +21,7 @@ PmrQuadtree::PmrQuadtree(const IndexOptions& options, PageFile* file,
             std::min(options.pmr_max_depth,
                      std::min(options.world_log2, kMaxQuadDepth))),
       threshold_(options.pmr_split_threshold) {
-  assert(threshold_ >= 1);
+  assert(threshold_ >= 1);  // NOLINT(lsdb-assert-on-disk): constructor option validation
 }
 
 void PmrQuadtree::EncodeBbox(const Rect& r, uint8_t* out) {
@@ -100,7 +100,7 @@ StatusOr<bool> PmrQuadtree::IsLeaf(const QuadBlock& b) {
   }
   QuadBlock found;
   uint32_t segid;
-  geom_.UnpackKey(*key, &found, &segid);
+  LSDB_RETURN_IF_ERROR(geom_.UnpackKeyChecked(*key, &found, &segid));
   return found.depth == b.depth;
 }
 
@@ -137,7 +137,7 @@ Status PmrQuadtree::VisitLeavesInCellRect(
     if (!key.ok()) return Status::Corruption("uncovered quadtree cell");
     QuadBlock leaf;
     uint32_t segid;
-    geom_.UnpackKey(*key, &leaf, &segid);
+    LSDB_RETURN_IF_ERROR(geom_.UnpackKeyChecked(*key, &leaf, &segid));
     LSDB_RETURN_IF_ERROR(fn(leaf));
     // Advance past the leaf's Z-range, jumping out-of-rect gaps.
     const uint64_t base = geom_.SubtreeKeyLow(leaf) >> 36;
@@ -437,7 +437,7 @@ Status PmrQuadtree::ScanPiece(const QuadBlock& piece,
     if (prior.ok()) {
       QuadBlock lb;
       uint32_t segid;
-      geom_.UnpackKey(*prior, &lb, &segid);
+      LSDB_RETURN_IF_ERROR(geom_.UnpackKeyChecked(*prior, &lb, &segid));
       if (geom_.SubtreeKeyHigh(lb) >= geom_.SubtreeKeyHigh(piece)) {
         LSDB_RETURN_IF_ERROR(btree_.Scan(geom_.BlockKeyLow(lb),
                                          geom_.BlockKeyHigh(lb),
@@ -612,27 +612,31 @@ StatusOr<QuadBlock> PmrQuadtree::LocateBlock(const Point& p) {
   if (!key.ok()) return Status::Corruption("uncovered point");
   QuadBlock b;
   uint32_t segid;
-  geom_.UnpackKey(*key, &b, &segid);
+  LSDB_RETURN_IF_ERROR(geom_.UnpackKeyChecked(*key, &b, &segid));
   return b;
 }
 
 Status PmrQuadtree::CollectLeafBlocks(std::vector<QuadBlock>* out) {
   uint64_t last_low = 0;
   bool have_last = false;
-  return btree_.Scan(0, ~uint64_t{0},
-                     [this, out, &last_low, &have_last](uint64_t key,
-                                                        const uint8_t*) {
-                       QuadBlock b;
-                       uint32_t segid;
-                       geom_.UnpackKey(key, &b, &segid);
-                       const uint64_t low = geom_.BlockKeyLow(b);
-                       if (!have_last || low != last_low) {
-                         out->push_back(b);
-                         last_low = low;
-                         have_last = true;
-                       }
-                       return true;
-                     });
+  Status cb_status;
+  LSDB_RETURN_IF_ERROR(btree_.Scan(
+      0, ~uint64_t{0},
+      [this, out, &last_low, &have_last, &cb_status](uint64_t key,
+                                                     const uint8_t*) {
+        QuadBlock b;
+        uint32_t segid;
+        cb_status = geom_.UnpackKeyChecked(key, &b, &segid);
+        if (!cb_status.ok()) return false;
+        const uint64_t low = geom_.BlockKeyLow(b);
+        if (!have_last || low != last_low) {
+          out->push_back(b);
+          last_low = low;
+          have_last = true;
+        }
+        return true;
+      }));
+  return cb_status;
 }
 
 StatusOr<double> PmrQuadtree::AverageBucketOccupancy() {
@@ -687,7 +691,8 @@ Status PmrQuadtree::CheckInvariants() {
       0, ~uint64_t{0}, [&](uint64_t key, const uint8_t* payload) {
     QuadBlock b;
     uint32_t segid;
-    geom_.UnpackKey(key, &b, &segid);
+    st.error = geom_.UnpackKeyChecked(key, &b, &segid);
+    if (!st.error.ok()) return false;
     if (!st.have_block || !(b == st.block)) {
       if (st.have_block) {
         if (geom_.SubtreeKeyLow(b) <= st.subtree_high) {

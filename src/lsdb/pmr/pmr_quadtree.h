@@ -46,10 +46,10 @@ class PmrQuadtree : public SpatialIndex {
 
   /// Creates a fresh structure. Requires an empty page file (the
   /// superblock is placed at page 0).
-  Status Init();
+  [[nodiscard]] Status Init();
   /// Reopens a structure previously built with Init() and Flush()ed into
   /// the given page file (PosixPageFile::Open). Options must match.
-  Status Open();
+  [[nodiscard]] Status Open();
 
   std::string Name() const override { return "PMR"; }
 
@@ -59,38 +59,38 @@ class PmrQuadtree : public SpatialIndex {
   /// resulting (locational code, segment id) tuples, and bulk-loads the
   /// B-tree in one left-to-right pass. Requires a freshly Init()ed, empty
   /// structure; every item must intersect the world rectangle.
-  Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
+  [[nodiscard]] Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
 
-  Status Insert(SegmentId id, const Segment& s) override;
-  Status Erase(SegmentId id, const Segment& s) override;
+  [[nodiscard]] Status Insert(SegmentId id, const Segment& s) override;
+  [[nodiscard]] Status Erase(SegmentId id, const Segment& s) override;
   /// Window query via the Aref-Samet style block-cover decomposition:
   /// the window is covered by maximal aligned blocks and each block is one
   /// ordered probe of the linear quadtree (this is the paper's strategy
   /// and the source of its very low bucket-computation counts).
   /// Degenerate point windows collapse to a single SeekLE point location.
-  Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
+  [[nodiscard]] Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
 
   /// Nearest segment via expanding-window search: locate the leaf block
   /// containing p, scan it, and grow the search window geometrically until
   /// the best exact distance is covered (Hoel & Samet 1991 flavour).
-  StatusOr<NearestResult> Nearest(const Point& p) override;
+  [[nodiscard]] StatusOr<NearestResult> Nearest(const Point& p) override;
   /// Persists the superblock and all dirty pages.
-  Status Flush() override;
+  [[nodiscard]] Status Flush() override;
   uint64_t bytes() const override { return btree_.bytes(); }
   const MetricCounters& metrics() const override { return metrics_; }
   const BufferPool* pool() const override { return &pool_; }
-  Status CheckInvariants() override;
+  [[nodiscard]] Status CheckInvariants() override;
 
   /// Alternative window query: plain top-down traversal of the conceptual
   /// quadtree with a leafness probe per visited block. Equivalent results
   /// to WindowQueryEx; kept for the ablation bench.
-  Status WindowQueryTraversal(const Rect& w, std::vector<SegmentHit>* out);
+  [[nodiscard]] Status WindowQueryTraversal(const Rect& w, std::vector<SegmentHit>* out);
 
   /// Alternative window query: static decomposition of the window into
   /// maximal aligned blocks down to the maximum depth, one linear-quadtree
   /// probe per piece. Ablation only — the data-driven strategy of
   /// WindowQueryEx visits far fewer pieces on fine grids.
-  Status WindowQueryStaticDecomposed(const Rect& w,
+  [[nodiscard]] Status WindowQueryStaticDecomposed(const Rect& w,
                                      std::vector<SegmentHit>* out);
 
   /// Number of distinct stored segments.
@@ -98,57 +98,57 @@ class PmrQuadtree : public SpatialIndex {
   /// Number of stored q-edge tuples (>= size(); excludes sentinels).
   uint64_t tuples() const { return tuple_count_; }
   /// Average number of q-edges per non-empty leaf block.
-  StatusOr<double> AverageBucketOccupancy();
+  [[nodiscard]] StatusOr<double> AverageBucketOccupancy();
 
   const QuadGeometry& geometry() const { return geom_; }
   BTree* btree() { return &btree_; }
 
   /// Leaf block whose (half-open) cell contains p. Used by the paper's
   /// two-stage random query point generator and the nearest-line query.
-  StatusOr<QuadBlock> LocateBlock(const Point& p);
+  [[nodiscard]] StatusOr<QuadBlock> LocateBlock(const Point& p);
 
   /// All leaf blocks, in Z-order (includes empty blocks). Used by the
   /// two-stage query point generator ("generated the PMR quadtree block at
   /// random using a uniform distribution based on the total number of
   /// blocks").
-  Status CollectLeafBlocks(std::vector<QuadBlock>* out);
+  [[nodiscard]] Status CollectLeafBlocks(std::vector<QuadBlock>* out);
 
  private:
   static constexpr uint32_t kSentinelId = 0xffffffffu;
 
   /// True iff `b` is a leaf block of the current decomposition.
-  StatusOr<bool> IsLeaf(const QuadBlock& b);
+  [[nodiscard]] StatusOr<bool> IsLeaf(const QuadBlock& b);
   /// Segment ids stored in leaf block `b` (sentinel excluded). When the
   /// 3-tuple variant is active and `bboxes` is non-null, the stored
   /// bounding boxes are returned alongside.
-  Status BlockEntries(const QuadBlock& b, std::vector<SegmentId>* out,
+  [[nodiscard]] Status BlockEntries(const QuadBlock& b, std::vector<SegmentId>* out,
                       std::vector<Rect>* bboxes = nullptr);
   /// All leaf blocks of the decomposition whose region intersects `s`,
   /// found by a Z-order scan with BIGMIN jumps over the segment MBR's cell
   /// rectangle (one predecessor probe per candidate leaf).
-  Status FindIntersectingLeaves(const Segment& s,
+  [[nodiscard]] Status FindIntersectingLeaves(const Segment& s,
                                 std::vector<QuadBlock>* out);
   /// Visits every leaf overlapping the cell rectangle
   /// [cx0..cx1]x[cy0..cy1] (max-depth cell addresses), in Z-order.
-  Status VisitLeavesInCellRect(
+  [[nodiscard]] Status VisitLeavesInCellRect(
       uint32_t cx0, uint32_t cy0, uint32_t cx1, uint32_t cy1,
       const std::function<Status(const QuadBlock&)>& fn);
   /// Splits leaf `b` into four children, redistributing its q-edges.
-  Status SplitBlock(const QuadBlock& b);
+  [[nodiscard]] Status SplitBlock(const QuadBlock& b);
   /// Merges the children of `parent` back into it while the merge
   /// condition holds, recursing upward.
-  Status TryMergeUpward(QuadBlock parent);
+  [[nodiscard]] Status TryMergeUpward(QuadBlock parent);
 
-  Status WindowRec(const QuadBlock& b, const Rect& w,
+  [[nodiscard]] Status WindowRec(const QuadBlock& b, const Rect& w,
                    std::unordered_set<SegmentId>* seen,
                    std::vector<SegmentHit>* out);
   /// Point query: scan the single leaf whose cell contains p (sufficient
   /// because insertion uses closed block regions, so every segment through
   /// p is stored in p's leaf too).
-  Status PointWindow(const Point& p, std::vector<SegmentHit>* out);
+  [[nodiscard]] Status PointWindow(const Point& p, std::vector<SegmentHit>* out);
   /// Scans the tuples of all leaves covering window piece `piece`
   /// (used by the static decomposition ablation).
-  Status ScanPiece(const QuadBlock& piece, std::vector<uint64_t>* keys);
+  [[nodiscard]] Status ScanPiece(const QuadBlock& piece, std::vector<uint64_t>* keys);
   /// Data-driven window visit: a Z-order scan over the linear quadtree
   /// restricted to the window's cell rectangle, jumping Morton-order gaps
   /// with BIGMIN (Tropf & Herzog). Visits exactly the leaves that overlap
@@ -156,7 +156,7 @@ class PmrQuadtree : public SpatialIndex {
   /// per (leaf, tuple); callers deduplicate and filter exactly.
   /// fn receives the segment id and, in the 3-tuple variant, the stored
   /// bounding box payload (null otherwise).
-  Status VisitWindowSegments(
+  [[nodiscard]] Status VisitWindowSegments(
       const Rect& w,
       const std::function<Status(SegmentId, const uint8_t*)>& fn);
 

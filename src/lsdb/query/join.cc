@@ -33,7 +33,7 @@ Status OverlappingSegments(PmrQuadtree* b, const QuadBlock& blk,
     if (prior.ok()) {
       QuadBlock lb;
       uint32_t segid;
-      geom.UnpackKey(*prior, &lb, &segid);
+      LSDB_RETURN_IF_ERROR(geom.UnpackKeyChecked(*prior, &lb, &segid));
       if (geom.SubtreeKeyHigh(lb) >= geom.SubtreeKeyHigh(blk)) {
         LSDB_RETURN_IF_ERROR(b->btree()->Scan(
             geom.BlockKeyLow(lb), geom.BlockKeyHigh(lb),
@@ -98,7 +98,8 @@ Status PmrMergeJoin(PmrQuadtree* a, SegmentTable* table_a, PmrQuadtree* b,
       0, ~uint64_t{0}, [&](uint64_t key, const uint8_t*) {
         QuadBlock blk;
         uint32_t segid;
-        ga.UnpackKey(key, &blk, &segid);
+        cb_status = ga.UnpackKeyChecked(key, &blk, &segid);
+        if (!cb_status.ok()) return false;
         if (!have_cur || !(blk == cur)) {
           cb_status = flush();
           if (!cb_status.ok()) return false;

@@ -112,7 +112,7 @@ Status RPlusTree::LoadLeafChain(PageId pid, RNode* node,
 }
 
 Status RPlusTree::StoreLeafChain(PageId pid, RNode node) {
-  assert(node.leaf());
+  assert(node.leaf());  // NOLINT(lsdb-assert-on-disk): caller passes an in-memory leaf
   if (node.entries.size() <= cap_) {
     node.overflow = kInvalidPageId;
     return io_.Store(pid, node);
@@ -331,7 +331,7 @@ Status RPlusTree::SplitLeafMulti(const Rect& region,
     LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
     const bool in_left = s.IntersectsRect(lregion);
     const bool in_right = s.IntersectsRect(rregion);
-    assert(in_left || in_right);
+    assert(in_left || in_right);  // NOLINT(lsdb-assert-on-disk): geometric invariant of the in-memory split
     if (in_left) left.push_back(e);
     if (in_right) right.push_back(e);
   }
@@ -391,7 +391,7 @@ Status RPlusTree::SplitSubtree(const RNodeEntry& entry, uint8_t level,
       std::vector<RNodeEntry> parts;
       LSDB_RETURN_IF_ERROR(SplitSubtree(
           e, static_cast<uint8_t>(level - 1), x_axis, line, &parts));
-      assert(parts.size() == 2);
+      assert(parts.size() == 2);  // NOLINT(lsdb-assert-on-disk): SplitSubtree postcondition, in-memory
       left.push_back(parts[0]);
       right.push_back(parts[1]);
     }
@@ -441,7 +441,7 @@ Status RPlusTree::SplitInternalMulti(const Rect& region, uint8_t level,
       std::vector<RNodeEntry> parts;
       LSDB_RETURN_IF_ERROR(SplitSubtree(
           e, static_cast<uint8_t>(level - 1), x_axis, line, &parts));
-      assert(parts.size() == 2);
+      assert(parts.size() == 2);  // NOLINT(lsdb-assert-on-disk): SplitSubtree postcondition, in-memory
       left.push_back(parts[0]);
       right.push_back(parts[1]);
     }

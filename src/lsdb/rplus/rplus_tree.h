@@ -52,9 +52,9 @@ class RPlusTree : public SpatialIndex {
             RPlusSplitPolicy policy = RPlusSplitPolicy::kMinCut);
 
   /// Creates a fresh tree. Requires an empty page file (superblock at 0).
-  Status Init();
+  [[nodiscard]] Status Init();
   /// Reopens a tree previously built and Flush()ed into this page file.
-  Status Open();
+  [[nodiscard]] Status Open();
 
   std::string Name() const override { return "R+"; }
 
@@ -66,20 +66,20 @@ class RPlusTree : public SpatialIndex {
   /// tree, whose sibling regions tile each parent by construction.
   /// Requires a freshly Init()ed, empty tree; every item must intersect
   /// the world rectangle.
-  Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
+  [[nodiscard]] Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
 
-  Status Insert(SegmentId id, const Segment& s) override;
-  Status Erase(SegmentId id, const Segment& s) override;
-  Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
-  StatusOr<NearestResult> Nearest(const Point& p) override;
+  [[nodiscard]] Status Insert(SegmentId id, const Segment& s) override;
+  [[nodiscard]] Status Erase(SegmentId id, const Segment& s) override;
+  [[nodiscard]] Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
+  [[nodiscard]] StatusOr<NearestResult> Nearest(const Point& p) override;
   /// Persists the superblock and all dirty pages.
-  Status Flush() override;
+  [[nodiscard]] Status Flush() override;
   uint64_t bytes() const override {
     return static_cast<uint64_t>(io_.live_pages()) * options_.page_size;
   }
   const MetricCounters& metrics() const override { return metrics_; }
   const BufferPool* pool() const override { return &pool_; }
-  Status CheckInvariants() override;
+  [[nodiscard]] Status CheckInvariants() override;
 
   /// Number of distinct segments stored.
   uint64_t size() const { return size_; }
@@ -89,32 +89,32 @@ class RPlusTree : public SpatialIndex {
   double AverageLeafOccupancy();
 
   /// Disjoint partition regions of all leaves (for visualization).
-  Status CollectLeafRegions(std::vector<Rect>* out);
+  [[nodiscard]] Status CollectLeafRegions(std::vector<Rect>* out);
 
  private:
   /// Loads a leaf including its overflow chain; chain page ids (excluding
   /// `pid` itself) are appended to *chain.
-  Status LoadLeafChain(PageId pid, RNode* node, std::vector<PageId>* chain);
+  [[nodiscard]] Status LoadLeafChain(PageId pid, RNode* node, std::vector<PageId>* chain);
   /// Stores a leaf, spilling entries beyond capacity into a fresh chain.
-  Status StoreLeafChain(PageId pid, RNode node);
+  [[nodiscard]] Status StoreLeafChain(PageId pid, RNode node);
   /// Frees a node page; for leaves also frees the overflow chain.
-  Status FreeSubtreePage(PageId pid, bool leaf);
+  [[nodiscard]] Status FreeSubtreePage(PageId pid, bool leaf);
 
-  Status InsertRec(PageId pid, const Rect& region, SegmentId id,
+  [[nodiscard]] Status InsertRec(PageId pid, const Rect& region, SegmentId id,
                    const Segment& s, std::vector<RNodeEntry>* replacements);
 
   /// Splits an overfull set of leaf entries covering `region` into one or
   /// more stored leaves (recursively), appending their entries to *out.
-  Status SplitLeafMulti(const Rect& region, std::vector<RNodeEntry> entries,
+  [[nodiscard]] Status SplitLeafMulti(const Rect& region, std::vector<RNodeEntry> entries,
                         std::vector<RNodeEntry>* out);
   /// Same for internal entries (disjoint child rectangles).
-  Status SplitInternalMulti(const Rect& region, uint8_t level,
+  [[nodiscard]] Status SplitInternalMulti(const Rect& region, uint8_t level,
                             std::vector<RNodeEntry> entries,
                             std::vector<RNodeEntry>* out);
 
   /// Splits the subtree rooted at `entry` by an axis line into two
   /// subtrees (downward k-d-B split). Appends the two replacement entries.
-  Status SplitSubtree(const RNodeEntry& entry, uint8_t level, bool x_axis,
+  [[nodiscard]] Status SplitSubtree(const RNodeEntry& entry, uint8_t level, bool x_axis,
                       Coord line, std::vector<RNodeEntry>* out);
 
   /// Chooses a split line for leaf entries. Returns false if the region
@@ -125,13 +125,13 @@ class RPlusTree : public SpatialIndex {
                            const Rect& region, bool* x_axis,
                            Coord* line) const;
 
-  Status EraseRec(PageId pid, const Rect& region, SegmentId id,
+  [[nodiscard]] Status EraseRec(PageId pid, const Rect& region, SegmentId id,
                   const Segment& s, bool* found);
-  Status WindowQueryRec(PageId pid, uint8_t expected_level,
+  [[nodiscard]] Status WindowQueryRec(PageId pid, uint8_t expected_level,
                         const Rect& region, const Rect& w,
                         std::unordered_set<SegmentId>* seen,
                         std::vector<SegmentHit>* out);
-  Status CheckRec(PageId pid, uint8_t expected_level, const Rect& region,
+  [[nodiscard]] Status CheckRec(PageId pid, uint8_t expected_level, const Rect& region,
                   uint32_t* pages, std::unordered_set<SegmentId>* distinct);
 
   IndexOptions options_;

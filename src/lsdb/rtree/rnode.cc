@@ -49,7 +49,7 @@ Status RNodeIO::Load(PageId id, RNode* node) {
 }
 
 Status RNodeIO::Store(PageId id, const RNode& node) {
-  assert(node.entries.size() <= Capacity());
+  assert(node.entries.size() <= Capacity());  // NOLINT(lsdb-assert-on-disk): write-path invariant on the in-memory node
   auto ref = pool_->Fetch(id);
   if (!ref.ok()) return ref.status();
   uint8_t* p = ref->data();

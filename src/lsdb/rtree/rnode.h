@@ -49,10 +49,10 @@ class RNodeIO {
   /// Maximum entries per node for this page size (paper: 50 at 1K).
   uint32_t Capacity() const { return (pool_->page_size() - 12) / 20; }
 
-  Status Load(PageId id, RNode* node);
-  Status Store(PageId id, const RNode& node);
-  StatusOr<PageId> Alloc();
-  Status Free(PageId id);
+  [[nodiscard]] Status Load(PageId id, RNode* node);
+  [[nodiscard]] Status Store(PageId id, const RNode& node);
+  [[nodiscard]] StatusOr<PageId> Alloc();
+  [[nodiscard]] Status Free(PageId id);
 
   uint32_t live_pages() const { return live_pages_; }
   void set_live_pages(uint32_t n) { live_pages_ = n; }

@@ -195,7 +195,7 @@ void RStarTree::RStarSplit(std::vector<RNodeEntry> entries,
                            std::vector<RNodeEntry>* right) const {
   const size_t n = entries.size();
   const size_t m = min_entries_;
-  assert(n >= 2 * m);
+  assert(n >= 2 * m);  // NOLINT(lsdb-assert-on-disk): split precondition on in-memory entries
 
   // A candidate ordering of the entries along one axis.
   auto sort_by = [&entries](bool x_axis, bool by_upper) {
@@ -279,7 +279,7 @@ void RStarTree::RStarSplit(std::vector<RNodeEntry> entries,
       }
     }
   }
-  assert(have_best);
+  assert(have_best);  // NOLINT(lsdb-assert-on-disk): split always picks a distribution
 }
 
 Status RStarTree::SplitNode(std::vector<PageId> path, RNode node) {

@@ -36,9 +36,9 @@ class RStarTree : public SpatialIndex {
   RStarTree(const IndexOptions& options, PageFile* file, SegmentTable* segs);
 
   /// Creates a fresh tree. Requires an empty page file (superblock at 0).
-  Status Init();
+  [[nodiscard]] Status Init();
   /// Reopens a tree previously built and Flush()ed into this page file.
-  Status Open();
+  [[nodiscard]] Status Open();
 
   std::string Name() const override { return "R*"; }
 
@@ -48,20 +48,20 @@ class RStarTree : public SpatialIndex {
   /// Produces the same queryable index as inserting every item one at a
   /// time — verified by the equivalence suite — at a fraction of the cost,
   /// with leaves packed to options.bulk_fill of capacity.
-  Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
+  [[nodiscard]] Status BulkLoad(const std::vector<std::pair<SegmentId, Segment>>& items);
 
-  Status Insert(SegmentId id, const Segment& s) override;
-  Status Erase(SegmentId id, const Segment& s) override;
-  Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
-  StatusOr<NearestResult> Nearest(const Point& p) override;
+  [[nodiscard]] Status Insert(SegmentId id, const Segment& s) override;
+  [[nodiscard]] Status Erase(SegmentId id, const Segment& s) override;
+  [[nodiscard]] Status WindowQueryEx(const Rect& w, std::vector<SegmentHit>* out) override;
+  [[nodiscard]] StatusOr<NearestResult> Nearest(const Point& p) override;
   /// Persists the superblock and all dirty pages.
-  Status Flush() override;
+  [[nodiscard]] Status Flush() override;
   uint64_t bytes() const override {
     return static_cast<uint64_t>(io_.live_pages()) * options_.page_size;
   }
   const MetricCounters& metrics() const override { return metrics_; }
   const BufferPool* pool() const override { return &pool_; }
-  Status CheckInvariants() override;
+  [[nodiscard]] Status CheckInvariants() override;
 
   uint64_t size() const { return size_; }
   uint32_t height() const { return root_level_ + 1u; }
@@ -69,24 +69,24 @@ class RStarTree : public SpatialIndex {
   double AverageLeafOccupancy();
 
   /// MBRs of all leaf nodes (for visualization; they may overlap).
-  Status CollectLeafMbrs(std::vector<Rect>* out);
+  [[nodiscard]] Status CollectLeafMbrs(std::vector<Rect>* out);
 
  private:
   /// Root-to-target path of page ids (front = root).
-  Status ChoosePath(const Rect& r, uint8_t target_level,
+  [[nodiscard]] Status ChoosePath(const Rect& r, uint8_t target_level,
                     std::vector<PageId>* path);
   /// Inserts entry `e` at tree level `level`, handling overflow.
-  Status InsertEntry(const RNodeEntry& e, uint8_t level);
+  [[nodiscard]] Status InsertEntry(const RNodeEntry& e, uint8_t level);
   /// Handles an overfull node at path.back(): forced reinsert or split.
-  Status HandleOverflow(std::vector<PageId> path, RNode node);
+  [[nodiscard]] Status HandleOverflow(std::vector<PageId> path, RNode node);
   /// Splits `node`; the new right sibling's entry is inserted in the
   /// parent, recursing on parent overflow.
-  Status SplitNode(std::vector<PageId> path, RNode node);
+  [[nodiscard]] Status SplitNode(std::vector<PageId> path, RNode node);
   /// Recomputes ancestor entry rectangles along `path` after the node at
   /// path.back() changed.
-  Status UpdatePathRects(const std::vector<PageId>& path);
+  [[nodiscard]] Status UpdatePathRects(const std::vector<PageId>& path);
   /// Grows the tree by one level with the two given children.
-  Status GrowRoot(const RNodeEntry& left, const RNodeEntry& right);
+  [[nodiscard]] Status GrowRoot(const RNodeEntry& left, const RNodeEntry& right);
 
   /// R* split of cap+1 entries into two groups (returned via outputs).
   void RStarSplit(std::vector<RNodeEntry> entries,
@@ -94,11 +94,11 @@ class RStarTree : public SpatialIndex {
                   std::vector<RNodeEntry>* right) const;
 
   /// Finds the leaf containing entry (mbr,id); fills the root-to-leaf path.
-  Status FindLeafPath(PageId pid, const Rect& mbr, SegmentId id,
+  [[nodiscard]] Status FindLeafPath(PageId pid, const Rect& mbr, SegmentId id,
                       std::vector<PageId>* path, bool* found);
-  Status WindowQueryRec(PageId pid, uint8_t expected_level, const Rect& w,
+  [[nodiscard]] Status WindowQueryRec(PageId pid, uint8_t expected_level, const Rect& w,
                         std::vector<SegmentHit>* out);
-  Status CheckRec(PageId pid, uint8_t expected_level, const Rect& parent,
+  [[nodiscard]] Status CheckRec(PageId pid, uint8_t expected_level, const Rect& parent,
                   bool is_root, uint32_t* pages, uint64_t* segments);
 
   IndexOptions options_;

@@ -38,15 +38,15 @@ class SegmentTable {
   SegmentTable(BufferPool* pool, MetricCounters* metrics);
 
   /// Restores a table previously persisted with Flush().
-  Status Open();
+  [[nodiscard]] Status Open();
   /// Writes the superblock and flushes dirty pages.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Appends a segment, returning its dense id.
-  StatusOr<SegmentId> Append(const Segment& s);
+  [[nodiscard]] StatusOr<SegmentId> Append(const Segment& s);
 
   /// Fetches segment `id`. Counts one segment comparison.
-  Status Get(SegmentId id, Segment* out);
+  [[nodiscard]] Status Get(SegmentId id, Segment* out);
 
   /// Number of stored segments.
   uint32_t size() const { return count_; }

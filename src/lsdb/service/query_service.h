@@ -85,7 +85,7 @@ class QueryService {
  public:
   /// Builds the segment table and all three structures over `map`
   /// (single-threaded), freezes them, and spins up the worker pool.
-  static StatusOr<std::unique_ptr<QueryService>> Build(
+  [[nodiscard]] static StatusOr<std::unique_ptr<QueryService>> Build(
       const PolygonalMap& map, const ServiceOptions& options);
 
   ~QueryService();
@@ -94,11 +94,11 @@ class QueryService {
   /// corresponds to request i; per-request errors are reported in
   /// QueryResponse::status (the call itself only fails on empty service
   /// misuse). Responses are identical to ExecuteBatchSequential.
-  StatusOr<BatchResult> ExecuteBatch(ServedIndex which,
+  [[nodiscard]] StatusOr<BatchResult> ExecuteBatch(ServedIndex which,
                                      const std::vector<QueryRequest>& batch);
 
   /// Ground-truth execution of `batch` on the calling thread, in order.
-  StatusOr<BatchResult> ExecuteBatchSequential(
+  [[nodiscard]] StatusOr<BatchResult> ExecuteBatchSequential(
       ServedIndex which, const std::vector<QueryRequest>& batch);
 
   SpatialIndex* index(ServedIndex which);
@@ -144,8 +144,8 @@ class QueryService {
  private:
   explicit QueryService(const ServiceOptions& options);
 
-  Status BuildIndexes(const PolygonalMap& map);
-  Status SetUpObservability();
+  [[nodiscard]] Status BuildIndexes(const PolygonalMap& map);
+  [[nodiscard]] Status SetUpObservability();
   void RefreshGauges();
   QueryResponse ExecuteOne(ServedIndex which, SpatialIndex* idx,
                            const QueryRequest& q);

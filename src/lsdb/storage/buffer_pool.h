@@ -92,14 +92,14 @@ class BufferPool {
   };
 
   /// Pins page `id`, reading it from the file on a miss.
-  StatusOr<PageRef> Fetch(PageId id);
+  [[nodiscard]] StatusOr<PageRef> Fetch(PageId id);
   /// Allocates a new zeroed page and pins it (already marked dirty).
-  StatusOr<PageRef> New();
+  [[nodiscard]] StatusOr<PageRef> New();
   /// Writes back all dirty pages (counts as disk writes).
-  Status FlushAll();
+  [[nodiscard]] Status FlushAll();
   /// Drops page `id` from the pool (must be unpinned; dirty data is
   /// discarded) and frees it in the file.
-  Status Free(PageId id);
+  [[nodiscard]] Status Free(PageId id);
 
   uint32_t frame_count() const {
     return static_cast<uint32_t>(frames_.size());
@@ -159,14 +159,14 @@ class BufferPool {
   /// Finds a frame for a new page: free frame, LRU-evicted victim, or —
   /// when all frames are pinned by *other* threads — waits for a release.
   /// Requires `lk` held; may drop it while waiting.
-  StatusOr<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lk);
+  [[nodiscard]] StatusOr<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lk);
   /// Reads page `id` from the file with bounded transient-IO retries, then
   /// verifies its stored CRC-32C; a mismatch is Status::Corruption. Called
   /// with mu_ held (page IO is serialized by design; see file comment).
-  Status ReadPageVerified(PageId id, uint8_t* buf);
+  [[nodiscard]] Status ReadPageVerified(PageId id, uint8_t* buf);
   /// Computes and stamps the page checksum, then writes with bounded
   /// transient-IO retries. Called with mu_ held.
-  Status WritePageStamped(PageId id, const uint8_t* buf);
+  [[nodiscard]] Status WritePageStamped(PageId id, const uint8_t* buf);
   void PinLocked(uint32_t frame);
   void Unpin(uint32_t frame);
   uint32_t SelfPinsLocked() const;

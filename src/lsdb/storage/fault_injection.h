@@ -114,10 +114,10 @@ class FaultInjectingPageFile : public PageFile {
   uint32_t live_page_count() const override {
     return base_->live_page_count();
   }
-  Status Read(PageId id, void* buf, uint32_t* checksum) override;
-  Status Write(PageId id, const void* buf, uint32_t checksum) override;
-  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
-  Status Free(PageId id) override { return base_->Free(id); }
+  [[nodiscard]] Status Read(PageId id, void* buf, uint32_t* checksum) override;
+  [[nodiscard]] Status Write(PageId id, const void* buf, uint32_t checksum) override;
+  [[nodiscard]] StatusOr<PageId> Allocate() override { return base_->Allocate(); }
+  [[nodiscard]] Status Free(PageId id) override { return base_->Free(id); }
 
  private:
   void MaybeSleep() const;

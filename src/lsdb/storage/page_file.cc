@@ -62,7 +62,7 @@ Status PageFile::Write(PageId id, const void* buf) {
 
 MemPageFile::MemPageFile(uint32_t page_size)
     : PageFile(page_size), zero_crc_(ZeroPageCrc(page_size)) {
-  assert(page_size >= 64);
+  assert(page_size >= 64);  // NOLINT(lsdb-assert-on-disk): constructor option validation
 }
 
 uint32_t MemPageFile::page_count() const {

@@ -62,24 +62,24 @@ class PageFile {
   /// Reads page `id` into `buf` (page_size bytes) and its stored CRC-32C
   /// into `*checksum`. The backend does not verify; the caller (normally
   /// the BufferPool) compares against crc32c::Compute of `buf`.
-  virtual Status Read(PageId id, void* buf, uint32_t* checksum) = 0;
+  [[nodiscard]] virtual Status Read(PageId id, void* buf, uint32_t* checksum) = 0;
   /// Writes page `id` from `buf` (page_size bytes) with `checksum` stored
   /// alongside it.
-  virtual Status Write(PageId id, const void* buf, uint32_t checksum) = 0;
+  [[nodiscard]] virtual Status Write(PageId id, const void* buf, uint32_t checksum) = 0;
   /// Allocates a zeroed page (with a matching stored checksum), reusing
   /// freed pages when possible.
-  virtual StatusOr<PageId> Allocate() = 0;
+  [[nodiscard]] virtual StatusOr<PageId> Allocate() = 0;
   /// Returns a page to the free list. The caller must ensure no live
   /// references remain.
-  virtual Status Free(PageId id) = 0;
+  [[nodiscard]] virtual Status Free(PageId id) = 0;
 
   /// Convenience: read discarding the stored checksum (no verification).
-  Status Read(PageId id, void* buf) {
+  [[nodiscard]] Status Read(PageId id, void* buf) {
     uint32_t crc;
     return Read(id, buf, &crc);
   }
   /// Convenience: write computing the checksum from `buf`.
-  Status Write(PageId id, const void* buf);
+  [[nodiscard]] Status Write(PageId id, const void* buf);
 
  protected:
   uint32_t page_size_;
@@ -96,10 +96,10 @@ class MemPageFile : public PageFile {
 
   uint32_t page_count() const override;
   uint32_t live_page_count() const override;
-  Status Read(PageId id, void* buf, uint32_t* checksum) override;
-  Status Write(PageId id, const void* buf, uint32_t checksum) override;
-  StatusOr<PageId> Allocate() override;
-  Status Free(PageId id) override;
+  [[nodiscard]] Status Read(PageId id, void* buf, uint32_t* checksum) override;
+  [[nodiscard]] Status Write(PageId id, const void* buf, uint32_t checksum) override;
+  [[nodiscard]] StatusOr<PageId> Allocate() override;
+  [[nodiscard]] Status Free(PageId id) override;
 
  private:
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
@@ -120,12 +120,12 @@ class MemPageFile : public PageFile {
 class PosixPageFile : public PageFile {
  public:
   /// Creates (truncates) `path`.
-  static StatusOr<std::unique_ptr<PosixPageFile>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<PosixPageFile>> Create(
       const std::string& path, uint32_t page_size);
   /// Opens an existing page file. All pages below the file size are
   /// treated as live (freed pages from prior sessions are not reclaimed
   /// until the structure is rebuilt — see the class comment).
-  static StatusOr<std::unique_ptr<PosixPageFile>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<PosixPageFile>> Open(
       const std::string& path, uint32_t page_size);
   ~PosixPageFile() override;
 
@@ -134,10 +134,10 @@ class PosixPageFile : public PageFile {
 
   uint32_t page_count() const override;
   uint32_t live_page_count() const override;
-  Status Read(PageId id, void* buf, uint32_t* checksum) override;
-  Status Write(PageId id, const void* buf, uint32_t checksum) override;
-  StatusOr<PageId> Allocate() override;
-  Status Free(PageId id) override;
+  [[nodiscard]] Status Read(PageId id, void* buf, uint32_t* checksum) override;
+  [[nodiscard]] Status Write(PageId id, const void* buf, uint32_t checksum) override;
+  [[nodiscard]] StatusOr<PageId> Allocate() override;
+  [[nodiscard]] Status Free(PageId id) override;
 
  private:
   PosixPageFile(int fd, uint32_t page_size);

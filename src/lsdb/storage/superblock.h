@@ -28,11 +28,11 @@ enum class SuperblockKind : uint16_t {
 using SuperblockFields = std::array<uint64_t, 12>;
 
 /// Writes a superblock into page `pid` (usually 0).
-Status WriteSuperblock(BufferPool* pool, PageId pid, SuperblockKind kind,
+[[nodiscard]] Status WriteSuperblock(BufferPool* pool, PageId pid, SuperblockKind kind,
                        const SuperblockFields& fields);
 
 /// Reads and validates a superblock (magic, version, kind).
-StatusOr<SuperblockFields> ReadSuperblock(BufferPool* pool, PageId pid,
+[[nodiscard]] StatusOr<SuperblockFields> ReadSuperblock(BufferPool* pool, PageId pid,
                                           SuperblockKind expected_kind);
 
 }  // namespace lsdb

@@ -32,7 +32,12 @@ enum class StatusCode : int {
 /// The success path stores no message and is cheap to copy. Construct error
 /// states through the named factory functions, e.g.
 /// `Status::NotFound("segment 42")`.
-class Status {
+///
+/// The class is `[[nodiscard]]`: any function returning a Status by value
+/// must have its result consumed. Deliberate discards (teardown paths where
+/// failure is acceptable) call `IgnoreError()`, which is greppable and
+/// audited by `tools/lsdb_lint`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -74,6 +79,11 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
+  /// Explicitly consumes the Status without acting on it. Use only where
+  /// ignoring a failure is a considered decision (e.g. best-effort cleanup
+  /// in destructors); each call site should say why in a nearby comment.
+  void IgnoreError() const {}
+
   /// Human-readable rendering, e.g. "NotFound: segment 42".
   std::string ToString() const;
 
@@ -87,8 +97,10 @@ class Status {
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// error-state StatusOr is a programming error (asserts in debug builds).
+/// `[[nodiscard]]` for the same reason as Status: dropping one on the floor
+/// silently loses both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
     assert(!status_.ok() && "use the value constructor for success");

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "lsdb/geom/clip.h"
 #include "lsdb/geom/morton.h"
@@ -384,6 +386,94 @@ TEST(QuadGeometryTest, SubtreeRangeCoversDescendants) {
     EXPECT_GE(g.PackKey(deep, 0), g.SubtreeKeyLow(b));
     EXPECT_LE(g.PackKey(deep, 0xffffffffu), g.SubtreeKeyHigh(b));
   }
+}
+
+// Pinned values for the Hilbert sort key used by the R* bulk loader. The
+// classic order-2 curve visits (0,0),(1,0),(1,1),(0,1) then continues up:
+// any change to the rotation/reflection arithmetic shows up here before it
+// silently reorders packed leaves.
+TEST(MortonTest, HilbertEncodePinnedValues) {
+  EXPECT_EQ(HilbertEncode(1, 0, 0), 0u);
+  EXPECT_EQ(HilbertEncode(1, 0, 1), 1u);
+  EXPECT_EQ(HilbertEncode(1, 1, 1), 2u);
+  EXPECT_EQ(HilbertEncode(1, 1, 0), 3u);
+  EXPECT_EQ(HilbertEncode(2, 0, 0), 0u);
+  EXPECT_EQ(HilbertEncode(2, 1, 0), 1u);
+  EXPECT_EQ(HilbertEncode(2, 1, 1), 2u);
+  EXPECT_EQ(HilbertEncode(2, 0, 1), 3u);
+  EXPECT_EQ(HilbertEncode(2, 0, 2), 4u);
+  // Full-order corners: the curve starts at (0,0) and ends at (2^16-1, 0).
+  EXPECT_EQ(HilbertEncode(16, 0, 0), 0u);
+  EXPECT_EQ(HilbertEncode(16, 65535, 0), (uint64_t{1} << 32) - 1);
+}
+
+// Consecutive Hilbert indexes are 4-adjacent cells (the property the bulk
+// loader relies on for compact leaves); spot-check exhaustively at order 4.
+TEST(MortonTest, HilbertAdjacency) {
+  const uint32_t side = 1u << 4;
+  std::vector<std::pair<uint32_t, uint32_t>> by_d(side * side);
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      by_d[HilbertEncode(4, x, y)] = {x, y};
+    }
+  }
+  for (size_t d = 1; d < by_d.size(); ++d) {
+    const auto [x0, y0] = by_d[d - 1];
+    const auto [x1, y1] = by_d[d];
+    const uint32_t dist = (x0 > x1 ? x0 - x1 : x1 - x0) +
+                          (y0 > y1 ? y0 - y1 : y1 - y0);
+    EXPECT_EQ(dist, 1u) << "d=" << d;
+  }
+}
+
+TEST(QuadKeyTest, PackUnpackCheckedRoundTrip) {
+  const QuadGeometry g(10, 10);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t depth = static_cast<uint32_t>(rng.Uniform(11));
+    QuadBlock b{static_cast<uint32_t>(rng.Uniform(uint64_t{1} << (2 * depth))),
+                static_cast<uint8_t>(depth)};
+    const uint32_t segid = static_cast<uint32_t>(rng.Next());
+    QuadBlock ub;
+    uint32_t usid = 0;
+    ASSERT_TRUE(g.UnpackKeyChecked(g.PackKey(b, segid), &ub, &usid).ok());
+    EXPECT_EQ(ub, b);
+    EXPECT_EQ(usid, segid);
+  }
+}
+
+// Regression for the UBSan hardening of the key decode: a depth nibble
+// above max_depth (impossible from PackKey, possible from a corrupt page)
+// used to drive a shift by a huge unsigned count. The checked decode must
+// reject it as typed Corruption and the unchecked decode must stay defined.
+TEST(QuadKeyTest, CheckedRejectsDepthAboveMax) {
+  const QuadGeometry g(10, 10);
+  const uint64_t key =
+      g.PackKey(QuadBlock{5, 3}, 42) | (uint64_t{0xf} << 32);
+  QuadBlock b;
+  uint32_t sid = 0;
+  EXPECT_TRUE(g.UnpackKeyChecked(key, &b, &sid).IsCorruption());
+  g.UnpackKey(key, &b, &sid);  // total: no UB on hostile input
+  EXPECT_EQ(b.depth, 15);
+  EXPECT_EQ(b.morton, 5u << 14);  // locational code passed through unshifted
+  EXPECT_EQ(sid, 42u);
+}
+
+TEST(QuadKeyTest, CheckedRejectsOutOfRangeLocationalCode) {
+  const QuadGeometry g(10, 10);  // codes occupy 2*10 = 20 bits
+  const uint64_t key = (uint64_t{1} << 20) << 36;  // bit 20 set: out of range
+  QuadBlock b;
+  uint32_t sid = 0;
+  EXPECT_TRUE(g.UnpackKeyChecked(key, &b, &sid).IsCorruption());
+}
+
+TEST(QuadKeyTest, CheckedRejectsMisalignedLocationalCode) {
+  const QuadGeometry g(10, 10);
+  // A depth-3 block's full-resolution code must have its low 14 bits clear.
+  const uint64_t key = (uint64_t{1} << 36) | (uint64_t{3} << 32);
+  QuadBlock b;
+  uint32_t sid = 0;
+  EXPECT_TRUE(g.UnpackKeyChecked(key, &b, &sid).IsCorruption());
 }
 
 TEST(RandomTest, Determinism) {

@@ -382,5 +382,58 @@ TEST(PmrBboxVariantTest, DeletionKeepsBoxesConsistent) {
       << f.tree.CheckInvariants().ToString();
 }
 
+// Regression for the hardened key decode (UBSan tier): plant a tuple whose
+// depth nibble exceeds max_depth — a key no PackKey call can produce, but
+// one a logically corrupt page can hold — directly in the tree's B-tree.
+// Every read path must surface typed kCorruption or succeed; pre-hardening
+// this drove a shift by an out-of-range count in UnpackKey (undefined
+// behavior, aborts under the -DLSDB_SAN=undefined tier).
+TEST(PmrCorruptKeyTest, PoisonedDepthNibbleIsTypedCorruption) {
+  PmrFixture f;
+  Rng rng(91);
+  const auto segs = RandomSegments(&rng, 40, 1024, 64);
+  for (const Segment& s : segs) f.Add(s);
+
+  // Grab any real (non-sentinel) tuple key.
+  uint64_t victim = 0;
+  bool found = false;
+  ASSERT_TRUE(f.tree.btree()
+                  ->Scan(0, ~uint64_t{0},
+                         [&](uint64_t k, const uint8_t*) {
+                           if (static_cast<uint32_t>(k & 0xffffffffu) !=
+                               0xffffffffu) {  // sentinel segment id
+                             victim = k;
+                             found = true;
+                             return false;
+                           }
+                           return true;
+                         })
+                  .ok());
+  ASSERT_TRUE(found);
+
+  const uint64_t poisoned = victim | (uint64_t{0xf} << 32);
+  ASSERT_TRUE(f.tree.btree()->Erase(victim).ok());
+  ASSERT_TRUE(f.tree.btree()->Insert(poisoned).ok());
+
+  // Full-scan paths are guaranteed to meet the poisoned tuple.
+  EXPECT_TRUE(f.tree.CheckInvariants().IsCorruption());
+  std::vector<QuadBlock> leaves;
+  EXPECT_TRUE(f.tree.CollectLeafBlocks(&leaves).IsCorruption());
+
+  // Query paths may or may not route past it, but must never crash or
+  // return an untyped failure.
+  std::vector<SegmentHit> hits;
+  const Status ws =
+      f.tree.WindowQueryEx(Rect::Of(0, 0, 1024, 1024), &hits);
+  EXPECT_TRUE(ws.ok() || ws.IsCorruption()) << ws.ToString();
+  for (Coord x = 0; x < 1024; x += 64) {
+    for (Coord y = 0; y < 1024; y += 64) {
+      hits.clear();
+      const Status ps = f.tree.PointQueryEx(Point{x, y}, &hits);
+      EXPECT_TRUE(ps.ok() || ps.IsCorruption()) << ps.ToString();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lsdb

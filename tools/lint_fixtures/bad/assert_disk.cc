@@ -1,0 +1,16 @@
+// lsdb-lint-pretend-path: src/lsdb/btree/btree.cc
+// Golden-bad fixture: assert() on disk-loaded data in a read-path TU with
+// no NOLINT justification. Corrupt pages must surface as typed Corruption.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <cassert>
+#include <cstdint>
+
+namespace lsdb {
+
+void Demo(const uint8_t* page, uint16_t capacity) {
+  const uint16_t count = static_cast<uint16_t>(page[2] | (page[3] << 8));
+  assert(count <= capacity);  // aborts (or vanishes) on a corrupt page
+}
+
+}  // namespace lsdb

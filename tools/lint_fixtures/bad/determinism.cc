@@ -1,0 +1,18 @@
+// lsdb-lint-pretend-path: src/lsdb/harness/experiment.cc
+// Golden-bad fixture: nondeterminism sources inside src/lsdb (outside
+// obs/). Paper experiments must replay bit-exact from a seed.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace lsdb {
+
+int Demo() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // seeded from wall clock
+  const auto now = std::chrono::system_clock::now();      // wall clock
+  return std::rand() + static_cast<int>(now.time_since_epoch().count());
+}
+
+}  // namespace lsdb

@@ -1,0 +1,15 @@
+// lsdb-lint-pretend-path: src/lsdb/demo/ignored_status.cc
+// Golden-bad fixture: bare statements that drop a Status/StatusOr result.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include "lsdb/btree/btree.h"
+
+namespace lsdb {
+
+void Demo(BTree* tree, BufferPool* pool) {
+  tree->Init();       // dropped Status
+  pool->FlushAll();   // dropped Status
+  tree->Insert(1, nullptr).status();  // chained discard is still a discard
+}
+
+}  // namespace lsdb

@@ -1,0 +1,15 @@
+// lsdb-lint-pretend-path: src/lsdb/rtree/rstar_tree.cc
+// Golden-bad fixture: raw page-byte casts outside storage/ and node-IO TUs.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <cstdint>
+
+namespace lsdb {
+
+uint32_t Demo(const uint8_t* page) {
+  const uint32_t* words = reinterpret_cast<const uint32_t*>(page);
+  const char* c = (const char*)page;  // C-style byte cast, same problem
+  return words[0] + static_cast<uint32_t>(c[1]);
+}
+
+}  // namespace lsdb

@@ -1,0 +1,15 @@
+// lsdb-lint-pretend-path: src/lsdb/demo/void_cast_status.cc
+// Golden-bad fixture: cast-to-void evasion of [[nodiscard]] Status.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include "lsdb/btree/btree.h"
+
+namespace lsdb {
+
+void Demo(BTree* tree, BufferPool* pool) {
+  (void)tree->Init();                     // silences the compiler, hides a bug
+  static_cast<void>(pool->Flush(1));      // same evasion, C++ spelling
+  (void)unused_parameter;                 // plain value: NOT a finding
+}
+
+}  // namespace lsdb

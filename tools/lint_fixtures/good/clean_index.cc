@@ -1,0 +1,27 @@
+// lsdb-lint-pretend-path: src/lsdb/rtree/rstar_tree.cc
+// Golden-good fixture: the sanctioned spelling of everything the bad
+// fixtures get flagged for. Must lint clean.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <cassert>
+#include <chrono>
+
+#include "lsdb/btree/btree.h"
+#include "lsdb/util/counters.h"
+
+namespace lsdb {
+
+Status Demo(BTree* tree, MetricCounters& metrics_, size_t n) {
+  LSDB_RETURN_IF_ERROR(tree->Init());    // propagated
+  Status probe = tree->Insert(1, nullptr);
+  if (!probe.ok()) return probe;         // handled
+  tree->Insert(1, nullptr).IgnoreError();  // audited, explicit discard
+  ++CounterSink(metrics_).bbox_comps;    // redirectable metric increment
+  // In-memory invariant on the caller's argument, not on disk bytes.
+  assert(n > 0);  // NOLINT(lsdb-assert-on-disk): caller contract, not disk data
+  const auto t0 = std::chrono::steady_clock::now();  // monotonic: allowed
+  (void)t0;
+  return Status::OK();
+}
+
+}  // namespace lsdb

@@ -1,0 +1,16 @@
+// lsdb-lint-pretend-path: src/lsdb/storage/page_file.cc
+// Golden-good fixture: the storage layer itself may reinterpret raw page
+// bytes — decoding lives next to the checksum and corruption handling.
+// Must lint clean.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <cstdint>
+
+namespace lsdb {
+
+uint32_t Demo(const uint8_t* page) {
+  const uint32_t* words = reinterpret_cast<const uint32_t*>(page);
+  return words[0];
+}
+
+}  // namespace lsdb

@@ -1,0 +1,712 @@
+// lsdb_lint: domain-specific static checks for the lsdb tree.
+//
+// Complements clang-tidy (which may be absent from a minimal toolchain —
+// this tool builds with nothing beyond the standard library) with five
+// project rules that generic linters cannot express:
+//
+//   lsdb-ignored-status    every Status/StatusOr return must be consumed.
+//                          The compiler enforces bare discards via
+//                          [[nodiscard]]; this rule additionally rejects
+//                          cast-to-void evasion and bare statement calls,
+//                          since (void) silences the compiler without
+//                          recording intent. IgnoreError() is the one
+//                          sanctioned discard.
+//   lsdb-page-cast         no reinterpret_cast / C-style cast of raw page
+//                          bytes outside storage/ and the node-IO TUs.
+//                          Page decoding belongs next to the checksum and
+//                          corruption handling, not scattered in indexes.
+//   lsdb-assert-on-disk    read-path TUs may not assert() without a NOLINT
+//                          justification: disk-loaded data must be rejected
+//                          with typed Status::Corruption, never aborted on
+//                          (asserts vanish in NDEBUG builds and crash in
+//                          debug ones — both wrong for untrusted input).
+//   lsdb-counter-mutation  MetricCounters fields may only be mutated
+//                          through CounterSink(...) (or inside
+//                          util/counters.*), keeping the paper metrics
+//                          redirectable per thread by ScopedCounterSink.
+//   lsdb-determinism       no rand()/time()/wall-clock in src/lsdb outside
+//                          obs/ — paper experiments must replay bit-exact.
+//                          std::chrono::steady_clock (monotonic latency
+//                          timing) is allowed.
+//
+// Suppression: `// NOLINT(lsdb-<rule>): reason` on the offending line, or
+// `// NOLINTNEXTLINE(lsdb-<rule>): reason` on the line above. A bare
+// NOLINT suppresses every rule. Fixture files can override how they are
+// classified with a leading `// lsdb-lint-pretend-path: <path>` comment.
+//
+// Usage: lsdb_lint <file>...
+// Exit status: 0 when clean, 1 when any finding is reported, 2 on I/O
+// errors. Findings print as `path:line: [lsdb-rule] message`.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string path;
+  size_t line;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Rule configuration (derived from the shipped tree; see DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+// Names of functions returning Status/StatusOr, extracted from the
+// [[nodiscard]] annotations in src/lsdb/**/*.h. A bare statement (or
+// cast-to-void) whose outermost trailing call is one of these discards an
+// error. "status" covers `x.status();` chains on StatusOr.
+const std::set<std::string>& StatusNames() {
+  static const std::set<std::string> kNames = {
+      "Alloc", "AllocNode", "Allocate", "Append", "AverageBucketOccupancy",
+      "BlockEntries", "BuildIndexes", "BulkLoad", "CheckInvariants",
+      "CheckMutable", "CheckRec", "ChoosePath", "CollectLeafBlocks",
+      "CollectLeafMbrs", "CollectLeafRegions", "Contains", "Erase",
+      "EraseRec", "ExecuteBatch", "ExecuteBatchSequential", "Fetch",
+      "FindIntersectingLeaves", "FindLeaf", "FindLeafPath", "FixUnderflow",
+      "Flush", "FlushAll", "Free", "FreeNode", "FreeSubtreePage", "Get",
+      "GetVictimFrame", "GrowRoot", "HandleOverflow", "Init", "Insert",
+      "InsertEntry", "InsertRec", "IsLeaf", "Load", "LoadChainedLeaf",
+      "LoadLeafChain", "LoadNode", "LocateBlock", "Nearest", "New", "Open",
+      "PointQuery", "PointQueryEx", "PointWindow", "Read",
+      "ReadPageVerified", "ReadSuperblock", "Scan", "ScanPiece", "SeekGE",
+      "SeekLE", "SetUpObservability", "SplitBlock", "SplitInternalMulti",
+      "SplitLeafMulti", "SplitNode", "SplitSubtree", "Store",
+      "StoreLeafChain", "StoreNode", "TryMergeUpward", "UnpackKeyChecked",
+      "UpdatePathRects", "VisitLeavesInCellRect", "VisitWindowSegments",
+      "WindowQuery", "WindowQueryEx", "WindowQueryRec",
+      "WindowQueryStaticDecomposed", "WindowQueryTraversal", "WindowRec",
+      "Write", "WritePageStamped", "WriteSuperblock", "status",
+  };
+  return kNames;
+}
+
+// MetricCounters field names (util/counters.h).
+const std::vector<std::string>& CounterFields() {
+  static const std::vector<std::string> kFields = {
+      "disk_reads",    "disk_writes", "page_fetches",
+      "segment_comps", "bbox_comps",  "bucket_comps",
+  };
+  return kFields;
+}
+
+// TUs that decode disk-resident bytes; asserts there need a justification.
+const std::vector<std::string>& ReadPathTus() {
+  static const std::vector<std::string> kTus = {
+      "src/lsdb/btree/btree.cc",        "src/lsdb/rtree/rnode.cc",
+      "src/lsdb/rtree/rstar_tree.cc",   "src/lsdb/rplus/rplus_tree.cc",
+      "src/lsdb/pmr/pmr_quadtree.cc",   "src/lsdb/storage/buffer_pool.cc",
+      "src/lsdb/storage/page_file.cc",  "src/lsdb/storage/superblock.cc",
+      "src/lsdb/seg/segment_table.cc",  "src/lsdb/grid/uniform_grid.cc",
+  };
+  return kTus;
+}
+
+// TUs allowed to reinterpret raw page bytes: the storage layer itself plus
+// the node (de)serializers and the checksum kernel.
+const std::vector<std::string>& PageCastAllowlist() {
+  static const std::vector<std::string> kAllow = {
+      "src/lsdb/storage/", "src/lsdb/rtree/rnode.cc",
+      "src/lsdb/btree/btree.cc", "src/lsdb/util/crc32c.cc",
+  };
+  return kAllow;
+}
+
+// ---------------------------------------------------------------------------
+// Small text helpers.
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool PathContains(const std::string& path, const std::string& part) {
+  return path.find(part) != std::string::npos;
+}
+
+// True when `hay[pos..]` starts an occurrence of identifier `word` with
+// identifier boundaries on both sides.
+bool WordAt(const std::string& hay, size_t pos, const std::string& word) {
+  if (hay.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(hay[pos - 1])) return false;
+  size_t end = pos + word.size();
+  if (end < hay.size() && IsIdentChar(hay[end])) return false;
+  return true;
+}
+
+// Strips // and /* */ comments and the contents of string/char literals
+// (quotes stay so token boundaries survive). Keeps the line count intact so
+// findings map back to source lines.
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& line : raw) {
+    std::string s;
+    s.reserve(line.size());
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        s.push_back(quote);
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) break;
+          ++i;
+        }
+        s.push_back(quote);
+        continue;
+      }
+      s.push_back(c);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// NOLINT / NOLINTNEXTLINE handling against the *raw* lines (comments carry
+// the markers). `line` is 0-based.
+bool MarkerSuppresses(const std::string& raw, const std::string& marker,
+                      const std::string& rule) {
+  size_t pos = raw.find(marker);
+  while (pos != std::string::npos) {
+    size_t after = pos + marker.size();
+    // Bare NOLINT (not NOLINTNEXTLINE when searching for NOLINT).
+    if (after >= raw.size() || raw[after] != '(') {
+      if (marker == "NOLINT" &&
+          raw.compare(pos, 13, "NOLINTNEXTLINE") == 0) {
+        pos = raw.find(marker, pos + 1);
+        continue;
+      }
+      return true;  // bare marker suppresses everything
+    }
+    size_t close = raw.find(')', after);
+    std::string list = raw.substr(after + 1, close == std::string::npos
+                                                 ? std::string::npos
+                                                 : close - after - 1);
+    if (list.find(rule) != std::string::npos) return true;
+    pos = raw.find(marker, after);
+  }
+  return false;
+}
+
+bool Suppressed(const std::vector<std::string>& raw, size_t line0,
+                const std::string& rule) {
+  if (line0 < raw.size() && MarkerSuppresses(raw[line0], "NOLINT", rule)) {
+    return true;
+  }
+  if (line0 > 0 &&
+      MarkerSuppresses(raw[line0 - 1], "NOLINTNEXTLINE", rule)) {
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lsdb-ignored-status
+// ---------------------------------------------------------------------------
+
+bool IsKeyword(const std::string& tok) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "else",     "for",      "while",   "do",      "switch",
+      "case",     "default",  "return",   "goto",    "break",   "continue",
+      "new",      "delete",   "using",    "namespace", "template",
+      "typedef",  "struct",   "class",    "enum",    "union",   "public",
+      "private",  "protected", "static",  "const",   "constexpr", "auto",
+      "void",     "bool",     "char",     "int",     "unsigned", "long",
+      "short",    "float",    "double",   "sizeof",  "operator", "throw",
+      "try",      "catch",    "co_return", "co_await", "co_yield",
+  };
+  return kKeywords.count(tok) > 0;
+}
+
+// Does this trimmed line begin a plain expression statement of the form
+// `ident(.|->|::|()...`? Declarations (`Type name...`) and control flow do
+// not match.
+bool StartsCallChain(const std::string& t) {
+  size_t i = 0;
+  while (i < t.size() && IsIdentChar(t[i])) ++i;
+  if (i == 0) return false;
+  const std::string first = t.substr(0, i);
+  if (IsKeyword(first)) return false;
+  while (i < t.size() && (t[i] == ' ' || t[i] == '\t')) ++i;
+  if (i >= t.size()) return false;
+  return t[i] == '.' || t[i] == '(' ||
+         (t[i] == ':' && i + 1 < t.size() && t[i + 1] == ':') ||
+         (t[i] == '-' && i + 1 < t.size() && t[i + 1] == '>');
+}
+
+// Analyzes one complete expression statement (text up to and including the
+// terminating depth-0 ';'). Returns the name of the outermost trailing
+// call, or "" when the statement is not a pure call chain (assignments,
+// arithmetic at depth 0, ...).
+std::string OutermostTrailingCall(const std::string& stmt) {
+  int depth = 0;
+  std::string ident;
+  std::string top_call;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const char c = stmt[i];
+    if (c == '(' || c == '[') {
+      if (c == '(' && depth == 0 && !ident.empty()) top_call = ident;
+      ++depth;
+      ident.clear();
+      continue;
+    }
+    if (c == ')' || c == ']') {
+      --depth;
+      ident.clear();
+      continue;
+    }
+    if (depth > 0) continue;  // call arguments don't matter
+    if (IsIdentChar(c)) {
+      ident.push_back(c);
+      continue;
+    }
+    if (c == ' ' || c == '\t') continue;
+    if (c == ';') break;
+    if (c == '.' || c == ':') {  // member access / scope: next segment
+      ident.clear();
+      continue;
+    }
+    if (c == '-' && i + 1 < stmt.size() && stmt[i + 1] == '>') {
+      ident.clear();
+      ++i;
+      continue;
+    }
+    // Any other depth-0 token — an assignment, arithmetic, a comma — means
+    // the value is consumed (or this is not a plain call statement).
+    return "";
+  }
+  return top_call;
+}
+
+void CheckIgnoredStatus(const std::string& path,
+                        const std::vector<std::string>& raw,
+                        const std::vector<std::string>& stripped,
+                        std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-ignored-status";
+  const size_t n = stripped.size();
+
+  // Part 1: cast-to-void evasion anywhere on a line.
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& line = stripped[i];
+    size_t cast = line.find("(void)");
+    if (cast == std::string::npos) cast = line.find("static_cast<void>");
+    if (cast == std::string::npos) continue;
+    // Only flag when a known Status-returning name is invoked in the cast
+    // expression; `(void)unused_param;` stays legal.
+    for (const std::string& name : StatusNames()) {
+      size_t pos = line.find(name, cast);
+      while (pos != std::string::npos) {
+        size_t after = pos + name.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (WordAt(line, pos, name) && after < line.size() &&
+            line[after] == '(') {
+          if (!Suppressed(raw, i, kRule)) {
+            findings->push_back(
+                {path, i + 1, kRule,
+                 "cast-to-void discards the Status from " + name +
+                     "(); handle it or call .IgnoreError()"});
+          }
+          pos = std::string::npos;
+          cast = std::string::npos;  // one finding per line is enough
+          break;
+        }
+        pos = line.find(name, pos + 1);
+      }
+      if (cast == std::string::npos) break;
+    }
+  }
+
+  // Part 2: bare expression statements whose outermost trailing call
+  // returns Status/StatusOr.
+  size_t i = 0;
+  while (i < n) {
+    const std::string t = Trim(stripped[i]);
+    if (!StartsCallChain(t)) {
+      ++i;
+      continue;
+    }
+    // A line that merely continues the previous one (`auto x =` / an open
+    // argument list / a binary operator) is not a statement start, even
+    // when it looks like a call chain.
+    {
+      size_t p = i;
+      std::string prev;
+      while (p > 0 && prev.empty()) prev = Trim(stripped[--p]);
+      if (!prev.empty()) {
+        const char last = prev.back();
+        static const std::string kContinuation = "=,(+-*/%&|<>?:.";
+        if (kContinuation.find(last) != std::string::npos) {
+          ++i;
+          continue;
+        }
+      }
+    }
+    // Accumulate the statement until a ';' at paren depth 0. A '{' at
+    // depth 0 means this was a definition or compound statement: bail and
+    // rescan the following lines individually.
+    std::string stmt;
+    int depth = 0;
+    bool complete = false, aborted = false;
+    size_t j = i;
+    for (; j < n && j < i + 200; ++j) {
+      const std::string& line = stripped[j];
+      for (char c : line) {
+        if (c == '(' || c == '[') ++depth;
+        if (c == ')' || c == ']') --depth;
+        if (depth == 0 && c == '{') {
+          aborted = true;
+          break;
+        }
+        stmt.push_back(c);
+        if (depth == 0 && c == ';') {
+          complete = true;
+          break;
+        }
+      }
+      stmt.push_back(' ');
+      if (complete || aborted) break;
+    }
+    if (complete) {
+      const std::string call = OutermostTrailingCall(Trim(stmt));
+      if (!call.empty() && StatusNames().count(call) > 0 &&
+          !Suppressed(raw, i, kRule)) {
+        findings->push_back(
+            {path, i + 1, kRule,
+             "result of " + call +
+                 "() is a Status/StatusOr and is silently discarded; "
+                 "handle it or call .IgnoreError()"});
+      }
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lsdb-page-cast
+// ---------------------------------------------------------------------------
+
+// Matches C-style casts to byte pointers: (uint8_t*), (const char *), ...
+bool HasByteCast(const std::string& line, size_t* where) {
+  static const std::vector<std::string> kByteTypes = {
+      "uint8_t", "int8_t", "char", "unsigned char", "signed char",
+      "std::uint8_t", "std::byte", "void",
+  };
+  for (size_t pos = line.find('('); pos != std::string::npos;
+       pos = line.find('(', pos + 1)) {
+    size_t p = pos + 1;
+    while (p < line.size() && line[p] == ' ') ++p;
+    if (line.compare(p, 6, "const ") == 0) p += 6;
+    while (p < line.size() && line[p] == ' ') ++p;
+    for (const std::string& ty : kByteTypes) {
+      if (line.compare(p, ty.size(), ty) != 0) continue;
+      size_t q = p + ty.size();
+      if (q < line.size() && IsIdentChar(line[q])) continue;
+      while (q < line.size() && (line[q] == ' ' || line[q] == '*')) ++q;
+      if (q < line.size() && line[q] == ')' && line.find('*', p) < q) {
+        // Must be applied to something: a cast, not a parameter list.
+        size_t r = q + 1;
+        while (r < line.size() && line[r] == ' ') ++r;
+        if (r < line.size() &&
+            (IsIdentChar(line[r]) || line[r] == '(' || line[r] == '&')) {
+          *where = pos;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void CheckPageCast(const std::string& path,
+                   const std::vector<std::string>& raw,
+                   const std::vector<std::string>& stripped,
+                   std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-page-cast";
+  if (!PathContains(path, "src/lsdb/")) return;
+  for (const std::string& allow : PageCastAllowlist()) {
+    if (PathContains(path, allow)) return;
+  }
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    size_t where = 0;
+    const bool reinterpret = line.find("reinterpret_cast<") !=
+                             std::string::npos;
+    if ((reinterpret || HasByteCast(line, &where)) &&
+        !Suppressed(raw, i, kRule)) {
+      findings->push_back(
+          {path, i + 1, kRule,
+           std::string(reinterpret ? "reinterpret_cast" : "C-style byte cast") +
+               " of raw bytes outside storage/ and the node-IO TUs; move "
+               "page decoding next to its corruption checks"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lsdb-assert-on-disk
+// ---------------------------------------------------------------------------
+
+void CheckAssertOnDisk(const std::string& path,
+                       const std::vector<std::string>& raw,
+                       const std::vector<std::string>& stripped,
+                       std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-assert-on-disk";
+  bool read_path = false;
+  for (const std::string& tu : ReadPathTus()) {
+    if (EndsWith(path, tu)) {
+      read_path = true;
+      break;
+    }
+  }
+  if (!read_path) return;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    size_t pos = line.find("assert");
+    while (pos != std::string::npos) {
+      size_t after = pos + 6;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (WordAt(line, pos, "assert") && after < line.size() &&
+          line[after] == '(') {
+        if (!Suppressed(raw, i, kRule)) {
+          findings->push_back(
+              {path, i + 1, kRule,
+               "assert() in a disk-read TU: corrupt pages must surface as "
+               "Status::Corruption; if this checks an in-memory invariant, "
+               "annotate it with // NOLINT(lsdb-assert-on-disk): <reason>"});
+        }
+        break;
+      }
+      pos = line.find("assert", pos + 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lsdb-counter-mutation
+// ---------------------------------------------------------------------------
+
+bool ChainChar(char c) {
+  return IsIdentChar(c) || c == '.' || c == '(' || c == ')' || c == '[' ||
+         c == ']' || c == ':' || c == '-' || c == '>' || c == '_' ||
+         c == '&' || c == '*';
+}
+
+void CheckCounterMutation(const std::string& path,
+                          const std::vector<std::string>& raw,
+                          const std::vector<std::string>& stripped,
+                          std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-counter-mutation";
+  if (!PathContains(path, "src/lsdb/")) return;
+  if (EndsWith(path, "util/counters.h") ||
+      EndsWith(path, "util/counters.cc")) {
+    return;  // the counter implementation mutates its own fields
+  }
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    for (const std::string& field : CounterFields()) {
+      size_t pos = line.find(field);
+      bool flagged = false;
+      while (pos != std::string::npos && !flagged) {
+        if (!WordAt(line, pos, field)) {
+          pos = line.find(field, pos + 1);
+          continue;
+        }
+        // The access chain the field belongs to, scanned backwards.
+        size_t chain_begin = pos;
+        while (chain_begin > 0 && ChainChar(line[chain_begin - 1])) {
+          --chain_begin;
+        }
+        bool mutated = false;
+        // Postfix / compound mutation: field followed by a mutating op.
+        // Plain `=` is deliberately not matched: counters are increment-
+        // only, and `=` is what field declarations and copies into report
+        // structs (QueryStats, QuerySpan) legitimately use.
+        size_t after = pos + field.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after + 1 < line.size()) {
+          const std::string op = line.substr(after, 2);
+          if (op == "++" || op == "--" || op == "+=" || op == "-=" ||
+              op == "*=" || op == "/=" || op == "|=" || op == "&=" ||
+              op == "^=") {
+            mutated = true;
+          }
+        }
+        // Prefix mutation: ++/-- immediately before the chain.
+        size_t before = chain_begin;
+        while (before > 0 && line[before - 1] == ' ') --before;
+        if (before >= 2) {
+          const std::string op = line.substr(before - 2, 2);
+          if (op == "++" || op == "--") mutated = true;
+        }
+        // The sink may bind earlier on the line than the mutated chain:
+        // `if (MetricCounters* m = CounterSink(...)) ++m->field;`.
+        if (mutated && line.find("CounterSink(") == std::string::npos &&
+            !Suppressed(raw, i, kRule)) {
+          findings->push_back(
+              {path, i + 1, kRule,
+               "direct mutation of MetricCounters field '" + field +
+                   "'; route increments through CounterSink(...) so "
+                   "ScopedCounterSink can redirect them"});
+          flagged = true;
+        }
+        pos = line.find(field, pos + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lsdb-determinism
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const std::string& path,
+                      const std::vector<std::string>& raw,
+                      const std::vector<std::string>& stripped,
+                      std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-determinism";
+  if (!PathContains(path, "src/lsdb/")) return;
+  if (PathContains(path, "src/lsdb/obs/")) return;
+  static const std::vector<std::string> kCallBans = {"rand", "srand",
+                                                     "time", "clock"};
+  static const std::vector<std::string> kTokenBans = {
+      "system_clock", "high_resolution_clock", "random_device",
+      "gettimeofday",
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    std::string hit;
+    for (const std::string& name : kCallBans) {
+      size_t pos = line.find(name);
+      while (pos != std::string::npos) {
+        size_t after = pos + name.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (WordAt(line, pos, name) && after < line.size() &&
+            line[after] == '(') {
+          hit = name + "()";
+          break;
+        }
+        pos = line.find(name, pos + 1);
+      }
+      if (!hit.empty()) break;
+    }
+    if (hit.empty()) {
+      for (const std::string& tok : kTokenBans) {
+        size_t pos = line.find(tok);
+        if (pos != std::string::npos && WordAt(line, pos, tok)) {
+          hit = tok;
+          break;
+        }
+      }
+    }
+    if (!hit.empty() && !Suppressed(raw, i, kRule)) {
+      findings->push_back(
+          {path, i + 1, kRule,
+           hit + " in src/lsdb breaks experiment reproducibility; use the "
+                 "seeded lsdb::Random (or steady_clock for durations), or "
+                 "move the code under obs/"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
+  std::ifstream in(arg_path);
+  if (!in) {
+    std::fprintf(stderr, "lsdb_lint: cannot open %s\n", arg_path.c_str());
+    return false;
+  }
+  std::vector<std::string> raw;
+  std::string line;
+  while (std::getline(in, line)) raw.push_back(line);
+
+  // Fixtures masquerade as tree files via a pretend-path directive.
+  std::string path = arg_path;
+  for (size_t i = 0; i < raw.size() && i < 10; ++i) {
+    const std::string kDirective = "lsdb-lint-pretend-path:";
+    size_t pos = raw[i].find(kDirective);
+    if (pos != std::string::npos) {
+      path = Trim(raw[i].substr(pos + kDirective.size()));
+      break;
+    }
+  }
+
+  const std::vector<std::string> stripped = StripCommentsAndStrings(raw);
+  std::vector<Finding> file_findings;
+  CheckIgnoredStatus(path, raw, stripped, &file_findings);
+  CheckPageCast(path, raw, stripped, &file_findings);
+  CheckAssertOnDisk(path, raw, stripped, &file_findings);
+  CheckCounterMutation(path, raw, stripped, &file_findings);
+  CheckDeterminism(path, raw, stripped, &file_findings);
+  for (Finding& f : file_findings) {
+    f.path = arg_path;  // report the real file, even under pretend-path
+    findings->push_back(std::move(f));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: lsdb_lint <file>...\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  bool io_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    io_ok = LintFile(argv[i], &findings) && io_ok;
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
+                f.rule.c_str(), f.message.c_str());
+  }
+  if (!io_ok) return 2;
+  if (!findings.empty()) {
+    std::fprintf(stderr, "lsdb_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

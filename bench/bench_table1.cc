@@ -22,12 +22,24 @@ int main(int argc, char** argv) {
   // --bulk swaps one-at-a-time insertion for the bottom-up builders of
   // src/lsdb/build/. Off by default so the table matches the paper's
   // incremental construction costs.
+  // --snapshot-out <prefix> additionally serializes each county's built
+  // structures to <prefix><county>.lsnap; --snapshot-in <prefix> skips the
+  // builds and opens those files instead (the "build" columns then report
+  // snapshot-open cost).
   bool bulk = false;
+  std::string snapshot_out, snapshot_in;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bulk") == 0) bulk = true;
+    if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
+      snapshot_out = argv[++i];
+    }
+    if (std::strcmp(argv[i], "--snapshot-in") == 0 && i + 1 < argc) {
+      snapshot_in = argv[++i];
+    }
   }
-  std::printf("Table 1: data structure building statistics%s\n",
-              bulk ? " (bulk-loaded)" : "");
+  std::printf("Table 1: data structure building statistics%s%s\n",
+              bulk ? " (bulk-loaded)" : "",
+              snapshot_in.empty() ? "" : " (opened from snapshot)");
   std::printf("(paper: SIGMOD'92 pp. 205-214; 1K pages, 16-frame LRU "
               "buffer pool, PMR threshold 4, m = 0.4M)\n\n");
   std::printf("%-13s %6s | %7s %7s %7s | %8s %8s %8s | %7s %7s %7s\n",
@@ -51,6 +63,12 @@ int main(int argc, char** argv) {
   for (const PolygonalMap& map : AllCountyMaps()) {
     ExperimentOptions opt;  // paper defaults
     opt.bulk_build = bulk;
+    if (!snapshot_out.empty()) {
+      opt.snapshot_out = snapshot_out + map.name + ".lsnap";
+    }
+    if (!snapshot_in.empty()) {
+      opt.snapshot_in = snapshot_in + map.name + ".lsnap";
+    }
     Experiment exp(map, opt);
     Status st = exp.BuildAll();
     if (!st.ok()) {

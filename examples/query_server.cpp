@@ -2,6 +2,11 @@
 // pool over frozen copies of all three paper structures.
 //
 //   $ ./examples/query_server [county] [threads] [trace.jsonl]
+//         [--snapshot-out file.lsnap | --snapshot-in file.lsnap]
+//
+// --snapshot-out serializes the freshly built service to a single-file
+// snapshot after serving; --snapshot-in skips the build entirely and
+// serves zero-copy from a mapped snapshot (instant start).
 //
 // This is the serving-side counterpart to the sequential paper harness:
 // the same R*-tree, R+-tree, and PMR quadtree, but built once, frozen
@@ -17,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "lsdb/data/county_generator.h"
 #include "lsdb/service/query_service.h"
@@ -25,9 +31,26 @@
 using namespace lsdb;  // NOLINT
 
 int main(int argc, char** argv) {
-  const std::string county = argc > 1 ? argv[1] : "Charles";
-  const uint32_t threads = argc > 2 ? atoi(argv[2]) : 4;
-  const std::string trace_path = argc > 3 ? argv[3] : "";
+  std::string county = "Charles";
+  uint32_t threads = 4;
+  std::string trace_path;
+  std::string snapshot_out, snapshot_in;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
+      snapshot_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-in") == 0 && i + 1 < argc) {
+      snapshot_in = argv[++i];
+    } else if (positional == 0) {
+      county = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      threads = static_cast<uint32_t>(atoi(argv[i]));
+      ++positional;
+    } else {
+      trace_path = argv[i];
+    }
+  }
 
   // 1. Data: a synthetic TIGER-like county map.
   PolygonalMap map;
@@ -41,18 +64,23 @@ int main(int argc, char** argv) {
   std::printf("%s county: %zu segments\n", county.c_str(),
               map.segments.size());
 
-  // 2. Build the service: segment table + three frozen indexes + pool.
+  // 2. Bring up the service: either build the segment table + three
+  // indexes from the raw segments, or map a snapshot and skip every build.
   ServiceOptions opt;
   opt.num_threads = threads;
   opt.trace_path = trace_path;  // empty = tracing disabled (near-zero cost)
-  auto svc = QueryService::Build(map, opt);
+  auto svc = snapshot_in.empty()
+                 ? QueryService::Build(map, opt)
+                 : QueryService::OpenFromSnapshot(snapshot_in, opt);
   if (!svc.ok()) {
-    std::fprintf(stderr, "build failed: %s\n",
+    std::fprintf(stderr, "%s failed: %s\n",
+                 snapshot_in.empty() ? "build" : "snapshot open",
                  svc.status().ToString().c_str());
     return 1;
   }
-  std::printf("service up: %u worker threads, indexes frozen\n\n",
-              (*svc)->num_threads());
+  std::printf("service up: %u worker threads, indexes frozen%s\n\n",
+              (*svc)->num_threads(),
+              (*svc)->from_snapshot() ? " (zero-copy from snapshot)" : "");
 
   // 3. A mixed batch: point, window, nearest, and incident queries.
   Rng rng(7);
@@ -103,7 +131,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 5. Stats snapshot, as a Prometheus scrape endpoint would serve it.
+  // 5. Optionally persist the service as a single-file snapshot for
+  // instant restarts (write-to-temp + rename, so it is crash-safe).
+  if (!snapshot_out.empty()) {
+    const Status st = (*svc)->WriteSnapshot(snapshot_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot written to %s (reopen with --snapshot-in)\n",
+                snapshot_out.c_str());
+  }
+
+  // 6. Stats snapshot, as a Prometheus scrape endpoint would serve it.
   std::printf("\n--- /metrics (Prometheus text format) ---\n%s",
               (*svc)->stats().RenderPrometheus().c_str());
   if (!trace_path.empty()) {

@@ -15,7 +15,10 @@
 # Tier 2b: rebuild with AddressSanitizer (-DLSDB_SAN=address) and run the
 #         fault-injection suite — checksums, corruption round trips,
 #         retries, breaker trips — which must report zero memory errors
-#         even while pages are corrupted and reads fail.
+#         even while pages are corrupted and reads fail. The snapshot
+#         round-trip and corrupt-snapshot suites (hostile *.lsnap files,
+#         snapshot serving under the fault injector) run here too: mmap
+#         serving must stay memory-clean while its pages are damaged.
 # Tier 2c: rebuild with UndefinedBehaviorSanitizer (-DLSDB_SAN=undefined,
 #         which also enables the float checks GCC leaves out of the
 #         default group and compiles every hit as non-recoverable) and
@@ -25,7 +28,10 @@
 #         machine-readable BENCH_service.json against the minimal schema,
 #         robustness keys included; smoke-run the bulk-build bench —
 #         whose exit status already enforces bulk-vs-incremental query
-#         equivalence and invariants — and validate BENCH_build.json.
+#         equivalence and invariants — and validate BENCH_build.json;
+#         smoke-run the snapshot cold-start bench — whose exit status
+#         enforces the >=10x service-ready speedup and snapshot-vs-built
+#         response equivalence — and validate BENCH_snapshot.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,7 +51,7 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
 cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lsdb_tests \
-  --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*:BulkLoadTest.*'
+  --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*:BulkLoadTest.*:SnapshotTest.*:SnapshotCorruptionTest.*:SnapshotFaultTest.*'
 
 cmake -B build-ubsan -S . -DLSDB_SAN=undefined
 cmake --build build-ubsan -j"${JOBS}"
@@ -100,6 +106,27 @@ for s in doc["structures"]:
     # file cannot pass.
     assert s["equivalent"] is True and s["invariants_ok"] is True
 print("BENCH_build.json schema ok")
+EOF
+
+./build/bench/bench_snapshot_start --smoke Charles build/BENCH_snapshot.json 4
+python3 - <<'EOF'
+import json
+doc = json.load(open("build/BENCH_snapshot.json"))
+for key in ("bench", "county", "segments", "smoke", "threads",
+            "build_seconds", "snapshot_write_seconds", "snapshot_bytes",
+            "snapshot_open_mmap_seconds", "snapshot_open_pool_seconds",
+            "speedup", "mmap_qps", "pool_qps", "equivalent"):
+    assert key in doc, f"BENCH_snapshot.json missing key: {key}"
+assert doc["bench"] == "snapshot_start"
+assert doc["smoke"] is True and doc["segments"] > 0
+assert doc["snapshot_bytes"] > 0
+assert doc["snapshot_open_mmap_seconds"] > 0
+# The bench exits nonzero on failed checks; assert anyway so a stale file
+# cannot pass.
+assert doc["speedup"] >= 10.0, f"cold-start speedup {doc['speedup']} < 10x"
+assert doc["equivalent"] is True
+assert doc["mmap_qps"] > 0 and doc["pool_qps"] > 0
+print("BENCH_snapshot.json schema ok")
 EOF
 
 echo "ci: all checks passed"

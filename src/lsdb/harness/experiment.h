@@ -23,6 +23,7 @@
 #include "lsdb/rplus/rplus_tree.h"
 #include "lsdb/rtree/rstar_tree.h"
 #include "lsdb/seg/segment_table.h"
+#include "lsdb/snapshot/snapshot_reader.h"
 #include "lsdb/util/random.h"
 
 namespace lsdb {
@@ -78,6 +79,16 @@ struct ExperimentOptions {
   /// of one-at-a-time insertion. Query results are identical; build cost
   /// and node layout differ, so the paper-table benches leave this off.
   bool bulk_build = false;
+  /// If non-empty, BuildAll() skips every index build and instead opens
+  /// the structures from this *.lsnap snapshot. Sections are served in
+  /// pool-copy mode through the standard 16-frame LRU pools, so the
+  /// paper's disk-access accounting is preserved. Structure options in the
+  /// snapshot header override `index`. Incompatible with include_grid (the
+  /// grid baseline is not part of the snapshot format).
+  std::string snapshot_in;
+  /// If non-empty, BuildAll() serializes the freshly built structures into
+  /// this *.lsnap snapshot after the build completes.
+  std::string snapshot_out;
 };
 
 class Experiment {
@@ -111,16 +122,23 @@ class Experiment {
   struct QueryInputs;  // pregenerated, shared across structures
 
   Status PrepareInputs();
+  [[nodiscard]] Status OpenAllFromSnapshot();
+  [[nodiscard]] Status WriteSnapshotFile(const std::string& path);
 
   PolygonalMap map_;
   ExperimentOptions options_;
 
-  std::unique_ptr<MemPageFile> seg_file_;
+  /// Set only on the snapshot_in path. Declared before the page files: the
+  /// files are views into the reader's mapping, so the reader must be
+  /// destroyed last (members destruct in reverse order).
+  std::unique_ptr<snapshot::SnapshotReader> reader_;
+
+  std::unique_ptr<PageFile> seg_file_;
   std::unique_ptr<BufferPool> seg_pool_;
   std::unique_ptr<SegmentTable> segs_;
 
-  std::unique_ptr<MemPageFile> rstar_file_, rplus_file_, pmr_file_,
-      grid_file_;
+  std::unique_ptr<PageFile> rstar_file_, rplus_file_, pmr_file_;
+  std::unique_ptr<MemPageFile> grid_file_;
   std::unique_ptr<RStarTree> rstar_;
   std::unique_ptr<RPlusTree> rplus_;
   std::unique_ptr<PmrQuadtree> pmr_;

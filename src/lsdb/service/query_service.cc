@@ -4,6 +4,7 @@
 
 #include "lsdb/build/bulk_loader.h"
 #include "lsdb/query/incident.h"
+#include "lsdb/snapshot/snapshot_writer.h"
 
 namespace lsdb {
 
@@ -66,6 +67,55 @@ StatusOr<std::unique_ptr<QueryService>> QueryService::Build(
   svc->workers_ = std::make_unique<WorkerPool>(options.num_threads);
   LSDB_RETURN_IF_ERROR(svc->SetUpObservability());
   return svc;
+}
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::OpenFromSnapshot(
+    const std::string& path, const ServiceOptions& options, bool zero_copy) {
+  LSDB_ASSIGN_OR_RETURN(std::unique_ptr<snapshot::SnapshotReader> reader,
+                        snapshot::SnapshotReader::Open(path));
+  // The snapshot header is authoritative for the structure parameters: the
+  // superblocks were written with them, and each index's Open() re-checks
+  // its options against its superblock.
+  ServiceOptions opts = options;
+  const snapshot::Header& h = reader->header();
+  opts.index.page_size = h.page_size;
+  opts.index.world_log2 = h.world_log2;
+  opts.index.pmr_split_threshold = h.pmr_split_threshold;
+  opts.index.pmr_max_depth = h.pmr_max_depth;
+  opts.index.pmr_store_bboxes = h.pmr_store_bboxes;
+  std::unique_ptr<QueryService> svc(new QueryService(opts));
+  svc->snapshot_ = std::move(reader);
+  svc->snapshot_zero_copy_ = zero_copy;
+  LSDB_RETURN_IF_ERROR(svc->OpenIndexesFromSnapshot(zero_copy));
+  svc->workers_ = std::make_unique<WorkerPool>(opts.num_threads);
+  LSDB_RETURN_IF_ERROR(svc->SetUpObservability());
+  svc->stats_.GetCounter("lsdb_snapshot_opens_total")->Add(1);
+  return svc;
+}
+
+Status QueryService::WriteSnapshot(const std::string& path) {
+  // Writable backends may hold dirty pages in the pools and stale
+  // superblocks; flush so the backend files are byte-complete. Read-only
+  // backends (a service itself opened from a snapshot) are durable by
+  // definition and would reject the writes.
+  if (!seg_file_->read_only()) {
+    LSDB_RETURN_IF_ERROR(segs_->Flush());
+    LSDB_RETURN_IF_ERROR(rstar_->Flush());
+    LSDB_RETURN_IF_ERROR(rplus_->Flush());
+    LSDB_RETURN_IF_ERROR(pmr_->Flush());
+  }
+  snapshot::SnapshotParams params;
+  params.page_size = options_.index.page_size;
+  params.world_log2 = options_.index.world_log2;
+  params.pmr_split_threshold = options_.index.pmr_split_threshold;
+  params.pmr_max_depth = options_.index.pmr_max_depth;
+  params.pmr_store_bboxes = options_.index.pmr_store_bboxes;
+  params.segment_count = segs_->size();
+  // Stream from the raw backends, below the injectors, so an armed fault
+  // plan cannot perturb the serialized bytes.
+  return snapshot::WriteSnapshot(path, params, seg_file_.get(),
+                                 rstar_file_.get(), rplus_file_.get(),
+                                 pmr_file_.get());
 }
 
 Status QueryService::SetUpObservability() {
@@ -159,6 +209,20 @@ void QueryService::RefreshGauges() {
                   std::to_string(w) + "\"}")
         ->Set(static_cast<double>(workers_->items_processed(w)));
   }
+  if (snapshot_ != nullptr) {
+    stats_.GetGauge("lsdb_snapshot_zero_copy")
+        ->Set(snapshot_zero_copy_ ? 1.0 : 0.0);
+    const char* section_names[] = {"segments", "R*", "R+", "PMR"};
+    for (size_t i = 0; i < 4; ++i) {
+      if (snapshot_views_[i] == nullptr) continue;
+      const std::string labels =
+          std::string("{section=\"") + section_names[i] + "\"}";
+      stats_.GetGauge("lsdb_snapshot_pages_verified" + labels)
+          ->Set(static_cast<double>(snapshot_views_[i]->pages_verified()));
+      stats_.GetGauge("lsdb_snapshot_section_pages" + labels)
+          ->Set(static_cast<double>(snapshot_views_[i]->page_count()));
+    }
+  }
 }
 
 Status QueryService::BuildIndexes(const PolygonalMap& map) {
@@ -183,8 +247,8 @@ Status QueryService::BuildIndexes(const PolygonalMap& map) {
   // Each structure's pool talks to its file through a fault injector. The
   // injectors stay transparent (no plan) during the build, so structure
   // layout and paper metrics are byte-identical with or without them.
-  MemPageFile* files[] = {rstar_file_.get(), rplus_file_.get(),
-                          pmr_file_.get()};
+  PageFile* files[] = {rstar_file_.get(), rplus_file_.get(),
+                       pmr_file_.get()};
   for (ServedIndex which : kAllServedIndexes) {
     injectors_[static_cast<size_t>(which)] =
         std::make_unique<FaultInjectingPageFile>(
@@ -222,17 +286,74 @@ Status QueryService::BuildIndexes(const PolygonalMap& map) {
     LSDB_RETURN_IF_ERROR(idx->Flush());
     idx->Freeze();
   }
-  if (options_.inject_faults) {
-    // Arm only now that everything is built, flushed, and frozen.
-    // Decorrelate the per-structure streams so one structure's fault draw
-    // sequence does not mirror another's.
-    for (ServedIndex which : kAllServedIndexes) {
-      FaultPlan plan = options_.fault_plan;
-      plan.seed += 0x9e3779b97f4a7c15ull *
-                   (static_cast<uint64_t>(which) + 1);
-      fault_injector(which)->set_plan(plan);
-    }
+  if (options_.inject_faults) ArmFaultInjectors();
+  return Status::OK();
+}
+
+void QueryService::ArmFaultInjectors() {
+  // Arm only once everything is built (or opened) and frozen. Decorrelate
+  // the per-structure streams so one structure's fault draw sequence does
+  // not mirror another's.
+  for (ServedIndex which : kAllServedIndexes) {
+    FaultPlan plan = options_.fault_plan;
+    plan.seed +=
+        0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(which) + 1);
+    fault_injector(which)->set_plan(plan);
   }
+}
+
+Status QueryService::OpenIndexesFromSnapshot(bool zero_copy) {
+  IndexOptions io = options_.index;
+  io.buffer_frames = options_.serving_buffer_frames;
+  using snapshot::SectionKind;
+
+  // Segment table view + pool. The table is always served through the
+  // pool-copy path in spirit (Get() goes through Fetch either way); with
+  // zero_copy its Fetches borrow mapped bytes like the indexes'.
+  LSDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<MmapPageFile> seg_view,
+      snapshot_->OpenSection(SectionKind::kSegments, zero_copy));
+  snapshot_views_[0] = seg_view.get();
+  seg_file_ = std::move(seg_view);
+  seg_pool_ = std::make_unique<BufferPool>(seg_file_.get(),
+                                           io.buffer_frames, nullptr);
+  segs_ = std::make_unique<SegmentTable>(seg_pool_.get(), nullptr);
+  LSDB_RETURN_IF_ERROR(segs_->Open());
+  if (segs_->size() != snapshot_->header().segment_count) {
+    return Status::Corruption(
+        "segment count mismatch between snapshot header and segment table");
+  }
+
+  const SectionKind kinds[] = {SectionKind::kRStar, SectionKind::kRPlus,
+                               SectionKind::kPmr};
+  std::unique_ptr<PageFile>* slots[] = {&rstar_file_, &rplus_file_,
+                                        &pmr_file_};
+  for (ServedIndex which : kAllServedIndexes) {
+    const size_t i = static_cast<size_t>(which);
+    LSDB_ASSIGN_OR_RETURN(std::unique_ptr<MmapPageFile> view,
+                          snapshot_->OpenSection(kinds[i], zero_copy));
+    snapshot_views_[i + 1] = view.get();
+    *slots[i] = std::move(view);
+    injectors_[i] =
+        std::make_unique<FaultInjectingPageFile>(slots[i]->get());
+    breakers_[i].set_options(options_.breaker);
+  }
+  rstar_ = std::make_unique<RStarTree>(
+      io, fault_injector(ServedIndex::kRStar), segs_.get());
+  rplus_ = std::make_unique<RPlusTree>(
+      io, fault_injector(ServedIndex::kRPlus), segs_.get());
+  pmr_ = std::make_unique<PmrQuadtree>(
+      io, fault_injector(ServedIndex::kPmr), segs_.get());
+  LSDB_RETURN_IF_ERROR(rstar_->Open());
+  LSDB_RETURN_IF_ERROR(rplus_->Open());
+  LSDB_RETURN_IF_ERROR(pmr_->Open());
+  for (SpatialIndex* idx :
+       {static_cast<SpatialIndex*>(rstar_.get()),
+        static_cast<SpatialIndex*>(rplus_.get()),
+        static_cast<SpatialIndex*>(pmr_.get())}) {
+    idx->Freeze();
+  }
+  if (options_.inject_faults) ArmFaultInjectors();
   return Status::OK();
 }
 

@@ -38,8 +38,10 @@
 #include "lsdb/service/circuit_breaker.h"
 #include "lsdb/service/request.h"
 #include "lsdb/service/worker_pool.h"
+#include "lsdb/snapshot/snapshot_reader.h"
 #include "lsdb/storage/buffer_pool.h"
 #include "lsdb/storage/fault_injection.h"
+#include "lsdb/storage/mmap_page_file.h"
 #include "lsdb/storage/page_file.h"
 
 namespace lsdb {
@@ -87,6 +89,24 @@ class QueryService {
   /// (single-threaded), freezes them, and spins up the worker pool.
   [[nodiscard]] static StatusOr<std::unique_ptr<QueryService>> Build(
       const PolygonalMap& map, const ServiceOptions& options);
+
+  /// Opens a service directly from a *.lsnap snapshot — zero index builds.
+  /// Structure options recorded in the snapshot header (page size, world
+  /// extent, PMR parameters) override the corresponding fields of
+  /// `options.index` so superblock validation matches the frozen state.
+  /// With `zero_copy` (the default) index pages are served straight from
+  /// the mapping; with it off, pages are copied through the buffer pool,
+  /// reproducing the paper's LRU disk-access accounting exactly.
+  [[nodiscard]] static StatusOr<std::unique_ptr<QueryService>> OpenFromSnapshot(
+      const std::string& path, const ServiceOptions& options,
+      bool zero_copy = true);
+
+  /// Serializes the (frozen) service into a single-file snapshot at
+  /// `path`, published atomically via write-to-temp + rename.
+  [[nodiscard]] Status WriteSnapshot(const std::string& path);
+
+  /// True when this service was opened from a snapshot rather than built.
+  bool from_snapshot() const { return snapshot_ != nullptr; }
 
   ~QueryService();
 
@@ -145,6 +165,8 @@ class QueryService {
   explicit QueryService(const ServiceOptions& options);
 
   [[nodiscard]] Status BuildIndexes(const PolygonalMap& map);
+  [[nodiscard]] Status OpenIndexesFromSnapshot(bool zero_copy);
+  void ArmFaultInjectors();
   [[nodiscard]] Status SetUpObservability();
   void RefreshGauges();
   QueryResponse ExecuteOne(ServedIndex which, SpatialIndex* idx,
@@ -156,11 +178,20 @@ class QueryService {
 
   ServiceOptions options_;
 
-  std::unique_ptr<MemPageFile> seg_file_;
+  /// Set only on the OpenFromSnapshot path. Declared before every page
+  /// file: the files are views into the reader's mapping, so the reader
+  /// must be destroyed last (members destruct in reverse order).
+  std::unique_ptr<snapshot::SnapshotReader> snapshot_;
+  bool snapshot_zero_copy_ = false;
+  /// [segments, R*, R+, PMR] borrowed view pointers for the obs gauges;
+  /// null unless from_snapshot(). Owned via the *_file_ members below.
+  MmapPageFile* snapshot_views_[4] = {};
+
+  std::unique_ptr<PageFile> seg_file_;
   std::unique_ptr<BufferPool> seg_pool_;
   std::unique_ptr<SegmentTable> segs_;
 
-  std::unique_ptr<MemPageFile> rstar_file_, rplus_file_, pmr_file_;
+  std::unique_ptr<PageFile> rstar_file_, rplus_file_, pmr_file_;
   /// [ServedIndex] fault injectors between each structure's pool and its
   /// backing file; transparent until a plan is armed.
   std::unique_ptr<FaultInjectingPageFile>

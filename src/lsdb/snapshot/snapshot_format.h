@@ -1,0 +1,243 @@
+// On-disk layout of the single-file snapshot container (*.lsnap).
+//
+// A snapshot freezes a whole QueryService — the segment table plus all
+// three index structures — into one file that can be mapped and served
+// with zero index builds. Layout (all integers little-endian, encoded and
+// decoded via per-byte assembly so readers never reinterpret mapped bytes):
+//
+//   [SnapshotHeader   64 bytes]
+//   [SectionEntry     32 bytes] x section_count   (the offset table)
+//   [section payloads ...]                        (PosixPageFile slot images)
+//   [SnapshotFooter   32 bytes]                   (at file end)
+//
+// SnapshotHeader (64 bytes):
+//   off  size  field
+//     0     4  magic            "LSNP" (0x504E534C when read LE)
+//     4     4  version          kSnapshotVersion; readers reject newer
+//     8     4  flags            reserved, must be 0 in version 1
+//    12     4  page_size        page size all sections were written with
+//    16     4  section_count    number of SectionEntry records that follow
+//    20     4  world_log2       index build option (IndexOptions)
+//    24     4  pmr_split_threshold
+//    28     4  pmr_max_depth
+//    32     1  pmr_store_bboxes (0/1)
+//    33     7  reserved         must be 0
+//    40     8  segment_count    logical segments in the segment table
+//    48    12  reserved         must be 0
+//    60     4  header_crc       CRC-32C of header bytes [0, 60) chained
+//                               over the full section table — so a flipped
+//                               bit anywhere in the offset table (including
+//                               a stored section CRC) is caught before any
+//                               section is trusted.
+//
+// SectionEntry (32 bytes):
+//   off  size  field
+//     0     4  kind             SnapshotSectionKind below
+//     4     4  page_count       pages in the section
+//     8     8  offset           absolute file offset of the payload
+//    16     8  length           payload bytes; must equal
+//                               page_count * (page_size + kPageTrailerSize)
+//    24     4  crc              CRC-32C over the whole payload
+//    28     4  reserved         must be 0
+//
+// Section payloads reuse the PosixPageFile slot image byte-for-byte: each
+// page is page_size content bytes followed by its 4-byte little-endian
+// CRC-32C trailer. An MmapPageFile can therefore serve a section in place,
+// verifying the per-page trailer on first touch, while the section-level
+// crc supports whole-file verification (`lsdb_snapshot verify`).
+//
+// SnapshotFooter (32 bytes, last in the file):
+//   off  size  field
+//     0     4  magic            "LSNF" (0x464E534C when read LE)
+//     4     4  version          must match the header
+//     8     8  total_size       full file size including this footer
+//    16     4  header_crc       echo of the header's crc field
+//    20     4  footer_crc       CRC-32C of footer bytes [0, 20)
+//    24     8  reserved         must be 0
+//
+// The footer is written last and the file is published with
+// write-to-temp + fsync + rename, so a reader can classify a mid-write
+// crash (missing/garbled footer => Corruption) without trusting any
+// payload bytes. Versioning policy: layout changes bump `version`; readers
+// reject versions they do not understand with InvalidArgument (not
+// Corruption — the file may be perfectly valid, just newer).
+
+#ifndef LSDB_SNAPSHOT_SNAPSHOT_FORMAT_H_
+#define LSDB_SNAPSHOT_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lsdb/util/crc32c.h"
+
+namespace lsdb {
+namespace snapshot {
+
+inline constexpr uint32_t kSnapshotMagic = 0x504E534Cu;   // "LSNP"
+inline constexpr uint32_t kSnapshotFooterMagic = 0x464E534Cu;  // "LSNF"
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr size_t kHeaderSize = 64;
+inline constexpr size_t kSectionEntrySize = 32;
+inline constexpr size_t kFooterSize = 32;
+/// Offset of header_crc inside the header (the CRC covers [0, this)).
+inline constexpr size_t kHeaderCrcOffset = 60;
+/// Sanity bound on section_count; version 1 always writes exactly 4.
+inline constexpr uint32_t kMaxSections = 64;
+
+/// Section kinds, in the order version-1 writers emit them.
+enum class SectionKind : uint32_t {
+  kSegments = 1,
+  kRStar = 2,
+  kRPlus = 3,
+  kPmr = 4,
+};
+
+/// Decoded header (field order mirrors the on-disk layout above).
+struct Header {
+  uint32_t magic = kSnapshotMagic;
+  uint32_t version = kSnapshotVersion;
+  uint32_t flags = 0;
+  uint32_t page_size = 0;
+  uint32_t section_count = 0;
+  uint32_t world_log2 = 0;
+  uint32_t pmr_split_threshold = 0;
+  uint32_t pmr_max_depth = 0;
+  bool pmr_store_bboxes = false;
+  uint64_t segment_count = 0;
+  uint32_t header_crc = 0;
+};
+
+/// Decoded offset-table entry.
+struct SectionEntry {
+  uint32_t kind = 0;
+  uint32_t page_count = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+};
+
+/// Decoded footer.
+struct Footer {
+  uint32_t magic = kSnapshotFooterMagic;
+  uint32_t version = kSnapshotVersion;
+  uint64_t total_size = 0;
+  uint32_t header_crc = 0;
+  uint32_t footer_crc = 0;
+};
+
+// -- Little-endian byte codecs ----------------------------------------------
+// Per-byte assembly: alignment-safe on mapped memory, endian-independent,
+// and free of reinterpret_cast (see the lsdb-unchecked-mmap-cast lint rule).
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// Serializes `h` into `out[0, kHeaderSize)`. header_crc is written as-is;
+/// compute it with HeaderCrc() after encoding header + section table.
+inline void EncodeHeader(const Header& h, uint8_t* out) {
+  for (size_t i = 0; i < kHeaderSize; ++i) out[i] = 0;
+  PutU32(out + 0, h.magic);
+  PutU32(out + 4, h.version);
+  PutU32(out + 8, h.flags);
+  PutU32(out + 12, h.page_size);
+  PutU32(out + 16, h.section_count);
+  PutU32(out + 20, h.world_log2);
+  PutU32(out + 24, h.pmr_split_threshold);
+  PutU32(out + 28, h.pmr_max_depth);
+  out[32] = h.pmr_store_bboxes ? 1 : 0;
+  PutU64(out + 40, h.segment_count);
+  PutU32(out + kHeaderCrcOffset, h.header_crc);
+}
+
+inline Header DecodeHeader(const uint8_t* in) {
+  Header h;
+  h.magic = GetU32(in + 0);
+  h.version = GetU32(in + 4);
+  h.flags = GetU32(in + 8);
+  h.page_size = GetU32(in + 12);
+  h.section_count = GetU32(in + 16);
+  h.world_log2 = GetU32(in + 20);
+  h.pmr_split_threshold = GetU32(in + 24);
+  h.pmr_max_depth = GetU32(in + 28);
+  h.pmr_store_bboxes = in[32] != 0;
+  h.segment_count = GetU64(in + 40);
+  h.header_crc = GetU32(in + kHeaderCrcOffset);
+  return h;
+}
+
+inline void EncodeSectionEntry(const SectionEntry& e, uint8_t* out) {
+  for (size_t i = 0; i < kSectionEntrySize; ++i) out[i] = 0;
+  PutU32(out + 0, e.kind);
+  PutU32(out + 4, e.page_count);
+  PutU64(out + 8, e.offset);
+  PutU64(out + 16, e.length);
+  PutU32(out + 24, e.crc);
+}
+
+inline SectionEntry DecodeSectionEntry(const uint8_t* in) {
+  SectionEntry e;
+  e.kind = GetU32(in + 0);
+  e.page_count = GetU32(in + 4);
+  e.offset = GetU64(in + 8);
+  e.length = GetU64(in + 16);
+  e.crc = GetU32(in + 24);
+  return e;
+}
+
+inline void EncodeFooter(const Footer& f, uint8_t* out) {
+  for (size_t i = 0; i < kFooterSize; ++i) out[i] = 0;
+  PutU32(out + 0, f.magic);
+  PutU32(out + 4, f.version);
+  PutU64(out + 8, f.total_size);
+  PutU32(out + 16, f.header_crc);
+  PutU32(out + 20, f.footer_crc);
+}
+
+/// The header CRC: CRC-32C of header bytes [0, kHeaderCrcOffset) chained
+/// over the encoded section table. Used by the writer, the reader's
+/// validation, and tests that patch fields and must re-seal the header.
+inline uint32_t ComputeHeaderCrc(const uint8_t* header, const uint8_t* table,
+                                 size_t table_len) {
+  const uint32_t partial = crc32c::Compute(header, kHeaderCrcOffset);
+  return crc32c::Compute(table, table_len, partial);
+}
+
+/// The footer CRC: CRC-32C of footer bytes [0, 20).
+inline uint32_t ComputeFooterCrc(const uint8_t* footer) {
+  return crc32c::Compute(footer, 20);
+}
+
+inline Footer DecodeFooter(const uint8_t* in) {
+  Footer f;
+  f.magic = GetU32(in + 0);
+  f.version = GetU32(in + 4);
+  f.total_size = GetU64(in + 8);
+  f.header_crc = GetU32(in + 16);
+  f.footer_crc = GetU32(in + 20);
+  return f;
+}
+
+}  // namespace snapshot
+}  // namespace lsdb
+
+#endif  // LSDB_SNAPSHOT_SNAPSHOT_FORMAT_H_

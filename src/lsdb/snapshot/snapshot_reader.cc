@@ -1,0 +1,205 @@
+#include "lsdb/snapshot/snapshot_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "lsdb/util/crc32c.h"
+
+namespace lsdb {
+namespace snapshot {
+
+StatusOr<std::unique_ptr<SnapshotReader>> SnapshotReader::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s =
+        Status::IoError("fstat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kHeaderSize + kFooterSize) {
+    ::close(fd);
+    return Status::Corruption("snapshot truncated: " + std::to_string(size) +
+                              " bytes is smaller than header + footer");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) {
+    const Status s =
+        Status::IoError("mmap " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  auto reader = std::unique_ptr<SnapshotReader>(new SnapshotReader());
+  reader->base_ = static_cast<const uint8_t*>(map);
+  reader->size_ = size;
+  reader->fd_ = fd;
+  const uint8_t* base = reader->base_;
+
+  // Header identity first: magic, then version. Version is checked before
+  // the header CRC so a valid-but-newer file reports InvalidArgument (a
+  // capability gap), not Corruption (damage).
+  Header h = DecodeHeader(base);
+  if (h.magic != kSnapshotMagic) {
+    return Status::Corruption("snapshot magic mismatch: not an lsnap file");
+  }
+  if (h.version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(h.version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  if (h.section_count == 0 || h.section_count > kMaxSections) {
+    return Status::Corruption("snapshot section count out of range: " +
+                              std::to_string(h.section_count));
+  }
+  if (h.page_size < 64) {
+    return Status::Corruption("snapshot page size out of range: " +
+                              std::to_string(h.page_size));
+  }
+  const size_t table_size = h.section_count * kSectionEntrySize;
+  const size_t payload_start = kHeaderSize + table_size;
+  if (size < payload_start + kFooterSize) {
+    return Status::Corruption(
+        "snapshot truncated inside the section table");
+  }
+  // The header CRC seals both the fixed header and the offset table —
+  // including each entry's stored section CRC, so a flipped bit in any of
+  // those fields is caught here before a single payload byte is trusted.
+  const uint32_t expect_crc =
+      ComputeHeaderCrc(base, base + kHeaderSize, table_size);
+  if (expect_crc != h.header_crc) {
+    return Status::Corruption("snapshot header/offset-table CRC mismatch");
+  }
+
+  // Footer: written last, so its absence or disagreement means the writer
+  // never finished (mid-write crash) or the tail was clipped.
+  const uint8_t* footer_bytes = base + size - kFooterSize;
+  const Footer f = DecodeFooter(footer_bytes);
+  if (f.magic != kSnapshotFooterMagic || f.version != h.version ||
+      f.total_size != size || f.header_crc != h.header_crc ||
+      f.footer_crc != ComputeFooterCrc(footer_bytes)) {
+    return Status::Corruption(
+        "snapshot footer missing or inconsistent (incomplete write?)");
+  }
+
+  // Offset-table geometry: every section must lie wholly inside
+  // [payload_start, size - footer), with a length that matches its page
+  // count. Arithmetic is ordered to avoid u64 overflow on hostile values.
+  const uint64_t slot_size =
+      static_cast<uint64_t>(h.page_size) + kPageTrailerSize;
+  const uint64_t payload_end = size - kFooterSize;
+  reader->sections_.reserve(h.section_count);
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    const SectionEntry e =
+        DecodeSectionEntry(base + kHeaderSize + i * kSectionEntrySize);
+    if (e.page_count > payload_end / slot_size) {
+      return Status::Corruption("snapshot section " + std::to_string(i) +
+                                " page count exceeds the file size");
+    }
+    if (e.length != e.page_count * slot_size) {
+      return Status::Corruption("snapshot section " + std::to_string(i) +
+                                " length does not match its page count");
+    }
+    if (e.offset < payload_start || e.offset > payload_end ||
+        e.length > payload_end - e.offset) {
+      return Status::Corruption("snapshot section " + std::to_string(i) +
+                                " lies outside the file payload");
+    }
+    reader->sections_.push_back(e);
+  }
+  reader->header_ = h;
+  return reader;
+}
+
+SnapshotReader::~SnapshotReader() {
+  // Destructors cannot return a Status; owners that care call Close().
+  if (base_ != nullptr &&
+      ::munmap(const_cast<uint8_t*>(base_), size_) != 0) {
+    std::fprintf(stderr, "lsdb: munmap failed in ~SnapshotReader: %s\n",
+                 std::strerror(errno));
+  }
+  base_ = nullptr;
+  if (fd_ >= 0 && ::close(fd_) != 0) {
+    std::fprintf(stderr, "lsdb: close failed in ~SnapshotReader: %s\n",
+                 std::strerror(errno));
+  }
+  fd_ = -1;
+}
+
+Status SnapshotReader::Close() {
+  Status result = Status::OK();
+  if (base_ != nullptr) {
+    if (::munmap(const_cast<uint8_t*>(base_), size_) != 0) {
+      result =
+          Status::IoError(std::string("munmap: ") + std::strerror(errno));
+    }
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0 && result.ok()) {
+      result = Status::IoError(std::string("close: ") + std::strerror(errno));
+    }
+  }
+  return result;
+}
+
+StatusOr<const SectionEntry*> SnapshotReader::Section(
+    SectionKind kind) const {
+  for (const SectionEntry& e : sections_) {
+    if (e.kind == static_cast<uint32_t>(kind)) return &e;
+  }
+  return Status::NotFound("snapshot has no section of kind " +
+                          std::to_string(static_cast<uint32_t>(kind)));
+}
+
+StatusOr<std::unique_ptr<MmapPageFile>> SnapshotReader::OpenSection(
+    SectionKind kind, bool zero_copy) const {
+  if (base_ == nullptr) {
+    return Status::InvalidArgument("snapshot reader is closed");
+  }
+  LSDB_ASSIGN_OR_RETURN(const SectionEntry* e, Section(kind));
+  return std::make_unique<MmapPageFile>(base_ + e->offset, e->page_count,
+                                        header_.page_size, zero_copy);
+}
+
+Status SnapshotReader::VerifySection(size_t index) const {
+  if (base_ == nullptr) {
+    return Status::InvalidArgument("snapshot reader is closed");
+  }
+  if (index >= sections_.size()) {
+    return Status::InvalidArgument("section index out of range");
+  }
+  const SectionEntry& e = sections_[index];
+  const uint32_t actual =
+      crc32c::Compute(base_ + e.offset, static_cast<size_t>(e.length));
+  if (actual != e.crc) {
+    return Status::Corruption("snapshot section " + std::to_string(index) +
+                              " (kind " + std::to_string(e.kind) +
+                              ") failed CRC verification");
+  }
+  return Status::OK();
+}
+
+Status SnapshotReader::VerifyAll() const {
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    LSDB_RETURN_IF_ERROR(VerifySection(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace snapshot
+}  // namespace lsdb

@@ -1,0 +1,206 @@
+#include "lsdb/snapshot/snapshot_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "lsdb/snapshot/snapshot_format.h"
+#include "lsdb/util/crc32c.h"
+
+namespace lsdb {
+namespace snapshot {
+
+namespace {
+
+/// write(2) that retries EINTR and continues after short transfers.
+Status FullWrite(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::write(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IoError("write: wrote zero bytes");
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// pwrite variant for patching the header after the payloads are known.
+Status FullPwriteAt(int fd, const void* buf, size_t n, off_t off) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::pwrite(fd, p, n, off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::IoError("pwrite: wrote zero bytes");
+    p += r;
+    off += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// Streams every page of `file` as a slot image, updating `entry`'s
+/// page_count/length/crc. Freed pages read back as InvalidArgument from
+/// the backend; they are emitted as zero pages (with the matching zero
+/// CRC) so page ids keep their meaning in the reopened structures.
+Status WriteSection(int fd, PageFile* file, SectionEntry* entry) {
+  const uint32_t page_size = file->page_size();
+  const uint32_t slot_size = page_size + kPageTrailerSize;
+  std::vector<uint8_t> slot(slot_size);
+  std::vector<uint8_t> zero_page(page_size, 0);
+  const uint32_t zero_crc = crc32c::Compute(zero_page.data(), page_size);
+  uint32_t section_crc = 0;
+  const uint32_t pages = file->page_count();
+  for (PageId id = 0; id < pages; ++id) {
+    uint32_t crc = 0;
+    Status s = file->Read(id, slot.data(), &crc);
+    if (s.IsInvalidArgument()) {
+      // Freed page: keep the slot, zero the content.
+      std::memcpy(slot.data(), zero_page.data(), page_size);
+      crc = zero_crc;
+      s = Status::OK();
+    }
+    LSDB_RETURN_IF_ERROR(s);
+    PutU32(slot.data() + page_size, crc);
+    section_crc = crc32c::Compute(slot.data(), slot_size, section_crc);
+    LSDB_RETURN_IF_ERROR(FullWrite(fd, slot.data(), slot_size));
+  }
+  entry->page_count = pages;
+  entry->length = static_cast<uint64_t>(pages) * slot_size;
+  entry->crc = section_crc;
+  return Status::OK();
+}
+
+/// RAII temp-file guard: closes the fd and unlinks the temp path unless
+/// the write completed and Commit() was called.
+class TempFile {
+ public:
+  TempFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~TempFile() {
+    if (fd_ >= 0) ::close(fd_);
+    if (!committed_) ::unlink(path_.c_str());
+  }
+  [[nodiscard]] Status Close() {
+    const int fd = fd_;
+    fd_ = -1;
+    while (::close(fd) != 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("close: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  void Commit() { committed_ = true; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  bool committed_ = false;
+};
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const SnapshotParams& params,
+                     PageFile* segments, PageFile* rstar, PageFile* rplus,
+                     PageFile* pmr) {
+  if (params.page_size == 0) {
+    return Status::InvalidArgument("snapshot params: page_size must be set");
+  }
+  PageFile* files[] = {segments, rstar, rplus, pmr};
+  const SectionKind kinds[] = {SectionKind::kSegments, SectionKind::kRStar,
+                               SectionKind::kRPlus, SectionKind::kPmr};
+  for (PageFile* f : files) {
+    if (f == nullptr) {
+      return Status::InvalidArgument("snapshot writer: null page file");
+    }
+    if (f->page_size() != params.page_size) {
+      return Status::InvalidArgument(
+          "snapshot writer: page-size mismatch between sections");
+    }
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  const int raw_fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (raw_fd < 0) {
+    return Status::IoError("open " + tmp_path + ": " + std::strerror(errno));
+  }
+  TempFile tmp(raw_fd, tmp_path);
+
+  constexpr uint32_t kSectionCount = 4;
+  const size_t table_size = kSectionCount * kSectionEntrySize;
+  const size_t payload_start = kHeaderSize + table_size;
+
+  // Reserve the header + offset table with zeros; both are patched in once
+  // every section's length and CRC are known.
+  {
+    std::vector<uint8_t> blank(payload_start, 0);
+    LSDB_RETURN_IF_ERROR(FullWrite(tmp.fd(), blank.data(), blank.size()));
+  }
+
+  SectionEntry entries[kSectionCount];
+  uint64_t offset = payload_start;
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    entries[i].kind = static_cast<uint32_t>(kinds[i]);
+    entries[i].offset = offset;
+    LSDB_RETURN_IF_ERROR(WriteSection(tmp.fd(), files[i], &entries[i]));
+    offset += entries[i].length;
+  }
+
+  uint8_t table[kSectionCount * kSectionEntrySize];
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    EncodeSectionEntry(entries[i], table + i * kSectionEntrySize);
+  }
+
+  Header header;
+  header.page_size = params.page_size;
+  header.section_count = kSectionCount;
+  header.world_log2 = params.world_log2;
+  header.pmr_split_threshold = params.pmr_split_threshold;
+  header.pmr_max_depth = params.pmr_max_depth;
+  header.pmr_store_bboxes = params.pmr_store_bboxes;
+  header.segment_count = params.segment_count;
+  uint8_t header_bytes[kHeaderSize];
+  EncodeHeader(header, header_bytes);
+  header.header_crc = ComputeHeaderCrc(header_bytes, table, table_size);
+  EncodeHeader(header, header_bytes);
+
+  Footer footer;
+  footer.total_size = offset + kFooterSize;
+  footer.header_crc = header.header_crc;
+  uint8_t footer_bytes[kFooterSize];
+  EncodeFooter(footer, footer_bytes);
+  footer.footer_crc = ComputeFooterCrc(footer_bytes);
+  EncodeFooter(footer, footer_bytes);
+
+  // Footer last: its presence is the reader's completeness witness.
+  LSDB_RETURN_IF_ERROR(FullWrite(tmp.fd(), footer_bytes, kFooterSize));
+  LSDB_RETURN_IF_ERROR(
+      FullPwriteAt(tmp.fd(), header_bytes, kHeaderSize, 0));
+  LSDB_RETURN_IF_ERROR(FullPwriteAt(tmp.fd(), table, table_size,
+                                    static_cast<off_t>(kHeaderSize)));
+
+  if (::fsync(tmp.fd()) != 0) {
+    return Status::IoError(std::string("fsync: ") + std::strerror(errno));
+  }
+  LSDB_RETURN_IF_ERROR(tmp.Close());
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp_path + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  tmp.Commit();  // renamed away; nothing left to unlink
+  return Status::OK();
+}
+
+}  // namespace snapshot
+}  // namespace lsdb

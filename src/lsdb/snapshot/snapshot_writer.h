@@ -1,0 +1,47 @@
+// SnapshotWriter: serializes a frozen service's four page files into one
+// *.lsnap container (layout in snapshot_format.h).
+//
+// Publication is atomic: everything is written to `path + ".tmp"`, fsynced,
+// and renamed over `path`, with the footer written last — so a crash at any
+// point leaves either the previous snapshot intact or a temp file a reader
+// will classify as Corruption (no footer), never a half-trusted snapshot.
+
+#ifndef LSDB_SNAPSHOT_SNAPSHOT_WRITER_H_
+#define LSDB_SNAPSHOT_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsdb/storage/page_file.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+namespace snapshot {
+
+/// Build options and logical state the reader needs to reopen the
+/// structures exactly as built (superblock option validation re-checks
+/// these on Open, so they must round-trip).
+struct SnapshotParams {
+  uint32_t page_size = 0;
+  uint32_t world_log2 = 0;
+  uint32_t pmr_split_threshold = 0;
+  uint32_t pmr_max_depth = 0;
+  bool pmr_store_bboxes = false;
+  uint64_t segment_count = 0;
+};
+
+/// Streams the four page files (already flushed; every live page durable in
+/// its backend) into `path`. Pages are emitted in id order as PosixPageFile
+/// slot images — content bytes plus the stored CRC-32C trailer — so the
+/// per-page checksums written at build time are preserved verbatim. Freed
+/// ("dead") pages are emitted as zero pages with a matching zero-CRC
+/// trailer to keep page ids stable.
+[[nodiscard]] Status WriteSnapshot(const std::string& path,
+                                   const SnapshotParams& params,
+                                   PageFile* segments, PageFile* rstar,
+                                   PageFile* rplus, PageFile* pmr);
+
+}  // namespace snapshot
+}  // namespace lsdb
+
+#endif  // LSDB_SNAPSHOT_SNAPSHOT_WRITER_H_

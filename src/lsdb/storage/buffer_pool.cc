@@ -42,24 +42,35 @@ BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& o) noexcept {
     pool_ = o.pool_;
     frame_ = o.frame_;
     id_ = o.id_;
+    direct_ = o.direct_;
     o.pool_ = nullptr;
+    o.direct_ = nullptr;
   }
   return *this;
 }
 
 uint8_t* BufferPool::PageRef::data() {
-  // No lock: the frame buffer is stable while this ref's pin is held.
+  // No lock: the frame buffer is stable while this ref's pin is held, and
+  // a direct ref points into an immutable mapping. Callers of the mutable
+  // overload on a direct ref get the pointer but must not write through
+  // it — the mapping is PROT_READ and the index is frozen; writes are
+  // already rejected at the MarkDirty/Write layer.
   assert(valid());  // NOLINT(lsdb-assert-on-disk): PageRef handle validity, in-memory
+  if (direct_ != nullptr) return const_cast<uint8_t*>(direct_);
   return pool_->frames_[frame_].buf.data();
 }
 
 const uint8_t* BufferPool::PageRef::data() const {
   assert(valid());  // NOLINT(lsdb-assert-on-disk): PageRef handle validity, in-memory
+  if (direct_ != nullptr) return direct_;
   return pool_->frames_[frame_].buf.data();
 }
 
 void BufferPool::PageRef::MarkDirty() {
   assert(valid());  // NOLINT(lsdb-assert-on-disk): PageRef handle validity, in-memory
+  // Dirtying a zero-copy ref is a programming error (frozen section); the
+  // backend would reject the write-back anyway, so catch it at the source.
+  assert(direct_ == nullptr);  // NOLINT(lsdb-assert-on-disk): caller contract, in-memory handle
   std::lock_guard<std::mutex> lk(pool_->mu_);
   pool_->frames_[frame_].dirty = true;
 }
@@ -69,6 +80,7 @@ void BufferPool::PageRef::Release() {
     pool_->Unpin(frame_);
     pool_ = nullptr;
   }
+  direct_ = nullptr;
 }
 
 uint32_t BufferPool::SelfPinsLocked() const {
@@ -189,6 +201,7 @@ void BufferPool::Unpin(uint32_t frame) {
 }
 
 StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
+  if (file_->zero_copy()) return FetchZeroCopy(id);
   std::unique_lock<std::mutex> lk(mu_);
   if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   for (;;) {
@@ -224,6 +237,40 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
     ++misses_;
     TraceEvent(PoolEvent::kMiss);
     return PageRef(this, f, id);
+  }
+}
+
+StatusOr<BufferPool::PageRef> BufferPool::FetchZeroCopy(PageId id) {
+  // No frame, no pin: the backend hands out a borrowed pointer into its
+  // mapping. Counting mirrors the copying path — every fetch is a
+  // page_fetch; the page's first touch (when it is checksum-verified and
+  // genuinely faulted in) is the miss / disk_read, later touches are hits.
+  std::unique_lock<std::mutex> lk(mu_);
+  if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
+  for (uint32_t attempt = 1;; ++attempt) {
+    auto mapped = file_->MapPage(id);
+    if (mapped.ok()) {
+      if (mapped->first_touch) {
+        if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_reads;
+        ++misses_;
+        TraceEvent(PoolEvent::kMiss);
+      } else {
+        ++hits_;
+        TraceEvent(PoolEvent::kHit);
+      }
+      return PageRef(mapped->data, id);
+    }
+    const Status s = mapped.status();
+    if (s.IsCorruption()) {
+      ++checksum_failures_;
+      return s;
+    }
+    if (!s.IsIoError() || attempt >= retry_max_attempts_) return s;
+    ++io_retries_;
+    if (retry_backoff_us_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(retry_backoff_us_ * attempt));
+    }
   }
 }
 

@@ -65,18 +65,25 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// RAII pinned page handle. Movable; unpins on destruction.
+  ///
+  /// Over a zero-copy backend a ref holds a borrowed pointer straight into
+  /// the backend's mapping instead of a pinned frame: data() serves it,
+  /// Release() has nothing to unpin, and MarkDirty() is a contract
+  /// violation (snapshot sections are immutable).
   class PageRef {
    public:
     PageRef() = default;
     PageRef(BufferPool* pool, uint32_t frame, PageId id)
         : pool_(pool), frame_(frame), id_(id) {}
+    /// Direct (zero-copy) ref: no pool pin, data lives in the mapping.
+    PageRef(const uint8_t* direct, PageId id) : id_(id), direct_(direct) {}
     PageRef(PageRef&& o) noexcept { *this = std::move(o); }
     PageRef& operator=(PageRef&& o) noexcept;
     PageRef(const PageRef&) = delete;
     PageRef& operator=(const PageRef&) = delete;
     ~PageRef() { Release(); }
 
-    bool valid() const { return pool_ != nullptr; }
+    bool valid() const { return pool_ != nullptr || direct_ != nullptr; }
     PageId id() const { return id_; }
     uint8_t* data();
     const uint8_t* data() const;
@@ -89,6 +96,7 @@ class BufferPool {
     BufferPool* pool_ = nullptr;
     uint32_t frame_ = 0;
     PageId id_ = kInvalidPageId;
+    const uint8_t* direct_ = nullptr;  ///< Set iff this is a zero-copy ref.
   };
 
   /// Pins page `id`, reading it from the file on a miss.
@@ -156,6 +164,10 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  /// Zero-copy fetch path: borrows the page pointer from the backend's
+  /// MapPage() instead of copying into a frame. Hit/miss/disk-access
+  /// counting mirrors the copying path (first touch = miss).
+  [[nodiscard]] StatusOr<PageRef> FetchZeroCopy(PageId id);
   /// Finds a frame for a new page: free frame, LRU-evicted victim, or —
   /// when all frames are pinned by *other* threads — waits for a release.
   /// Requires `lk` held; may drop it while waiting.

@@ -80,6 +80,38 @@ Status FaultInjectingPageFile::Read(PageId id, void* buf,
   return Status::OK();
 }
 
+StatusOr<PageFile::MappedPage> FaultInjectingPageFile::MapPage(PageId id) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  if (fail_all_reads_.load(std::memory_order_relaxed)) {
+    stats_.permanent_read_faults.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected: device read failure");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (dead_read_pages_.count(id) != 0) {
+      stats_.permanent_read_faults.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("injected: permanent read failure");
+    }
+    if (plan_.active()) {
+      if (rng_.Bernoulli(plan_.read_permanent_rate)) {
+        dead_read_pages_.insert(id);
+        stats_.permanent_read_faults.fetch_add(1,
+                                               std::memory_order_relaxed);
+        return Status::IoError("injected: permanent read failure");
+      }
+      if (rng_.Bernoulli(plan_.read_transient_rate)) {
+        stats_.transient_read_faults.fetch_add(1,
+                                               std::memory_order_relaxed);
+        return Status::IoError("injected: transient read failure");
+      }
+      // No bitflip branch: the mapped view is read-only memory we cannot
+      // corrupt in place (see the header comment on MapPage).
+    }
+  }
+  MaybeSleep();
+  return base_->MapPage(id);
+}
+
 Status FaultInjectingPageFile::Write(PageId id, const void* buf,
                                      uint32_t checksum) {
   stats_.writes.fetch_add(1, std::memory_order_relaxed);

@@ -114,8 +114,16 @@ class FaultInjectingPageFile : public PageFile {
   uint32_t live_page_count() const override {
     return base_->live_page_count();
   }
+  bool read_only() const override { return base_->read_only(); }
+  bool zero_copy() const override { return base_->zero_copy(); }
   [[nodiscard]] Status Read(PageId id, void* buf, uint32_t* checksum) override;
   [[nodiscard]] Status Write(PageId id, const void* buf, uint32_t checksum) override;
+  /// Same read-fault ladder as Read() over the base's zero-copy view.
+  /// Bit flips are the one fault that cannot be injected here: the view is
+  /// a borrowed pointer into a read-only mapping, so there is no buffer to
+  /// corrupt — flipped-byte coverage for snapshots comes from corrupting
+  /// the file itself (see the hostile-snapshot tests).
+  [[nodiscard]] StatusOr<MappedPage> MapPage(PageId id) override;
   [[nodiscard]] StatusOr<PageId> Allocate() override { return base_->Allocate(); }
   [[nodiscard]] Status Free(PageId id) override { return base_->Free(id); }
 

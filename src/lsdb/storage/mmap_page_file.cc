@@ -1,0 +1,87 @@
+#include "lsdb/storage/mmap_page_file.h"
+
+#include <cstring>
+#include <string>
+
+#include "lsdb/util/crc32c.h"
+
+namespace lsdb {
+
+namespace {
+
+/// Decodes the little-endian CRC trailer that follows the page content in
+/// a slot. memcpy-free byte assembly keeps this alignment-safe on the
+/// mapped bytes.
+uint32_t TrailerCrc(const uint8_t* trailer) {
+  return static_cast<uint32_t>(trailer[0]) |
+         static_cast<uint32_t>(trailer[1]) << 8 |
+         static_cast<uint32_t>(trailer[2]) << 16 |
+         static_cast<uint32_t>(trailer[3]) << 24;
+}
+
+}  // namespace
+
+MmapPageFile::MmapPageFile(const uint8_t* base, uint32_t page_count,
+                           uint32_t page_size, bool zero_copy)
+    : PageFile(page_size),
+      base_(base),
+      page_count_(page_count),
+      zero_copy_(zero_copy),
+      verified_(new std::atomic<uint8_t>[page_count > 0 ? page_count : 1]) {
+  for (uint32_t i = 0; i < page_count_; ++i) {
+    verified_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Status MmapPageFile::Read(PageId id, void* buf, uint32_t* checksum) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("read of unallocated page");
+  }
+  const uint8_t* slot = Slot(id);
+  std::memcpy(buf, slot, page_size_);
+  *checksum = TrailerCrc(slot + page_size_);
+  return Status::OK();
+}
+
+StatusOr<PageFile::MappedPage> MmapPageFile::MapPage(PageId id) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("map of unallocated page");
+  }
+  const uint8_t* slot = Slot(id);
+  MappedPage page;
+  page.data = slot;
+  page.first_touch = false;
+  if (verified_[id].load(std::memory_order_acquire) == 0) {
+    const uint32_t stored = TrailerCrc(slot + page_size_);
+    if (crc32c::Compute(slot, page_size_) != stored) {
+      return Status::Corruption("mapped page " + std::to_string(id) +
+                                " failed checksum verification");
+    }
+    // Two threads may race to first-touch the same page; both verify the
+    // same immutable bytes, and exchange() lets exactly one claim the
+    // first_touch (= one counted disk access) for the pool's accounting.
+    if (verified_[id].exchange(1, std::memory_order_acq_rel) == 0) {
+      page.first_touch = true;
+      pages_verified_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return page;
+}
+
+Status MmapPageFile::Write(PageId, const void*, uint32_t) {
+  return Status::InvalidArgument("write to a read-only snapshot section");
+}
+
+StatusOr<PageId> MmapPageFile::Allocate() {
+  return Status::InvalidArgument("allocate in a read-only snapshot section");
+}
+
+Status MmapPageFile::Free(PageId) {
+  return Status::InvalidArgument("free in a read-only snapshot section");
+}
+
+uint64_t MmapPageFile::pages_verified() const {
+  return pages_verified_.load(std::memory_order_relaxed);
+}
+
+}  // namespace lsdb

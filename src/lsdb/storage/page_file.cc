@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "lsdb/util/crc32c.h"
@@ -151,7 +152,29 @@ PosixPageFile::PosixPageFile(int fd, uint32_t page_size)
     : PageFile(page_size), fd_(fd) {}
 
 PosixPageFile::~PosixPageFile() {
-  if (fd_ >= 0) ::close(fd_);
+  // Destructors cannot return a Status; owners that care about close(2)
+  // errors call Close() first. A failure here is still logged rather than
+  // swallowed — a failed close can mean writes never reached the media.
+  if (fd_ >= 0) {
+    while (::close(fd_) != 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "lsdb: close failed in ~PosixPageFile: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    fd_ = -1;
+  }
+}
+
+Status PosixPageFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;  // close(2) invalidates the fd even on failure (except EINTR)
+  while (::close(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("close: ") + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 uint32_t PosixPageFile::page_count() const { return page_count_; }

@@ -46,6 +46,17 @@ inline constexpr uint32_t kPageTrailerSize = 4;
 /// Abstract fixed-page storage.
 class PageFile {
  public:
+  /// A borrowed, read-only view of a page served straight from a memory
+  /// mapping (no copy into a pool frame). `data` points at page_size bytes
+  /// owned by the backend and valid for the backend's lifetime.
+  /// `first_touch` is true the first time the page was handed out (and
+  /// therefore checksum-verified), letting the pool count it as the one
+  /// disk access the paper's model charges for faulting the page in.
+  struct MappedPage {
+    const uint8_t* data = nullptr;
+    bool first_touch = false;
+  };
+
   explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
   virtual ~PageFile() = default;
 
@@ -53,6 +64,22 @@ class PageFile {
   PageFile& operator=(const PageFile&) = delete;
 
   uint32_t page_size() const { return page_size_; }
+
+  /// True when the backend rejects Write/Allocate/Free (frozen snapshot
+  /// sections). Callers use this to skip flushes that could never succeed.
+  virtual bool read_only() const { return false; }
+
+  /// True when MapPage() serves borrowed zero-copy views. The BufferPool
+  /// bypasses its frames entirely for such backends.
+  virtual bool zero_copy() const { return false; }
+
+  /// Returns a borrowed read-only view of page `id`, verifying the stored
+  /// checksum the first time the page is touched (Status::Corruption on
+  /// mismatch, never an assert). Only meaningful when zero_copy() is true.
+  [[nodiscard]] virtual StatusOr<MappedPage> MapPage(PageId id) {
+    (void)id;
+    return Status::InvalidArgument("backend does not support page mapping");
+  }
 
   /// Number of pages ever allocated (including freed ones).
   virtual uint32_t page_count() const = 0;
@@ -128,6 +155,12 @@ class PosixPageFile : public PageFile {
   [[nodiscard]] static StatusOr<std::unique_ptr<PosixPageFile>> Open(
       const std::string& path, uint32_t page_size);
   ~PosixPageFile() override;
+
+  /// Closes the underlying descriptor, surfacing close(2) failure as a
+  /// typed IoError (a failed close can mean lost writes on some
+  /// filesystems). Idempotent; the destructor falls back to a logged
+  /// best-effort close for refs that never called this.
+  [[nodiscard]] Status Close();
 
   using PageFile::Read;
   using PageFile::Write;

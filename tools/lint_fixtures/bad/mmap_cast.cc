@@ -1,0 +1,13 @@
+// Fixture: a typed-pointer cast straight into mapped snapshot memory in a
+// serving TU must trip lsdb-unchecked-mmap-cast — the cast bypasses the
+// per-byte codecs and with them verify-on-first-touch.
+// lsdb-lint-pretend-path: src/lsdb/storage/buffer_pool.cc
+#include <cstdint>
+
+struct MappedPage {
+  const uint8_t* data;
+};
+
+uint32_t ReadNodeCount(const MappedPage& mapped) {
+  return *reinterpret_cast<const uint32_t*>(mapped.data + 8);
+}

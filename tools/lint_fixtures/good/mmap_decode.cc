@@ -1,0 +1,16 @@
+// Fixture: cast-free per-byte decoding of mapped bytes is clean under
+// lsdb-unchecked-mmap-cast even in a TU outside the mmap/snapshot
+// allowlist — this is the pattern the rule steers consumers toward.
+// lsdb-lint-pretend-path: src/lsdb/service/query_service.cc
+#include <cstdint>
+
+struct MappedPage {
+  const uint8_t* data;
+};
+
+uint32_t ReadNodeCount(const MappedPage& mapped) {
+  const uint8_t* p = mapped.data + 8;
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}

@@ -1,7 +1,7 @@
 // lsdb_lint: domain-specific static checks for the lsdb tree.
 //
 // Complements clang-tidy (which may be absent from a minimal toolchain —
-// this tool builds with nothing beyond the standard library) with five
+// this tool builds with nothing beyond the standard library) with six
 // project rules that generic linters cannot express:
 //
 //   lsdb-ignored-status    every Status/StatusOr return must be consumed.
@@ -28,6 +28,14 @@
 //                          obs/ — paper experiments must replay bit-exact.
 //                          std::chrono::steady_clock (monotonic latency
 //                          timing) is allowed.
+//   lsdb-unchecked-mmap-cast
+//                          no typed-pointer casts into mapped snapshot
+//                          memory outside the mmap view and the snapshot
+//                          layer. Mapped bytes are untrusted until their
+//                          page checksum is verified; consumers must use
+//                          the per-byte codecs (snapshot_format.h), which
+//                          are alignment-safe and cannot dodge
+//                          verify-on-first-touch.
 //
 // Suppression: `// NOLINT(lsdb-<rule>): reason` on the offending line, or
 // `// NOLINTNEXTLINE(lsdb-<rule>): reason` on the line above. A bare
@@ -114,6 +122,17 @@ const std::vector<std::string>& PageCastAllowlist() {
   static const std::vector<std::string> kAllow = {
       "src/lsdb/storage/", "src/lsdb/rtree/rnode.cc",
       "src/lsdb/btree/btree.cc", "src/lsdb/util/crc32c.cc",
+  };
+  return kAllow;
+}
+
+// TUs allowed to hold typed pointers into mapped memory: the mmap view
+// class itself and the snapshot layer that owns the mapping (the single
+// mmap(2) call site in the tree).
+const std::vector<std::string>& MmapCastAllowlist() {
+  static const std::vector<std::string> kAllow = {
+      "src/lsdb/storage/mmap_page_file",
+      "src/lsdb/snapshot/",
   };
   return kAllow;
 }
@@ -649,6 +668,60 @@ void CheckDeterminism(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: lsdb-unchecked-mmap-cast
+// ---------------------------------------------------------------------------
+
+void CheckUncheckedMmapCast(const std::string& path,
+                            const std::vector<std::string>& raw,
+                            const std::vector<std::string>& stripped,
+                            std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-unchecked-mmap-cast";
+  if (!PathContains(path, "src/lsdb/")) return;
+  for (const std::string& allow : MmapCastAllowlist()) {
+    if (PathContains(path, allow)) return;
+  }
+  // Substring match on purpose: `mapped->`, `MappedPage`, `snapshot_mmap`
+  // all mark a line as touching mapped memory.
+  static const std::vector<std::string> kMappedTokens = {
+      "mmap", "mapped", "Mapped", "MapPage",
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    bool mapped_line = false;
+    for (const std::string& tok : kMappedTokens) {
+      if (line.find(tok) != std::string::npos) {
+        mapped_line = true;
+        break;
+      }
+    }
+    if (!mapped_line) continue;
+    std::string cast;
+    size_t where = 0;
+    if (line.find("reinterpret_cast<") != std::string::npos) {
+      cast = "reinterpret_cast";
+    } else if (HasByteCast(line, &where)) {
+      cast = "C-style cast";
+    } else {
+      // static_cast to any pointer type (a '*' inside the template args).
+      const size_t pos = line.find("static_cast<");
+      if (pos != std::string::npos) {
+        const size_t close = line.find('>', pos);
+        if (close != std::string::npos && line.find('*', pos) < close) {
+          cast = "static_cast to a pointer";
+        }
+      }
+    }
+    if (!cast.empty() && !Suppressed(raw, i, kRule)) {
+      findings->push_back(
+          {path, i + 1, kRule,
+           cast + " into mapped memory outside the mmap view; mapped bytes "
+                  "are untrusted until checksum-verified — decode them with "
+                  "the per-byte codecs (snapshot_format.h)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -680,6 +753,7 @@ bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
   CheckAssertOnDisk(path, raw, stripped, &file_findings);
   CheckCounterMutation(path, raw, stripped, &file_findings);
   CheckDeterminism(path, raw, stripped, &file_findings);
+  CheckUncheckedMmapCast(path, raw, stripped, &file_findings);
   for (Finding& f : file_findings) {
     f.path = arg_path;  // report the real file, even under pretend-path
     findings->push_back(std::move(f));

@@ -1,0 +1,178 @@
+// Query-path introspection bench: runs per-kind query batches through the
+// concurrent QueryService with profiling on, then reports what each
+// structure's descents actually did — nodes visited per query, entry prune
+// rates, and the false-positive read rates (leaf pages / PMR buckets read
+// that contributed no results) that explain the paper's disk-access and
+// comparison counts. A structure x-ray and a hot-page summary ride along
+// so the report is a one-stop structural explanation of the comparison.
+//
+//   $ bench_introspect [county] [per_kind] [out.json] [threads]
+//
+// Output (default BENCH_introspect.json) schema, one object:
+//   {
+//     "bench": "introspect", "county": ..., "segments": N, "threads": T,
+//     "queries_per_kind": K,
+//     "structures": [
+//       {"index": "R*",
+//        "profiles": [
+//          {"kind": "point", "queries": K, "nodes_per_query": ...,
+//           "false_leaf_read_rate": ..., "false_bucket_read_rate": ...,
+//           "prune_rate": ..., "levels": [...], ...}, ...],
+//        "xray": {...}, "page_heat": {...}}, ...]
+//   }
+// scripts/check_bench.py validates this shape after every build.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsdb/introspect/page_heat.h"
+#include "lsdb/introspect/profiler.h"
+#include "lsdb/introspect/xray.h"
+#include "lsdb/service/query_service.h"
+#include "lsdb/util/random.h"
+
+using namespace lsdb;         // NOLINT
+using namespace lsdb::bench;  // NOLINT
+
+namespace {
+
+std::vector<QueryRequest> KindBatch(const PolygonalMap& map, QueryType type,
+                                    size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Segment& s = map.segments[rng.Uniform(map.segments.size())];
+    switch (type) {
+      case QueryType::kPoint:
+        batch.push_back(QueryRequest::PointQ(s.a));
+        break;
+      case QueryType::kWindow: {
+        const Coord x = static_cast<Coord>(rng.Uniform(15500));
+        const Coord y = static_cast<Coord>(rng.Uniform(15500));
+        batch.push_back(
+            QueryRequest::WindowQ(Rect::Of(x, y, x + 512, y + 512)));
+        break;
+      }
+      case QueryType::kNearest:
+        batch.push_back(QueryRequest::NearestQ(
+            Point{static_cast<Coord>(rng.Uniform(16384)),
+                  static_cast<Coord>(rng.Uniform(16384))}));
+        break;
+      case QueryType::kIncident:
+        batch.push_back(QueryRequest::IncidentQ(s.b));
+        break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string county = argc > 1 ? argv[1] : "Charles";
+  const size_t per_kind = argc > 2 ? static_cast<size_t>(atoi(argv[2])) : 2000;
+  const std::string out_path = argc > 3 ? argv[3] : "BENCH_introspect.json";
+  const uint32_t threads = argc > 4 ? static_cast<uint32_t>(atoi(argv[4])) : 4;
+
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+
+  ServiceOptions opt;
+  opt.num_threads = threads;
+  opt.bulk_build = true;
+  opt.introspect = true;
+  auto svc = QueryService::Build(map, opt);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 svc.status().ToString().c_str());
+    return 1;
+  }
+  (*svc)->EnablePageHeat();
+
+  std::printf("introspection bench: %s county (%zu segments), "
+              "%zu queries/kind, %u workers\n\n",
+              county.c_str(), map.segments.size(), per_kind, threads);
+  std::printf("%-6s %-9s %12s %11s %11s %11s\n", "index", "kind",
+              "nodes/query", "false leaf", "false bkt", "prune rate");
+  PrintRule(66);
+
+  std::string structures_json;
+  for (ServedIndex which : kAllServedIndexes) {
+    uint64_t seed = 7001;
+    std::string profiles_json;
+    for (QueryType type : kAllQueryTypes) {
+      const std::vector<QueryRequest> batch =
+          KindBatch(map, type, per_kind, seed++);
+      auto res = (*svc)->ExecuteBatch(which, batch);
+      if (!res.ok()) {
+        std::fprintf(stderr, "batch failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      const introspect::ProfileAccumulator::Summary s =
+          (*svc)->profile_summary(which, type);
+      std::printf("%-6s %-9s %12.2f %11.4f %11.4f %11.4f\n",
+                  ServedIndexName(which), QueryTypeName(type),
+                  s.nodes_per_query(), s.false_leaf_read_rate(),
+                  s.false_bucket_read_rate(), s.prune_rate());
+      if (!profiles_json.empty()) profiles_json += ",";
+      std::string pj = s.ToJson();
+      // Tag the per-kind summary: {"kind":"point",...rest of summary...}.
+      profiles_json += "{\"kind\":\"" + std::string(QueryTypeName(type)) +
+                       "\"," + pj.substr(1);
+    }
+
+    introspect::XRayReport xr;
+    Status xst = Status::OK();
+    switch (which) {
+      case ServedIndex::kRStar:
+        xst = introspect::XRayRStar((*svc)->rstar(), &xr);
+        break;
+      case ServedIndex::kRPlus:
+        xst = introspect::XRayRPlus((*svc)->rplus(), &xr);
+        break;
+      case ServedIndex::kPmr:
+        xst = introspect::XRayPmr((*svc)->pmr(), &xr);
+        break;
+    }
+    CheckOk(xst, "structure x-ray");
+
+    const introspect::PageHeatMap* heat = (*svc)->page_heat(which);
+
+    if (!structures_json.empty()) structures_json += ",";
+    structures_json += "{\"index\":\"";
+    structures_json += ServedIndexName(which);
+    structures_json += "\",\"profiles\":[" + profiles_json + "]";
+    structures_json += ",\"xray\":" + xr.ToJson();
+    structures_json += ",\"page_heat\":" + heat->ToJson(10);
+    structures_json += "}";
+  }
+  PrintRule(66);
+
+  std::string json = "{\"bench\":\"introspect\"";
+  json += ",\"county\":\"" + county + "\"";
+  json += ",\"segments\":" + std::to_string(map.segments.size());
+  json += ",\"threads\":" + std::to_string(threads);
+  json += ",\"queries_per_kind\":" + std::to_string(per_kind);
+  json += ",\"structures\":[" + structures_json + "]";
+  json += "}\n";
+
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "lsdb/harness/experiment.h"
+#include "lsdb/introspect/xray.h"
 #include "lsdb/storage/buffer_pool.h"
 
 using namespace lsdb;        // NOLINT
@@ -26,10 +27,15 @@ int main(int argc, char** argv) {
   // structures to <prefix><county>.lsnap; --snapshot-in <prefix> skips the
   // builds and opens those files instead (the "build" columns then report
   // snapshot-open cost).
+  // --introspect appends a structure x-ray section (MBR overlap, R+
+  // duplication, PMR quadrant depths) after the paper tables. Purely
+  // additive: without the flag the output is byte-identical.
   bool bulk = false;
+  bool introspect = false;
   std::string snapshot_out, snapshot_in;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bulk") == 0) bulk = true;
+    if (std::strcmp(argv[i], "--introspect") == 0) introspect = true;
     if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
       snapshot_out = argv[++i];
     }
@@ -59,6 +65,11 @@ int main(int argc, char** argv) {
     uint64_t evictions[3];
   };
   std::vector<Row> rows;
+  struct XRow {
+    std::string name;
+    introspect::XRayReport xr[3];  ///< R*, R+, PMR.
+  };
+  std::vector<XRow> xrows;
 
   for (const PolygonalMap& map : AllCountyMaps()) {
     ExperimentOptions opt;  // paper defaults
@@ -97,6 +108,16 @@ int main(int argc, char** argv) {
       row.evictions[i] = pool->evictions();
     }
     rows.push_back(row);
+    if (introspect) {
+      // After the Row capture, so x-ray page traffic cannot perturb the
+      // build-time pool statistics reported above.
+      XRow x;
+      x.name = map.name;
+      CheckOk(introspect::XRayRStar(exp.rstar(), &x.xr[0]), "R* x-ray");
+      CheckOk(introspect::XRayRPlus(exp.rplus(), &x.xr[1]), "R+ x-ray");
+      CheckOk(introspect::XRayPmr(exp.pmr(), &x.xr[2]), "PMR x-ray");
+      xrows.push_back(std::move(x));
+    }
     std::printf(
         "%-13s %6zu | %7.0f %7.0f %7.0f | %8llu %8llu %8llu | %7.2f %7.2f "
         "%7.2f\n",
@@ -143,6 +164,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.evictions[0]),
                 static_cast<unsigned long long>(r.evictions[1]),
                 static_cast<unsigned long long>(r.evictions[2]));
+  }
+  if (introspect) {
+    std::printf("\nStructure x-ray (--introspect): why the tables look the "
+                "way they do.\n");
+    std::printf("(area ratios are sums over internal nodes, normalized by "
+                "summed node MBR area)\n");
+    for (const XRow& x : xrows) {
+      const introspect::XRayReport& rs = x.xr[0];
+      const introspect::XRayReport& rp = x.xr[1];
+      const introspect::XRayReport& pm = x.xr[2];
+      std::printf("  %-13s R* overlap %.3f dead %.3f fill %.2f | "
+                  "R+ dup %.3fx fill %.2f | PMR depth %.1f empty %.0f%%\n",
+                  x.name.c_str(), rs.overlap_ratio, rs.dead_space_ratio,
+                  rs.leaf.mean_fill(), rp.duplication_factor,
+                  rp.leaf.mean_fill(), pm.mean_quad_depth,
+                  pm.leaf_blocks == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(pm.empty_leaf_blocks) /
+                            static_cast<double>(pm.leaf_blocks));
+    }
   }
   return 0;
 }

@@ -16,6 +16,8 @@
 
 #include "bench_util.h"
 #include "lsdb/harness/experiment.h"
+#include "lsdb/introspect/profiler.h"
+#include "lsdb/introspect/xray.h"
 #include "lsdb/storage/buffer_pool.h"
 
 using namespace lsdb;        // NOLINT
@@ -29,12 +31,18 @@ int main(int argc, char** argv) {
   // <prefix><county>.lsnap after the build; --snapshot-in <prefix> opens
   // that file instead of building (query metrics are produced the same
   // way either way — pages stream through the 16-frame LRU pools).
+  // --introspect appends a query-path profile (each workload re-run with
+  // profiling on) and a structure x-ray after the paper table. Purely
+  // additive: without the flag the output is byte-identical.
   bool bulk = false;
+  bool introspect = false;
   std::string county = "Charles";
   std::string snapshot_out, snapshot_in;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bulk") == 0) {
       bulk = true;
+    } else if (std::strcmp(argv[i], "--introspect") == 0) {
+      introspect = true;
     } else if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
       snapshot_out = argv[++i];
     } else if (std::strcmp(argv[i], "--snapshot-in") == 0 && i + 1 < argc) {
@@ -115,5 +123,72 @@ int main(int argc, char** argv) {
   std::printf("%-17s %-22s %10.3f (shared across structures)\n", "",
               "segment table",
               exp.segment_table()->pool()->hit_ratio());
+
+  if (introspect) {
+    // Each workload is re-run with a thread-local profile installed; the
+    // paper metrics above were computed first, so the extra traffic cannot
+    // perturb them.
+    std::printf("\nQuery-path profile (--introspect; per-query means over a "
+                "profiled re-run):\n");
+    std::printf("%-17s %-22s %10s %10s %10s\n", "query", "metric", "PMR",
+                "R+", "R*");
+    PrintRule(75);
+    const StructureKind kinds[3] = {StructureKind::kPmr,
+                                    StructureKind::kRPlus,
+                                    StructureKind::kRStar};
+    for (Workload w : kAllWorkloads) {
+      introspect::QueryProfile profs[3];
+      for (int i = 0; i < 3; ++i) {
+        introspect::ScopedQueryProfile scope(&profs[i]);
+        QueryStats qs;
+        st = exp.RunWorkload(kinds[i], w, &qs);
+        if (!st.ok()) {
+          std::fprintf(stderr, "profiled re-run failed: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+      }
+      const double n = static_cast<double>(opt.num_queries);
+      auto rate = [](uint64_t num, uint64_t den) {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) / static_cast<double>(den);
+      };
+      std::printf("%-17s %-22s %10.2f %10.2f %10.2f\n", WorkloadName(w),
+                  "nodes / query",
+                  static_cast<double>(profs[0].nodes_visited) / n,
+                  static_cast<double>(profs[1].nodes_visited) / n,
+                  static_cast<double>(profs[2].nodes_visited) / n);
+      std::printf("%-17s %-22s %10.4f %10.4f %10.4f\n", "",
+                  "false leaf read rate",
+                  rate(profs[0].false_leaf_reads, profs[0].leaves_visited),
+                  rate(profs[1].false_leaf_reads, profs[1].leaves_visited),
+                  rate(profs[2].false_leaf_reads, profs[2].leaves_visited));
+      std::printf("%-17s %-22s %10.4f %10.4f %10.4f\n", "",
+                  "false bucket read rate",
+                  rate(profs[0].false_bucket_reads, profs[0].buckets_visited),
+                  rate(profs[1].false_bucket_reads, profs[1].buckets_visited),
+                  rate(profs[2].false_bucket_reads,
+                       profs[2].buckets_visited));
+      std::printf("%-17s %-22s %10.4f %10.4f %10.4f\n", "",
+                  "entry prune rate",
+                  rate(profs[0].entries_pruned(), profs[0].entries_scanned),
+                  rate(profs[1].entries_pruned(), profs[1].entries_scanned),
+                  rate(profs[2].entries_pruned(), profs[2].entries_scanned));
+      PrintRule(75);
+    }
+
+    introspect::XRayReport xrs, xrp, xpm;
+    st = introspect::XRayRStar(exp.rstar(), &xrs);
+    if (st.ok()) st = introspect::XRayRPlus(exp.rplus(), &xrp);
+    if (st.ok()) st = introspect::XRayPmr(exp.pmr(), &xpm);
+    if (!st.ok()) {
+      std::fprintf(stderr, "x-ray failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nStructure x-ray: R* overlap %.3f dead space %.3f | "
+                "R+ duplication %.3fx | PMR mean depth %.1f\n",
+                xrs.overlap_ratio, xrs.dead_space_ratio,
+                xrp.duplication_factor, xpm.mean_quad_depth);
+  }
   return 0;
 }

@@ -25,6 +25,9 @@
 #include <cstring>
 
 #include "lsdb/data/county_generator.h"
+#include "lsdb/introspect/page_heat.h"
+#include "lsdb/introspect/profiler.h"
+#include "lsdb/introspect/xray.h"
 #include "lsdb/service/query_service.h"
 #include "lsdb/util/random.h"
 
@@ -35,12 +38,17 @@ int main(int argc, char** argv) {
   uint32_t threads = 4;
   std::string trace_path;
   std::string snapshot_out, snapshot_in;
+  // --introspect profiles every served query and attaches page-heat
+  // counters, then dumps a /debug/introspect section after /metrics.
+  bool introspect = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
       snapshot_out = argv[++i];
     } else if (std::strcmp(argv[i], "--snapshot-in") == 0 && i + 1 < argc) {
       snapshot_in = argv[++i];
+    } else if (std::strcmp(argv[i], "--introspect") == 0) {
+      introspect = true;
     } else if (positional == 0) {
       county = argv[i];
       ++positional;
@@ -81,6 +89,10 @@ int main(int argc, char** argv) {
   std::printf("service up: %u worker threads, indexes frozen%s\n\n",
               (*svc)->num_threads(),
               (*svc)->from_snapshot() ? " (zero-copy from snapshot)" : "");
+  if (introspect) {
+    (*svc)->set_introspection(true);
+    (*svc)->EnablePageHeat();
+  }
 
   // 3. A mixed batch: point, window, nearest, and incident queries.
   Rng rng(7);
@@ -147,6 +159,43 @@ int main(int argc, char** argv) {
   // 6. Stats snapshot, as a Prometheus scrape endpoint would serve it.
   std::printf("\n--- /metrics (Prometheus text format) ---\n%s",
               (*svc)->stats().RenderPrometheus().c_str());
+
+  // 7. Debug introspection dump, as a /debug/introspect endpoint would
+  // serve it: per structure x kind descent profiles, structure x-ray, and
+  // the hottest pages of each pool.
+  if (introspect) {
+    std::printf("\n--- /debug/introspect ---\n");
+    for (ServedIndex which : kAllServedIndexes) {
+      for (QueryType type : kAllQueryTypes) {
+        const introspect::ProfileAccumulator::Summary s =
+            (*svc)->profile_summary(which, type);
+        if (s.queries == 0) continue;
+        std::printf("profile %s/%s %s\n", ServedIndexName(which),
+                    QueryTypeName(type), s.ToJson().c_str());
+      }
+      introspect::XRayReport xr;
+      Status xst = Status::OK();
+      switch (which) {
+        case ServedIndex::kRStar:
+          xst = introspect::XRayRStar((*svc)->rstar(), &xr);
+          break;
+        case ServedIndex::kRPlus:
+          xst = introspect::XRayRPlus((*svc)->rplus(), &xr);
+          break;
+        case ServedIndex::kPmr:
+          xst = introspect::XRayPmr((*svc)->pmr(), &xr);
+          break;
+      }
+      if (!xst.ok()) {
+        std::fprintf(stderr, "x-ray failed: %s\n", xst.ToString().c_str());
+        return 1;
+      }
+      std::printf("xray %s %s\n", ServedIndexName(which),
+                  xr.ToJson().c_str());
+      std::printf("heat %s\n%s", ServedIndexName(which),
+                  (*svc)->page_heat(which)->RankedReport(5).c_str());
+    }
+  }
   if (!trace_path.empty()) {
     (*svc)->tracer().Close();
     std::printf("--- trace: %llu JSONL lines written to %s ---\n",

@@ -24,14 +24,15 @@
 #         default group and compiles every hit as non-recoverable) and
 #         re-run the ENTIRE ctest suite. halt_on_error turns any UB into
 #         a test failure.
-# Tier 3: smoke-run the service observability bench and validate its
-#         machine-readable BENCH_service.json against the minimal schema,
-#         robustness keys included; smoke-run the bulk-build bench —
-#         whose exit status already enforces bulk-vs-incremental query
-#         equivalence and invariants — and validate BENCH_build.json;
-#         smoke-run the snapshot cold-start bench — whose exit status
-#         enforces the >=10x service-ready speedup and snapshot-vs-built
-#         response equivalence — and validate BENCH_snapshot.json.
+# Tier 3: smoke-run the machine-readable benches — service observability
+#         (BENCH_service.json), bulk build (BENCH_build.json, whose exit
+#         status already enforces bulk-vs-incremental equivalence),
+#         snapshot cold-start (BENCH_snapshot.json, >=10x speedup
+#         enforced), and query-path introspection (BENCH_introspect.json).
+# Tier 4: scripts/check_bench.py validates every generated BENCH_*.json
+#         against its schema and gates tracked throughput/latency metrics
+#         (service qps/p99, snapshot qps) against the committed baselines
+#         in the repo root: a >25% regression fails the build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,7 +47,7 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 cmake -B build-tsan -S . -DLSDB_SAN=thread
 cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
-  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*'
+  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*:IntrospectTest.*:IntrospectServiceTest.*'
 
 cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
@@ -59,74 +60,10 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-ubsan --output-on-failure -j"${JOBS}"
 
 ./build/bench/bench_service_observability Charles 2000 build/BENCH_service.json 4
-python3 - <<'EOF'
-import json
-doc = json.load(open("build/BENCH_service.json"))
-for key in ("bench", "county", "segments", "threads", "batch",
-            "trace_lines", "structures", "segment_pool_hit_ratio"):
-    assert key in doc, f"BENCH_service.json missing key: {key}"
-assert doc["bench"] == "service_observability"
-assert len(doc["structures"]) == 3, "expected R*, R+, PMR entries"
-for s in doc["structures"]:
-    for key in ("index", "queries", "qps", "p50_ns", "p90_ns", "p99_ns",
-                "max_ns", "hit_ratio", "faults_injected", "io_retries",
-                "checksum_failures", "degraded"):
-        assert key in s, f"structure entry missing key: {key}"
-    assert s["queries"] > 0 and s["qps"] > 0
-    assert s["p50_ns"] <= s["p90_ns"] <= s["p99_ns"] <= s["max_ns"]
-    assert 0.0 <= s["hit_ratio"] <= 1.0
-    # Default bench run injects nothing: counters must be zero and the
-    # service healthy.
-    assert s["faults_injected"] == 0 and s["checksum_failures"] == 0
-    assert s["degraded"] is False
-for line in open("build/BENCH_service.json.trace.jsonl"):
-    json.loads(line)
-print("BENCH_service.json schema ok")
-EOF
-
 ./build/bench/bench_bulk_build --smoke Charles build/BENCH_build.json
-python3 - <<'EOF'
-import json
-doc = json.load(open("build/BENCH_build.json"))
-for key in ("bench", "county", "segments", "smoke", "structures"):
-    assert key in doc, f"BENCH_build.json missing key: {key}"
-assert doc["bench"] == "bulk_build"
-assert doc["smoke"] is True and doc["segments"] > 0
-assert [s["index"] for s in doc["structures"]] == ["R*", "R+", "PMR"]
-for s in doc["structures"]:
-    for key in ("incremental", "bulk", "speedup", "equivalent",
-                "invariants_ok"):
-        assert key in s, f"structure entry missing key: {key}"
-    for side in (s["incremental"], s["bulk"]):
-        for key in ("seconds", "disk_accesses", "pages", "height",
-                    "avg_occupancy"):
-            assert key in side, f"build side missing key: {key}"
-        assert side["pages"] > 0 and side["height"] >= 1
-    # The bench exits nonzero on failed checks; assert anyway so a stale
-    # file cannot pass.
-    assert s["equivalent"] is True and s["invariants_ok"] is True
-print("BENCH_build.json schema ok")
-EOF
-
 ./build/bench/bench_snapshot_start --smoke Charles build/BENCH_snapshot.json 4
-python3 - <<'EOF'
-import json
-doc = json.load(open("build/BENCH_snapshot.json"))
-for key in ("bench", "county", "segments", "smoke", "threads",
-            "build_seconds", "snapshot_write_seconds", "snapshot_bytes",
-            "snapshot_open_mmap_seconds", "snapshot_open_pool_seconds",
-            "speedup", "mmap_qps", "pool_qps", "equivalent"):
-    assert key in doc, f"BENCH_snapshot.json missing key: {key}"
-assert doc["bench"] == "snapshot_start"
-assert doc["smoke"] is True and doc["segments"] > 0
-assert doc["snapshot_bytes"] > 0
-assert doc["snapshot_open_mmap_seconds"] > 0
-# The bench exits nonzero on failed checks; assert anyway so a stale file
-# cannot pass.
-assert doc["speedup"] >= 10.0, f"cold-start speedup {doc['speedup']} < 10x"
-assert doc["equivalent"] is True
-assert doc["mmap_qps"] > 0 and doc["pool_qps"] > 0
-print("BENCH_snapshot.json schema ok")
-EOF
+./build/bench/bench_introspect Charles 500 build/BENCH_introspect.json 4
+
+python3 scripts/check_bench.py --dir build --baseline .
 
 echo "ci: all checks passed"

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "lsdb/introspect/profiler.h"
+
 namespace lsdb {
 
 namespace {
@@ -524,6 +526,8 @@ StatusOr<PageId> BTree::FindLeaf(uint64_t key) {
     }
     Node node;
     LSDB_RETURN_IF_ERROR(LoadNode(id, &node));
+    LSDB_INTROSPECT(OnBtreeNode(depth - 1, node.leaf, node.keys.size(),
+                                node.leaf ? 0 : 1));
     if (node.leaf) return id;
     const size_t idx =
         std::upper_bound(node.keys.begin(), node.keys.end(), key) -
@@ -553,6 +557,7 @@ StatusOr<uint64_t> BTree::SeekLE(uint64_t key) {
   if (!leaf_id.ok()) return leaf_id.status();
   Node leaf;
   LSDB_RETURN_IF_ERROR(LoadNode(*leaf_id, &leaf));
+  LSDB_INTROSPECT(OnBtreeNode(height_ - 1, true, leaf.keys.size(), 1));
   auto it = std::upper_bound(leaf.keys.begin(), leaf.keys.end(), key);
   if (it != leaf.keys.begin()) return *(it - 1);
   // All keys here exceed `key`; the predecessor (if any) is the last key of
@@ -577,6 +582,7 @@ StatusOr<uint64_t> BTree::SeekGE(uint64_t key) {
   if (!leaf_id.ok()) return leaf_id.status();
   Node leaf;
   LSDB_RETURN_IF_ERROR(LoadNode(*leaf_id, &leaf));
+  LSDB_INTROSPECT(OnBtreeNode(height_ - 1, true, leaf.keys.size(), 1));
   auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
   if (it != leaf.keys.end()) return *it;
   PageId next = leaf.next;
@@ -613,6 +619,13 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
           leaf.keys.begin();
       first = false;
     }
+    // matched = this page's keys inside [lo, hi] (computed only when a
+    // profile is installed; the search is macro-guarded).
+    LSDB_INTROSPECT(OnBtreeNode(
+        height_ - 1, true, leaf.keys.size(),
+        static_cast<uint64_t>(
+            std::upper_bound(leaf.keys.begin() + i, leaf.keys.end(), hi) -
+            (leaf.keys.begin() + i))));
     for (; i < leaf.keys.size(); ++i) {
       if (leaf.keys[i] > hi) return Status::OK();
       const uint8_t* payload =
@@ -623,6 +636,26 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
     id = leaf.next;
   }
   return Status::OK();
+}
+
+Status BTree::VisitPages(
+    const std::function<void(uint32_t depth, bool leaf, uint32_t count,
+                             uint32_t capacity)>& fn) {
+  auto walk = [this, &fn](auto&& self, PageId id, uint32_t depth) -> Status {
+    if (depth >= height_) {
+      return Status::Corruption("btree walk exceeds tree height");
+    }
+    Node node;
+    LSDB_RETURN_IF_ERROR(LoadNode(id, &node));
+    fn(depth, node.leaf, static_cast<uint32_t>(node.keys.size()),
+       node.leaf ? LeafCapacity() : InternalCapacity());
+    if (node.leaf) return Status::OK();
+    for (PageId child : node.children) {
+      LSDB_RETURN_IF_ERROR(self(self, child, depth + 1));
+    }
+    return Status::OK();
+  };
+  return walk(walk, root_, 0);
 }
 
 Status BTree::CheckInvariants() {

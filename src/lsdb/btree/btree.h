@@ -103,6 +103,13 @@ class BTree {
   /// chain consistency, separator correctness). For tests.
   [[nodiscard]] Status CheckInvariants();
 
+  /// Offline read-only walk for the introspection x-ray: `fn` is called
+  /// once per page with (depth from root, leaf?, record count, record
+  /// capacity). Streams through the buffer pool like any query.
+  [[nodiscard]] Status VisitPages(
+      const std::function<void(uint32_t depth, bool leaf, uint32_t count,
+                               uint32_t capacity)>& fn);
+
  private:
   struct Node {
     bool leaf = true;

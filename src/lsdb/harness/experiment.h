@@ -107,6 +107,8 @@ class Experiment {
   Status RunWorkload(StructureKind kind, Workload w, QueryStats* out);
 
   SpatialIndex* index(StructureKind kind);
+  RStarTree* rstar() { return rstar_.get(); }
+  RPlusTree* rplus() { return rplus_.get(); }
   PmrQuadtree* pmr() { return pmr_.get(); }
   SegmentTable* segment_table() { return segs_.get(); }
   const PolygonalMap& map() const { return map_; }

@@ -112,6 +112,13 @@ class SpatialIndex {
   /// (hit/miss ratios); null if the structure has none.
   virtual const BufferPool* pool() const { return nullptr; }
 
+  /// Mutable pool access, for attaching observers (page-heat maps,
+  /// tracers). Same pool as pool(); null if the structure has none.
+  BufferPool* mutable_pool() {
+    return const_cast<BufferPool*>(
+        static_cast<const SpatialIndex*>(this)->pool());
+  }
+
   /// Validates internal invariants (tests only).
   [[nodiscard]] virtual Status CheckInvariants() { return Status::OK(); }
 

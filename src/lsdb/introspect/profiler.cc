@@ -1,0 +1,233 @@
+#include "lsdb/introspect/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lsdb {
+namespace introspect {
+
+namespace {
+
+uint32_t ClampLevel(uint32_t depth) {
+  return std::min(depth, QueryProfile::kMaxLevels - 1);
+}
+
+}  // namespace
+
+void QueryProfile::OnNode(uint32_t depth, bool leaf, uint64_t scanned,
+                          uint64_t matched, uint64_t results_added) {
+  ++nodes_visited;
+  entries_scanned += scanned;
+  entries_matched += matched;
+  max_depth = std::max(max_depth, depth);
+  Level& lv = levels[ClampLevel(depth)];
+  ++lv.visits;
+  lv.entries_scanned += scanned;
+  lv.entries_matched += matched;
+  if (leaf) {
+    ++leaves_visited;
+    results += results_added;
+    if (results_added == 0) {
+      ++false_leaf_reads;
+    }
+  }
+}
+
+void QueryProfile::OnBtreeNode(uint32_t depth, bool leaf, uint64_t scanned,
+                               uint64_t matched) {
+  ++nodes_visited;
+  entries_scanned += scanned;
+  entries_matched += matched;
+  max_depth = std::max(max_depth, depth);
+  Level& lv = levels[ClampLevel(depth)];
+  ++lv.visits;
+  lv.entries_scanned += scanned;
+  lv.entries_matched += matched;
+  if (leaf) {
+    ++leaves_visited;
+  }
+}
+
+void QueryProfile::BeginBucket(uint32_t quad_depth) {
+  ++buckets_visited;
+  max_quad_depth = std::max(max_quad_depth, quad_depth);
+  bucket_results_mark_ = results;
+}
+
+void QueryProfile::EndBucket() {
+  if (results == bucket_results_mark_) {
+    ++false_bucket_reads;
+  }
+}
+
+void QueryProfile::OnResult(uint64_t n) {
+  results += n;
+}
+
+QueryProfile& QueryProfile::operator+=(const QueryProfile& rhs) {
+  nodes_visited += rhs.nodes_visited;
+  leaves_visited += rhs.leaves_visited;
+  false_leaf_reads += rhs.false_leaf_reads;
+  entries_scanned += rhs.entries_scanned;
+  entries_matched += rhs.entries_matched;
+  buckets_visited += rhs.buckets_visited;
+  false_bucket_reads += rhs.false_bucket_reads;
+  results += rhs.results;
+  max_depth = std::max(max_depth, rhs.max_depth);
+  max_quad_depth = std::max(max_quad_depth, rhs.max_quad_depth);
+  for (uint32_t i = 0; i < kMaxLevels; ++i) {
+    levels[i].visits += rhs.levels[i].visits;
+    levels[i].entries_scanned += rhs.levels[i].entries_scanned;
+    levels[i].entries_matched += rhs.levels[i].entries_matched;
+  }
+  return *this;
+}
+
+ProfileAccumulator::ProfileAccumulator(uint32_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+void ProfileAccumulator::Record(uint32_t shard, const QueryProfile& p) {
+  Shard& s = shards_[shard % shards_.size()];
+  s.queries.fetch_add(1, std::memory_order_relaxed);
+  s.nodes_visited.fetch_add(p.nodes_visited, std::memory_order_relaxed);
+  s.leaves_visited.fetch_add(p.leaves_visited, std::memory_order_relaxed);
+  s.false_leaf_reads.fetch_add(p.false_leaf_reads, std::memory_order_relaxed);
+  s.entries_scanned.fetch_add(p.entries_scanned, std::memory_order_relaxed);
+  s.entries_matched.fetch_add(p.entries_matched, std::memory_order_relaxed);
+  s.buckets_visited.fetch_add(p.buckets_visited, std::memory_order_relaxed);
+  s.false_bucket_reads.fetch_add(p.false_bucket_reads,
+                                 std::memory_order_relaxed);
+  s.results.fetch_add(p.results, std::memory_order_relaxed);
+  // Single writer per shard: a load-compare-store max is safe here.
+  if (p.max_depth > s.max_depth.load(std::memory_order_relaxed)) {
+    s.max_depth.store(p.max_depth, std::memory_order_relaxed);
+  }
+  if (p.max_quad_depth > s.max_quad_depth.load(std::memory_order_relaxed)) {
+    s.max_quad_depth.store(p.max_quad_depth, std::memory_order_relaxed);
+  }
+  for (uint32_t i = 0; i < QueryProfile::kMaxLevels; ++i) {
+    const QueryProfile::Level& lv = p.levels[i];
+    if (lv.visits == 0 && lv.entries_scanned == 0) {
+      continue;
+    }
+    s.levels[i].visits.fetch_add(lv.visits, std::memory_order_relaxed);
+    s.levels[i].entries_scanned.fetch_add(lv.entries_scanned,
+                                          std::memory_order_relaxed);
+    s.levels[i].entries_matched.fetch_add(lv.entries_matched,
+                                          std::memory_order_relaxed);
+  }
+}
+
+ProfileAccumulator::Summary ProfileAccumulator::Merge() const {
+  Summary out;
+  for (const Shard& s : shards_) {
+    out.queries += s.queries.load(std::memory_order_relaxed);
+    QueryProfile& t = out.totals;
+    t.nodes_visited += s.nodes_visited.load(std::memory_order_relaxed);
+    t.leaves_visited += s.leaves_visited.load(std::memory_order_relaxed);
+    t.false_leaf_reads += s.false_leaf_reads.load(std::memory_order_relaxed);
+    t.entries_scanned += s.entries_scanned.load(std::memory_order_relaxed);
+    t.entries_matched += s.entries_matched.load(std::memory_order_relaxed);
+    t.buckets_visited += s.buckets_visited.load(std::memory_order_relaxed);
+    t.false_bucket_reads +=
+        s.false_bucket_reads.load(std::memory_order_relaxed);
+    t.results += s.results.load(std::memory_order_relaxed);
+    t.max_depth = std::max(t.max_depth,
+                           s.max_depth.load(std::memory_order_relaxed));
+    t.max_quad_depth = std::max(
+        t.max_quad_depth, s.max_quad_depth.load(std::memory_order_relaxed));
+    for (uint32_t i = 0; i < QueryProfile::kMaxLevels; ++i) {
+      t.levels[i].visits +=
+          s.levels[i].visits.load(std::memory_order_relaxed);
+      t.levels[i].entries_scanned +=
+          s.levels[i].entries_scanned.load(std::memory_order_relaxed);
+      t.levels[i].entries_matched +=
+          s.levels[i].entries_matched.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double ProfileAccumulator::Summary::nodes_per_query() const {
+  return queries == 0 ? 0.0
+                      : static_cast<double>(totals.nodes_visited) /
+                            static_cast<double>(queries);
+}
+
+double ProfileAccumulator::Summary::false_leaf_read_rate() const {
+  return totals.leaves_visited == 0
+             ? 0.0
+             : static_cast<double>(totals.false_leaf_reads) /
+                   static_cast<double>(totals.leaves_visited);
+}
+
+double ProfileAccumulator::Summary::false_bucket_read_rate() const {
+  return totals.buckets_visited == 0
+             ? 0.0
+             : static_cast<double>(totals.false_bucket_reads) /
+                   static_cast<double>(totals.buckets_visited);
+}
+
+double ProfileAccumulator::Summary::prune_rate() const {
+  return totals.entries_scanned == 0
+             ? 0.0
+             : static_cast<double>(totals.entries_pruned()) /
+                   static_cast<double>(totals.entries_scanned);
+}
+
+std::string ProfileAccumulator::Summary::ToJson() const {
+  char buf[512];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"queries\":%llu,\"nodes_visited\":%llu,"
+                "\"leaves_visited\":%llu,\"false_leaf_reads\":%llu,"
+                "\"entries_scanned\":%llu,\"entries_matched\":%llu,"
+                "\"entries_pruned\":%llu,\"buckets_visited\":%llu,"
+                "\"false_bucket_reads\":%llu,\"results\":%llu,"
+                "\"max_depth\":%u,\"max_quad_depth\":%u",
+                static_cast<unsigned long long>(queries),
+                static_cast<unsigned long long>(totals.nodes_visited),
+                static_cast<unsigned long long>(totals.leaves_visited),
+                static_cast<unsigned long long>(totals.false_leaf_reads),
+                static_cast<unsigned long long>(totals.entries_scanned),
+                static_cast<unsigned long long>(totals.entries_matched),
+                static_cast<unsigned long long>(totals.entries_pruned()),
+                static_cast<unsigned long long>(totals.buckets_visited),
+                static_cast<unsigned long long>(totals.false_bucket_reads),
+                static_cast<unsigned long long>(totals.results),
+                totals.max_depth, totals.max_quad_depth);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"nodes_per_query\":%.3f,\"false_leaf_read_rate\":%.4f,"
+                "\"false_bucket_read_rate\":%.4f,\"prune_rate\":%.4f",
+                nodes_per_query(), false_leaf_read_rate(),
+                false_bucket_read_rate(), prune_rate());
+  out += buf;
+  out += ",\"levels\":[";
+  uint32_t top = QueryProfile::kMaxLevels;
+  while (top > 0 && totals.levels[top - 1].visits == 0) {
+    --top;
+  }
+  for (uint32_t i = 0; i < top; ++i) {
+    const QueryProfile::Level& lv = totals.levels[i];
+    const double util =
+        lv.entries_scanned == 0
+            ? 0.0
+            : static_cast<double>(lv.entries_matched) /
+                  static_cast<double>(lv.entries_scanned);
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"depth\":%u,\"visits\":%llu,"
+                  "\"entries_scanned\":%llu,\"entries_matched\":%llu,"
+                  "\"fanout_utilization\":%.4f}",
+                  i == 0 ? "" : ",", i,
+                  static_cast<unsigned long long>(lv.visits),
+                  static_cast<unsigned long long>(lv.entries_scanned),
+                  static_cast<unsigned long long>(lv.entries_matched), util);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace introspect
+}  // namespace lsdb

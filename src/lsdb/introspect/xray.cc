@@ -1,0 +1,371 @@
+#include "lsdb/introspect/xray.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "lsdb/btree/btree.h"
+#include "lsdb/geom/morton.h"
+#include "lsdb/geom/rect.h"
+#include "lsdb/pmr/pmr_quadtree.h"
+#include "lsdb/rplus/rplus_tree.h"
+#include "lsdb/rtree/rnode.h"
+#include "lsdb/rtree/rstar_tree.h"
+
+namespace lsdb {
+namespace introspect {
+
+namespace {
+
+/// Exact union area of closed rectangles treated as continuous regions
+/// ([xmin,xmax] x [ymin,ymax]), by x-coordinate compression: at most ~50
+/// rects per node, so the O(n^2 log n) sweep is trivial.
+double UnionArea(const std::vector<RNodeEntry>& entries) {
+  std::vector<int64_t> xs;
+  xs.reserve(entries.size() * 2);
+  for (const RNodeEntry& e : entries) {
+    if (e.rect.empty()) {
+      continue;
+    }
+    xs.push_back(e.rect.xmin);
+    xs.push_back(e.rect.xmax);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  double area = 0.0;
+  std::vector<std::pair<int64_t, int64_t>> spans;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    const int64_t x0 = xs[i];
+    const int64_t x1 = xs[i + 1];
+    spans.clear();
+    for (const RNodeEntry& e : entries) {
+      if (!e.rect.empty() && e.rect.xmin <= x0 && e.rect.xmax >= x1) {
+        spans.emplace_back(e.rect.ymin, e.rect.ymax);
+      }
+    }
+    std::sort(spans.begin(), spans.end());
+    int64_t covered = 0;
+    int64_t cur_lo = 0;
+    int64_t cur_hi = -1;
+    bool open = false;
+    for (const auto& [lo, hi] : spans) {
+      if (!open || lo > cur_hi) {
+        if (open) {
+          covered += cur_hi - cur_lo;
+        }
+        cur_lo = lo;
+        cur_hi = hi;
+        open = true;
+      } else {
+        cur_hi = std::max(cur_hi, hi);
+      }
+    }
+    if (open) {
+      covered += cur_hi - cur_lo;
+    }
+    area += static_cast<double>(x1 - x0) * static_cast<double>(covered);
+  }
+  return area;
+}
+
+/// Shared walk over the R-tree style node graphs (R* and R+): occupancy
+/// per node kind plus the internal-node child-rect geometry sums.
+struct RTreeWalk {
+  uint32_t capacity = 0;
+  XRayReport* out = nullptr;
+  double mbr_area_sum = 0;
+  double child_area_sum = 0;
+  double overlap_sum = 0;
+  double union_sum = 0;
+
+  void OnNode(const RNode& node) {
+    if (node.leaf()) {
+      out->leaf.Add(node.entries.size(), capacity);
+      out->stored_entries += node.entries.size();
+      return;
+    }
+    out->internal.Add(node.entries.size(), capacity);
+    const Rect mbr = node.Mbr();
+    const double mbr_area = static_cast<double>(mbr.Area());
+    if (mbr_area <= 0.0) {
+      return;
+    }
+    mbr_area_sum += mbr_area;
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      child_area_sum += static_cast<double>(node.entries[i].rect.Area());
+      for (size_t j = i + 1; j < node.entries.size(); ++j) {
+        overlap_sum += static_cast<double>(
+            node.entries[i].rect.OverlapArea(node.entries[j].rect));
+      }
+    }
+    union_sum += UnionArea(node.entries);
+  }
+
+  void Finish() {
+    out->pages = out->leaf.pages + out->internal.pages;
+    out->has_rtree_geometry = true;
+    if (mbr_area_sum > 0.0) {
+      out->coverage_ratio = child_area_sum / mbr_area_sum;
+      out->overlap_ratio = overlap_sum / mbr_area_sum;
+      out->dead_space_ratio = (mbr_area_sum - union_sum) / mbr_area_sum;
+    }
+  }
+};
+
+void AppendOccupancyJson(const OccupancyStats& o, const char* key,
+                         std::string* out) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"pages\":%llu,\"entries\":%llu,\"capacity\":%u,"
+                "\"mean_fill\":%.4f,\"min_entries\":%llu,"
+                "\"max_entries\":%llu,\"fill_histogram\":[",
+                key, static_cast<unsigned long long>(o.pages),
+                static_cast<unsigned long long>(o.entries), o.capacity,
+                o.mean_fill(), static_cast<unsigned long long>(o.min_entries),
+                static_cast<unsigned long long>(o.max_entries));
+  *out += buf;
+  for (int i = 0; i < OccupancyStats::kFillBuckets; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(o.fill_histogram[i]));
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+void OccupancyStats::Add(uint64_t count, uint32_t cap) {
+  if (pages == 0) {
+    min_entries = count;
+    max_entries = count;
+  } else {
+    min_entries = std::min(min_entries, count);
+    max_entries = std::max(max_entries, count);
+  }
+  ++pages;
+  entries += count;
+  capacity = cap;
+  const double fill =
+      cap == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(cap);
+  int bucket = static_cast<int>(fill * kFillBuckets);
+  bucket = std::clamp(bucket, 0, kFillBuckets - 1);
+  ++fill_histogram[bucket];
+}
+
+double OccupancyStats::mean_fill() const {
+  if (pages == 0 || capacity == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(entries) /
+         (static_cast<double>(pages) * static_cast<double>(capacity));
+}
+
+std::string XRayReport::ToJson() const {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"structure\":\"%s\",\"distinct_segments\":%llu,"
+                "\"stored_entries\":%llu,\"height\":%u,\"pages\":%llu,"
+                "\"index_bytes\":%llu,",
+                structure.c_str(),
+                static_cast<unsigned long long>(distinct_segments),
+                static_cast<unsigned long long>(stored_entries), height,
+                static_cast<unsigned long long>(pages),
+                static_cast<unsigned long long>(index_bytes));
+  out += buf;
+  AppendOccupancyJson(leaf, "leaf", &out);
+  out += ",";
+  AppendOccupancyJson(internal, "internal", &out);
+  if (has_rtree_geometry) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"coverage_ratio\":%.4f,\"overlap_ratio\":%.4f,"
+                  "\"dead_space_ratio\":%.4f",
+                  coverage_ratio, overlap_ratio, dead_space_ratio);
+    out += buf;
+  }
+  if (has_duplication) {
+    std::snprintf(buf, sizeof(buf), ",\"duplication_factor\":%.4f",
+                  duplication_factor);
+    out += buf;
+  }
+  if (has_quad_depths) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"quad_depths\":{\"leaf_blocks\":%llu,"
+                  "\"empty_leaf_blocks\":%llu,\"mean_depth\":%.3f,"
+                  "\"histogram\":[",
+                  static_cast<unsigned long long>(leaf_blocks),
+                  static_cast<unsigned long long>(empty_leaf_blocks),
+                  mean_quad_depth);
+    out += buf;
+    uint32_t top = kMaxQuadDepthSlots;
+    while (top > 0 && quad_depth_histogram[top - 1] == 0) {
+      --top;
+    }
+    for (uint32_t i = 0; i < top; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(quad_depth_histogram[i]));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string XRayReport::ToPrometheus() const {
+  std::string out;
+  char buf[256];
+  const char* s = structure.c_str();
+  auto emit = [&](const char* name, const char* extra, double v) {
+    std::snprintf(buf, sizeof(buf), "%s{structure=\"%s\"%s%s} %.6g\n", name,
+                  s, extra[0] != '\0' ? "," : "", extra, v);
+    out += buf;
+  };
+  emit("lsdb_xray_segments", "", static_cast<double>(distinct_segments));
+  emit("lsdb_xray_stored_entries", "", static_cast<double>(stored_entries));
+  emit("lsdb_xray_height", "", static_cast<double>(height));
+  emit("lsdb_xray_pages", "", static_cast<double>(pages));
+  emit("lsdb_xray_index_bytes", "", static_cast<double>(index_bytes));
+  emit("lsdb_xray_pages", "kind=\"leaf\"", static_cast<double>(leaf.pages));
+  emit("lsdb_xray_pages", "kind=\"internal\"",
+       static_cast<double>(internal.pages));
+  emit("lsdb_xray_mean_fill", "kind=\"leaf\"", leaf.mean_fill());
+  emit("lsdb_xray_mean_fill", "kind=\"internal\"", internal.mean_fill());
+  if (has_rtree_geometry) {
+    emit("lsdb_xray_coverage_ratio", "", coverage_ratio);
+    emit("lsdb_xray_overlap_ratio", "", overlap_ratio);
+    emit("lsdb_xray_dead_space_ratio", "", dead_space_ratio);
+  }
+  if (has_duplication) {
+    emit("lsdb_xray_duplication_factor", "", duplication_factor);
+  }
+  if (has_quad_depths) {
+    emit("lsdb_xray_leaf_blocks", "", static_cast<double>(leaf_blocks));
+    emit("lsdb_xray_empty_leaf_blocks", "",
+         static_cast<double>(empty_leaf_blocks));
+    emit("lsdb_xray_mean_quad_depth", "", mean_quad_depth);
+    for (uint32_t i = 0; i < kMaxQuadDepthSlots; ++i) {
+      if (quad_depth_histogram[i] == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "lsdb_xray_quad_depth_blocks{structure=\"%s\","
+                    "depth=\"%u\"} %llu\n",
+                    s, i,
+                    static_cast<unsigned long long>(quad_depth_histogram[i]));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Status XRayRStar(RStarTree* tree, XRayReport* out) {
+  *out = XRayReport();
+  out->structure = "R*";
+  out->distinct_segments = tree->size();
+  out->height = tree->height();
+  out->index_bytes = tree->bytes();
+  RTreeWalk walk;
+  walk.capacity = tree->node_capacity();
+  walk.out = out;
+  Status st = tree->VisitNodes(
+      [&walk](uint32_t, const RNode& node) { walk.OnNode(node); });
+  if (!st.ok()) {
+    return st;
+  }
+  walk.Finish();
+  return Status::OK();
+}
+
+Status XRayRPlus(RPlusTree* tree, XRayReport* out) {
+  *out = XRayReport();
+  out->structure = "R+";
+  out->distinct_segments = tree->size();
+  out->height = tree->height();
+  out->index_bytes = tree->bytes();
+  RTreeWalk walk;
+  walk.capacity = tree->node_capacity();
+  walk.out = out;
+  Status st = tree->VisitNodes(
+      [&walk](uint32_t, const RNode& node) { walk.OnNode(node); });
+  if (!st.ok()) {
+    return st;
+  }
+  walk.Finish();
+  out->has_duplication = true;
+  out->duplication_factor =
+      out->distinct_segments == 0
+          ? 0.0
+          : static_cast<double>(out->stored_entries) /
+                static_cast<double>(out->distinct_segments);
+  return Status::OK();
+}
+
+Status XRayPmr(PmrQuadtree* tree, XRayReport* out) {
+  *out = XRayReport();
+  out->structure = "PMR";
+  out->distinct_segments = tree->size();
+  out->stored_entries = tree->tuples();
+  out->height = tree->btree()->height();
+  out->index_bytes = tree->bytes();
+  Status st = tree->btree()->VisitPages(
+      [out](uint32_t, bool leaf, uint32_t count, uint32_t capacity) {
+        (leaf ? out->leaf : out->internal).Add(count, capacity);
+      });
+  if (!st.ok()) {
+    return st;
+  }
+  out->pages = out->leaf.pages + out->internal.pages;
+
+  // One ordered pass over the linear quadtree: group tuples by leaf block,
+  // count q-edges per block (the sentinel marks an empty block), and build
+  // the quadrant-depth distribution of the decomposition.
+  const QuadGeometry& geom = tree->geometry();
+  bool have_block = false;
+  QuadBlock cur;
+  uint64_t cur_tuples = 0;
+  uint64_t depth_weight = 0;
+  auto close_block = [&]() {
+    if (!have_block) {
+      return;
+    }
+    ++out->leaf_blocks;
+    if (cur_tuples == 0) {
+      ++out->empty_leaf_blocks;
+    }
+    const uint32_t d =
+        std::min<uint32_t>(cur.depth, XRayReport::kMaxQuadDepthSlots - 1);
+    ++out->quad_depth_histogram[d];
+    depth_weight += cur.depth;
+  };
+  st = tree->btree()->Scan(
+      0, ~0ull, [&](uint64_t key, const uint8_t*) {
+        QuadBlock b;
+        uint32_t segid = 0;
+        geom.UnpackKey(key, &b, &segid);
+        if (!have_block || !(b == cur)) {
+          close_block();
+          have_block = true;
+          cur = b;
+          cur_tuples = 0;
+        }
+        // 0xffffffff is the empty-block sentinel id (PmrQuadtree).
+        if (segid != 0xffffffffu) {
+          ++cur_tuples;
+        }
+        return true;
+      });
+  if (!st.ok()) {
+    return st;
+  }
+  close_block();
+  out->has_quad_depths = true;
+  out->mean_quad_depth =
+      out->leaf_blocks == 0 ? 0.0
+                            : static_cast<double>(depth_weight) /
+                                  static_cast<double>(out->leaf_blocks);
+  return Status::OK();
+}
+
+}  // namespace introspect
+}  // namespace lsdb

@@ -1,0 +1,98 @@
+// Structure X-ray: an offline pass over a frozen index (live or opened
+// from a *.lsnap snapshot) that explains the paper's end-line numbers with
+// structural quality metrics:
+//
+//   * node occupancy histograms (fill-fraction deciles, per level kind),
+//   * R* MBR overlap / coverage / dead-space area ratios — the quantities
+//     the mqr-tree line of work (arXiv 1212.1469) uses to argue why
+//     searches descend multiple subtrees,
+//   * R+ duplication factor (stored leaf copies per distinct segment, the
+//     paper's 26-43% storage overhead, measured directly),
+//   * PMR quadrant-depth distribution and bucket occupancy,
+//   * page-utilization stats for the backing B-tree / node pages.
+//
+// Reports render as JSON (tooling) and Prometheus exposition (scrape).
+// The walk is read-only and streams through the structure's buffer pool,
+// so it works unchanged on mmap-backed snapshot sections.
+
+#ifndef LSDB_INTROSPECT_XRAY_H_
+#define LSDB_INTROSPECT_XRAY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+class RStarTree;
+class RPlusTree;
+class PmrQuadtree;
+
+namespace introspect {
+
+/// Page-fill distribution for one node kind (leaf or internal).
+struct OccupancyStats {
+  static constexpr int kFillBuckets = 10;  ///< Deciles of fill fraction.
+
+  uint64_t pages = 0;
+  uint64_t entries = 0;
+  uint32_t capacity = 0;  ///< Entries per page for this node kind.
+  uint64_t min_entries = 0;
+  uint64_t max_entries = 0;
+  uint64_t fill_histogram[kFillBuckets] = {};
+
+  void Add(uint64_t count, uint32_t cap);
+  double mean_fill() const;  ///< entries / (pages * capacity), 0 if empty.
+};
+
+struct XRayReport {
+  std::string structure;  ///< "R*", "R+", or "PMR".
+
+  uint64_t distinct_segments = 0;
+  uint64_t stored_entries = 0;  ///< Leaf entries / q-edge tuples, with copies.
+  uint32_t height = 0;
+  uint64_t pages = 0;
+  uint64_t index_bytes = 0;
+  OccupancyStats leaf;
+  OccupancyStats internal;
+
+  /// R-tree node geometry, aggregated over all internal nodes (sums over
+  /// nodes, normalized by the summed node MBR area so big nodes weigh in
+  /// proportion to the space they administer). For the R+-tree the
+  /// partition rectangles are disjoint by construction, so overlap_ratio
+  /// collapses to ~0 — the number the paper's design trades duplication
+  /// for.
+  bool has_rtree_geometry = false;
+  double coverage_ratio = 0;    ///< sum(child areas) / sum(node MBR areas)
+  double overlap_ratio = 0;     ///< sum(pairwise child overlap) / sum(MBR)
+  double dead_space_ratio = 0;  ///< sum(MBR - union(children)) / sum(MBR)
+
+  /// R+ only: stored leaf entries per distinct segment (>= 1).
+  bool has_duplication = false;
+  double duplication_factor = 0;
+
+  /// PMR only: depth distribution of the leaf-block decomposition.
+  bool has_quad_depths = false;
+  static constexpr uint32_t kMaxQuadDepthSlots = 15;  ///< kMaxQuadDepth + 1.
+  uint64_t quad_depth_histogram[kMaxQuadDepthSlots] = {};
+  uint64_t leaf_blocks = 0;
+  uint64_t empty_leaf_blocks = 0;
+  double mean_quad_depth = 0;
+
+  std::string ToJson() const;
+  /// Prometheus exposition; every sample is labeled structure="...".
+  std::string ToPrometheus() const;
+};
+
+/// Walk a frozen (or at least quiescent) index and fill `out`. The walk
+/// issues ordinary pool reads; run it before measuring pool behaviour, or
+/// accept the extra traffic.
+[[nodiscard]] Status XRayRStar(RStarTree* tree, XRayReport* out);
+[[nodiscard]] Status XRayRPlus(RPlusTree* tree, XRayReport* out);
+[[nodiscard]] Status XRayPmr(PmrQuadtree* tree, XRayReport* out);
+
+}  // namespace introspect
+}  // namespace lsdb
+
+#endif  // LSDB_INTROSPECT_XRAY_H_

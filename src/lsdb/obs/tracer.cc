@@ -30,6 +30,7 @@ Status Tracer::OpenFile(const std::string& path,
   }
   options_ = options;
   out_ = &file_;
+  bytes_written_ = 0;
   enabled_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -39,7 +40,13 @@ void Tracer::AttachStream(std::ostream* out,
   std::lock_guard<std::mutex> lk(mu_);
   options_ = options;
   out_ = out;
+  bytes_written_ = 0;
   enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (out_ != nullptr) out_->flush();
 }
 
 void Tracer::Close() {
@@ -103,6 +110,18 @@ void Tracer::EmitQuerySpan(const QuerySpan& span) {
   line += std::to_string(span.bucket_comps);
   line += ",\"worker\":";
   line += std::to_string(span.worker);
+  if (span.has_introspect) {
+    line += ",\"nodes_visited\":";
+    line += std::to_string(span.nodes_visited);
+    line += ",\"nodes_pruned\":";
+    line += std::to_string(span.nodes_pruned);
+    line += ",\"false_leaf_reads\":";
+    line += std::to_string(span.false_leaf_reads);
+    line += ",\"false_bucket_reads\":";
+    line += std::to_string(span.false_bucket_reads);
+    line += ",\"max_depth\":";
+    line += std::to_string(span.max_depth);
+  }
   line += "}";
   WriteLine(line);
 }
@@ -146,7 +165,13 @@ void Tracer::EmitHealthEvent(const char* structure, const char* event) {
 void Tracer::WriteLine(const std::string& line) {
   std::lock_guard<std::mutex> lk(mu_);
   if (out_ == nullptr) return;  // closed between the enabled() test and now
+  if (options_.max_bytes != 0 &&
+      bytes_written_ + line.size() + 1 > options_.max_bytes) {
+    lines_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   *out_ << line << '\n';
+  bytes_written_ += line.size() + 1;
   lines_emitted_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -45,6 +45,17 @@ struct QuerySpan {
   uint64_t bbox_comps = 0;
   uint64_t bucket_comps = 0;
   uint32_t worker = 0;
+
+  /// Optional query-path introspection block (see lsdb/introspect/). When
+  /// `has_introspect` is set, the span line carries the descent shape —
+  /// nodes visited / pruned, false-positive leaf and bucket reads, max
+  /// depth — captured by the profiler for this one query.
+  bool has_introspect = false;
+  uint64_t nodes_visited = 0;
+  uint64_t nodes_pruned = 0;
+  uint64_t false_leaf_reads = 0;
+  uint64_t false_bucket_reads = 0;
+  uint32_t max_depth = 0;
 };
 
 /// Buffer-pool event kinds (see BufferPool for emission points).
@@ -55,6 +66,10 @@ struct TracerOptions {
   /// Emit every Nth buffer-pool event per pool-event counter; 1 = all,
   /// 0 disables pool events entirely. Query spans are never sampled.
   uint64_t pool_event_sample_every = 100;
+  /// Byte budget for the sink; 0 = unlimited. Once the budget is reached
+  /// further lines are dropped (and counted in lines_dropped()) instead of
+  /// growing the trace without bound — long soak runs stay disk-safe.
+  uint64_t max_bytes = 0;
 };
 
 class Tracer {
@@ -72,6 +87,9 @@ class Tracer {
   /// Close()) and enables the tracer.
   void AttachStream(std::ostream* out,
                     const TracerOptions& options = TracerOptions());
+  /// Flushes buffered lines to the sink without disabling. Safe to call
+  /// from any thread, and when never opened (no-op).
+  void Flush();
   /// Flushes and disables; safe to call when never opened.
   void Close();
 
@@ -97,6 +115,11 @@ class Tracer {
     return lines_emitted_.load(std::memory_order_relaxed);
   }
 
+  /// Lines dropped because the sink hit its max_bytes budget.
+  uint64_t lines_dropped() const {
+    return lines_dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Appends a JSON-escaped copy of `s` to *out (quotes not included).
   static void JsonEscape(const char* s, std::string* out);
 
@@ -106,9 +129,11 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> pool_event_seq_{0};  ///< Pre-sampling event count.
   std::atomic<uint64_t> lines_emitted_{0};
+  std::atomic<uint64_t> lines_dropped_{0};
 
   std::mutex mu_;  ///< Guards the sink and options below.
   TracerOptions options_;
+  uint64_t bytes_written_ = 0;  ///< Bytes appended to the current sink.
   std::ofstream file_;        ///< Owned sink (OpenFile).
   std::ostream* out_ = nullptr;  ///< Active sink; &file_ or caller-owned.
 };

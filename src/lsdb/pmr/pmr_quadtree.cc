@@ -6,6 +6,7 @@
 #include <queue>
 #include <set>
 
+#include "lsdb/introspect/profiler.h"
 #include "lsdb/pmr/window_decompose.h"
 #include "lsdb/storage/superblock.h"
 
@@ -402,6 +403,7 @@ Status PmrQuadtree::PointWindow(const Point& p,
   // reports exactly 1.00 bucket computations for the Point query).
   auto block = LocateBlock(p);
   if (!block.ok()) return block.status();
+  LSDB_INTROSPECT(BeginBucket(block->depth));
   std::vector<SegmentId> ids;
   std::vector<Rect> bboxes;
   LSDB_RETURN_IF_ERROR(BlockEntries(
@@ -414,8 +416,12 @@ Status PmrQuadtree::PointWindow(const Point& p,
     Segment s;
     LSDB_RETURN_IF_ERROR(segs_->Get(ids[i], &s));
     ++CounterSink(metrics_).segment_comps;
-    if (s.ContainsPoint(p)) out->push_back(SegmentHit{ids[i], s});
+    if (s.ContainsPoint(p)) {
+      out->push_back(SegmentHit{ids[i], s});
+      LSDB_INTROSPECT(OnResult(1));
+    }
   }
+  LSDB_INTROSPECT(EndBucket());
   return Status::OK();
 }
 
@@ -472,6 +478,7 @@ Status PmrQuadtree::VisitWindowSegments(
       cell_of(w.xmin), cell_of(w.ymin), cell_of(w.xmax), cell_of(w.ymax),
       [this, &fn](const QuadBlock& leaf) -> Status {
         ++CounterSink(metrics_).bucket_comps;
+        LSDB_INTROSPECT(BeginBucket(leaf.depth));
         Status cb_status;
         LSDB_RETURN_IF_ERROR(btree_.Scan(
             geom_.BlockKeyLow(leaf), geom_.BlockKeyHigh(leaf),
@@ -485,6 +492,7 @@ Status PmrQuadtree::VisitWindowSegments(
               }
               return true;
             }));
+        LSDB_INTROSPECT(EndBucket());
         return cb_status;
       });
 }
@@ -508,7 +516,10 @@ Status PmrQuadtree::WindowQueryEx(const Rect& w,
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
         ++CounterSink(metrics_).segment_comps;
-        if (s.IntersectsRect(w)) out->push_back(SegmentHit{id, s});
+        if (s.IntersectsRect(w)) {
+          out->push_back(SegmentHit{id, s});
+          LSDB_INTROSPECT(OnResult(1));
+        }
         return Status::OK();
       });
 }
@@ -585,6 +596,10 @@ StatusOr<NearestResult> PmrQuadtree::Nearest(const Point& p) {
           LSDB_RETURN_IF_ERROR(segs_->Get(id, &s));
           ++CounterSink(metrics_).segment_comps;
           const double d = s.SquaredDistanceTo(p);
+          // Expanding-window search: every newly refined candidate counts
+          // as a bucket contribution, so a false bucket read is a block
+          // that yielded only already-seen (or no) segments.
+          LSDB_INTROSPECT(OnResult(1));
           if (!have_best || d < best.squared_distance) {
             have_best = true;
             best = NearestResult{id, d, s};

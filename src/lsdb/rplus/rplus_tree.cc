@@ -1,5 +1,6 @@
 #include "lsdb/rplus/rplus_tree.h"
 
+#include "lsdb/introspect/profiler.h"
 #include "lsdb/storage/superblock.h"
 
 #include <algorithm>
@@ -598,18 +599,25 @@ Status RPlusTree::WindowQueryRec(PageId pid, uint8_t expected_level,
     return Status::Corruption("R+-tree node level mismatch on descent");
   }
   if (node.leaf()) {
-    // Walk the page plus any overflow chain (cycle-bounded).
+    // Walk the page plus any overflow chain (cycle-bounded). Each chain
+    // page is profiled as its own leaf visit at the owner's depth.
     uint64_t hops = 0;
     for (;;) {
+      const size_t results_before = out->size();
+      uint64_t matched = 0;  // Introspection only: a register increment.
       for (const RNodeEntry& e : node.entries) {
         ++CounterSink(metrics_).bbox_comps;
         if (!e.rect.Intersects(w)) continue;
+        ++matched;
         if (!seen->insert(e.child).second) continue;
         Segment s;
         LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
         ++CounterSink(metrics_).segment_comps;
         if (s.IntersectsRect(w)) out->push_back(SegmentHit{e.child, s});
       }
+      LSDB_INTROSPECT(OnNode(static_cast<uint32_t>(root_level_), true,
+                             node.entries.size(), matched,
+                             out->size() - results_before));
       if (node.overflow == kInvalidPageId) break;
       if (++hops > io_.live_pages()) {
         return Status::Corruption("R+-tree overflow chain cycle");
@@ -623,14 +631,18 @@ Status RPlusTree::WindowQueryRec(PageId pid, uint8_t expected_level,
     }
     return Status::OK();
   }
+  uint64_t matched = 0;  // Introspection only: a register increment.
   for (const RNodeEntry& e : node.entries) {
     ++CounterSink(metrics_).bbox_comps;
     if (e.rect.Intersects(w)) {
+      ++matched;
       LSDB_RETURN_IF_ERROR(
           WindowQueryRec(e.child, static_cast<uint8_t>(node.level - 1),
                          e.rect, w, seen, out));
     }
   }
+  LSDB_INTROSPECT(OnNode(static_cast<uint32_t>(root_level_ - node.level),
+                         false, node.entries.size(), matched, 0));
   return Status::OK();
 }
 
@@ -686,6 +698,12 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
                        static_cast<uint8_t>(node.level - 1), Segment{}});
         }
       }
+      // Best-first descent: every scanned entry enters the candidate
+      // queue, so a nearest leaf read is a false positive only when the
+      // leaf page is empty (see rstar_tree.cc).
+      LSDB_INTROSPECT(OnNode(
+          static_cast<uint32_t>(root_level_ - node.level), node.leaf(),
+          node.entries.size(), node.entries.size(), node.entries.size()));
       if (node.leaf() && node.overflow != kInvalidPageId) {
         if (++hops > io_.live_pages()) {
           return Status::Corruption("R+-tree overflow chain cycle");
@@ -765,6 +783,44 @@ Status RPlusTree::CheckInvariants() {
   }
   if (pages != io_.live_pages()) {
     return Status::Corruption("page count mismatch");
+  }
+  return Status::OK();
+}
+
+Status RPlusTree::VisitNodes(
+    const std::function<void(uint32_t depth, const RNode& node)>& fn) {
+  return VisitNodesRec(root_, root_level_, fn);
+}
+
+Status RPlusTree::VisitNodesRec(
+    PageId pid, uint8_t expected_level,
+    const std::function<void(uint32_t depth, const RNode& node)>& fn) {
+  RNode node;
+  LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
+  if (node.level != expected_level) {
+    return Status::Corruption("R+-tree node level mismatch on walk");
+  }
+  fn(static_cast<uint32_t>(root_level_ - node.level), node);
+  if (node.leaf()) {
+    // Visit overflow-chain pages as separate leaves (cycle-bounded).
+    uint64_t hops = 0;
+    while (node.overflow != kInvalidPageId) {
+      if (++hops > io_.live_pages()) {
+        return Status::Corruption("R+-tree overflow chain cycle");
+      }
+      const PageId next = node.overflow;
+      LSDB_RETURN_IF_ERROR(io_.Load(next, &node));
+      if (!node.leaf()) {
+        return Status::Corruption(
+            "R+-tree overflow chain reaches a non-leaf page");
+      }
+      fn(static_cast<uint32_t>(root_level_), node);
+    }
+    return Status::OK();
+  }
+  for (const RNodeEntry& e : node.entries) {
+    LSDB_RETURN_IF_ERROR(VisitNodesRec(
+        e.child, static_cast<uint8_t>(node.level - 1), fn));
   }
   return Status::OK();
 }

@@ -26,6 +26,7 @@
 #ifndef LSDB_RPLUS_RPLUS_TREE_H_
 #define LSDB_RPLUS_RPLUS_TREE_H_
 
+#include <functional>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -91,6 +92,16 @@ class RPlusTree : public SpatialIndex {
   /// Disjoint partition regions of all leaves (for visualization).
   [[nodiscard]] Status CollectLeafRegions(std::vector<Rect>* out);
 
+  /// Entry capacity M of a node page (introspection x-ray).
+  uint32_t node_capacity() const { return cap_; }
+
+  /// Offline read-only walk over every node for the introspection x-ray:
+  /// `fn` is called once per node with its depth from the root (root = 0).
+  /// Leaf overflow-chain pages are visited as separate leaf nodes at their
+  /// owner's depth. Streams through the buffer pool like any query.
+  [[nodiscard]] Status VisitNodes(
+      const std::function<void(uint32_t depth, const RNode& node)>& fn);
+
  private:
   /// Loads a leaf including its overflow chain; chain page ids (excluding
   /// `pid` itself) are appended to *chain.
@@ -133,6 +144,9 @@ class RPlusTree : public SpatialIndex {
                         std::vector<SegmentHit>* out);
   [[nodiscard]] Status CheckRec(PageId pid, uint8_t expected_level, const Rect& region,
                   uint32_t* pages, std::unordered_set<SegmentId>* distinct);
+  [[nodiscard]] Status VisitNodesRec(
+      PageId pid, uint8_t expected_level,
+      const std::function<void(uint32_t depth, const RNode& node)>& fn);
 
   IndexOptions options_;
   RPlusSplitPolicy policy_;

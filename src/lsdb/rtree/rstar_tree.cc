@@ -1,5 +1,6 @@
 #include "lsdb/rtree/rstar_tree.h"
 
+#include "lsdb/introspect/profiler.h"
 #include "lsdb/storage/superblock.h"
 
 #include <algorithm>
@@ -486,9 +487,12 @@ Status RStarTree::WindowQueryRec(PageId pid, uint8_t expected_level,
   if (node.level != expected_level) {
     return Status::Corruption("R*-tree node level mismatch on descent");
   }
+  const size_t results_before = out->size();
+  uint64_t matched = 0;  // Introspection only: a register increment.
   for (const RNodeEntry& e : node.entries) {
     ++CounterSink(metrics_).bbox_comps;
     if (!e.rect.Intersects(w)) continue;
+    ++matched;
     if (node.leaf()) {
       Segment s;
       LSDB_RETURN_IF_ERROR(segs_->Get(e.child, &s));
@@ -499,6 +503,9 @@ Status RStarTree::WindowQueryRec(PageId pid, uint8_t expected_level,
           e.child, static_cast<uint8_t>(node.level - 1), w, out));
     }
   }
+  LSDB_INTROSPECT(OnNode(static_cast<uint32_t>(root_level_ - node.level),
+                         node.leaf(), node.entries.size(), matched,
+                         out->size() - results_before));
   return Status::OK();
 }
 
@@ -551,6 +558,12 @@ StatusOr<NearestResult> RStarTree::Nearest(const Point& p) {
                      static_cast<uint8_t>(node.level - 1), Segment{}});
       }
     }
+    // Best-first descent: every scanned entry enters the candidate queue,
+    // so leaves "contribute" their whole candidate set (a nearest leaf
+    // read is a false positive only when the leaf is empty).
+    LSDB_INTROSPECT(OnNode(static_cast<uint32_t>(root_level_ - node.level),
+                           node.leaf(), node.entries.size(),
+                           node.entries.size(), node.entries.size()));
   }
   return Status::NotFound("empty index");
 }
@@ -598,6 +611,28 @@ Status RStarTree::CheckInvariants() {
   if (segments != size_) return Status::Corruption("segment count mismatch");
   if (pages != io_.live_pages()) {
     return Status::Corruption("page count mismatch");
+  }
+  return Status::OK();
+}
+
+Status RStarTree::VisitNodes(
+    const std::function<void(uint32_t depth, const RNode& node)>& fn) {
+  return VisitNodesRec(root_, root_level_, fn);
+}
+
+Status RStarTree::VisitNodesRec(
+    PageId pid, uint8_t expected_level,
+    const std::function<void(uint32_t depth, const RNode& node)>& fn) {
+  RNode node;
+  LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
+  if (node.level != expected_level) {
+    return Status::Corruption("R*-tree node level mismatch on walk");
+  }
+  fn(static_cast<uint32_t>(root_level_ - node.level), node);
+  if (node.leaf()) return Status::OK();
+  for (const RNodeEntry& e : node.entries) {
+    LSDB_RETURN_IF_ERROR(VisitNodesRec(
+        e.child, static_cast<uint8_t>(node.level - 1), fn));
   }
   return Status::OK();
 }

@@ -16,6 +16,7 @@
 #ifndef LSDB_RTREE_RSTAR_TREE_H_
 #define LSDB_RTREE_RSTAR_TREE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -71,6 +72,15 @@ class RStarTree : public SpatialIndex {
   /// MBRs of all leaf nodes (for visualization; they may overlap).
   [[nodiscard]] Status CollectLeafMbrs(std::vector<Rect>* out);
 
+  /// Entry capacity M of a node page (introspection x-ray).
+  uint32_t node_capacity() const { return cap_; }
+
+  /// Offline read-only walk over every node for the introspection x-ray:
+  /// `fn` is called once per node with its depth from the root (root = 0).
+  /// Streams through the buffer pool like any query.
+  [[nodiscard]] Status VisitNodes(
+      const std::function<void(uint32_t depth, const RNode& node)>& fn);
+
  private:
   /// Root-to-target path of page ids (front = root).
   [[nodiscard]] Status ChoosePath(const Rect& r, uint8_t target_level,
@@ -98,6 +108,9 @@ class RStarTree : public SpatialIndex {
                       std::vector<PageId>* path, bool* found);
   [[nodiscard]] Status WindowQueryRec(PageId pid, uint8_t expected_level, const Rect& w,
                         std::vector<SegmentHit>* out);
+  [[nodiscard]] Status VisitNodesRec(
+      PageId pid, uint8_t expected_level,
+      const std::function<void(uint32_t depth, const RNode& node)>& fn);
   [[nodiscard]] Status CheckRec(PageId pid, uint8_t expected_level, const Rect& parent,
                   bool is_root, uint32_t* pages, uint64_t* segments);
 

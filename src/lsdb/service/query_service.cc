@@ -131,11 +131,17 @@ Status QueryService::SetUpObservability() {
           std::string("index=\"") + ServedIndexName(which) + "\",kind=\"" +
               QueryTypeName(type) + "\"",
           slot.get());
+      // Profile aggregates share the histograms' sharding scheme: one
+      // single-writer shard per worker.
+      profiles_[static_cast<size_t>(which)][static_cast<size_t>(type)] =
+          std::make_unique<introspect::ProfileAccumulator>(workers_->size());
     }
   }
+  introspect_on_.store(options_.introspect, std::memory_order_relaxed);
   if (!options_.trace_path.empty()) {
     TracerOptions topt;
     topt.pool_event_sample_every = options_.trace_pool_sample_every;
+    topt.max_bytes = options_.trace_max_bytes;
     LSDB_RETURN_IF_ERROR(tracer_.OpenFile(options_.trace_path, topt));
   }
   // Pool events flow to the service tracer (no-ops while it is disabled).
@@ -153,6 +159,29 @@ StatsRegistry& QueryService::stats() {
 const LatencyHistogram& QueryService::latency_histogram(
     ServedIndex which, QueryType type) const {
   return *histograms_[static_cast<size_t>(which)][static_cast<size_t>(type)];
+}
+
+introspect::ProfileAccumulator::Summary QueryService::profile_summary(
+    ServedIndex which, QueryType type) const {
+  const auto& acc =
+      profiles_[static_cast<size_t>(which)][static_cast<size_t>(type)];
+  if (acc == nullptr) return {};
+  return acc->Merge();
+}
+
+void QueryService::EnablePageHeat() {
+  BufferPool* pools[] = {seg_pool_.get(), rstar_->mutable_pool(),
+                         rplus_->mutable_pool(), pmr_->mutable_pool()};
+  const PageFile* files[] = {seg_file_.get(), rstar_file_.get(),
+                             rplus_file_.get(), pmr_file_.get()};
+  for (size_t i = 0; i < std::size(pools); ++i) {
+    if (heat_[i] != nullptr) continue;  // idempotent; keep existing counts
+    // Served structures are frozen, so page_count() is final: no accesses
+    // land in the overflow bucket.
+    heat_[i] = std::make_unique<introspect::PageHeatMap>(
+        files[i]->page_count(), workers_->size());
+    pools[i]->SetPageHeat(heat_[i].get());
+  }
 }
 
 void QueryService::RefreshGauges() {
@@ -208,6 +237,42 @@ void QueryService::RefreshGauges() {
         .GetGauge("lsdb_worker_items_processed{worker=\"" +
                   std::to_string(w) + "\"}")
         ->Set(static_cast<double>(workers_->items_processed(w)));
+  }
+  stats_.GetGauge("lsdb_introspect_enabled")
+      ->Set(introspection() ? 1.0 : 0.0);
+  stats_.GetGauge("lsdb_trace_lines_emitted")
+      ->Set(static_cast<double>(tracer_.lines_emitted()));
+  stats_.GetGauge("lsdb_trace_lines_dropped")
+      ->Set(static_cast<double>(tracer_.lines_dropped()));
+  for (ServedIndex which : kAllServedIndexes) {
+    for (QueryType type : kAllQueryTypes) {
+      const auto& acc =
+          profiles_[static_cast<size_t>(which)][static_cast<size_t>(type)];
+      if (acc == nullptr) continue;
+      const introspect::ProfileAccumulator::Summary s = acc->Merge();
+      if (s.queries == 0) continue;  // gauges appear once data exists
+      const std::string labels = std::string("{index=\"") +
+                                 ServedIndexName(which) + "\",kind=\"" +
+                                 QueryTypeName(type) + "\"}";
+      stats_.GetGauge("lsdb_introspect_queries" + labels)
+          ->Set(static_cast<double>(s.queries));
+      stats_.GetGauge("lsdb_introspect_nodes_per_query" + labels)
+          ->Set(s.nodes_per_query());
+      stats_.GetGauge("lsdb_introspect_false_leaf_read_rate" + labels)
+          ->Set(s.false_leaf_read_rate());
+      stats_.GetGauge("lsdb_introspect_false_bucket_read_rate" + labels)
+          ->Set(s.false_bucket_read_rate());
+      stats_.GetGauge("lsdb_introspect_prune_rate" + labels)
+          ->Set(s.prune_rate());
+    }
+  }
+  for (size_t i = 0; i < std::size(heat_); ++i) {
+    if (heat_[i] == nullptr) continue;
+    const char* heat_names[] = {"segments", "R*", "R+", "PMR"};
+    const std::string labels =
+        std::string("{pool=\"") + heat_names[i] + "\"}";
+    stats_.GetGauge("lsdb_page_heat_touches" + labels)
+        ->Set(static_cast<double>(heat_[i]->total()));
   }
   if (snapshot_ != nullptr) {
     stats_.GetGauge("lsdb_snapshot_zero_copy")
@@ -427,6 +492,14 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
   workers_->ParallelFor(
       batch.size(), [&](uint32_t worker, uint64_t i) {
         ScopedCounterSink sink(&locals[worker].c);
+        // Per-query descent profile, installed only when introspection is
+        // on (null install keeps the descent hooks on their one-branch
+        // disabled path). The toggle is re-read per query, so a live flip
+        // takes effect at the next query boundary.
+        const bool prof_on =
+            introspect_on_.load(std::memory_order_relaxed);
+        introspect::QueryProfile prof;
+        introspect::ScopedQueryProfile prof_scope(prof_on ? &prof : nullptr);
         // Snapshot the worker-private counters around the query so its
         // exact metric deltas can be attributed to the span.
         const MetricCounters before = locals[worker].c;
@@ -438,6 +511,11 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
                 .count());
         out.responses[i].latency_ns = ns;
         histogram(which, batch[i].type)->Record(worker, ns);
+        if (prof_on) {
+          profiles_[static_cast<size_t>(which)]
+                   [static_cast<size_t>(batch[i].type)]
+                       ->Record(worker, prof);
+        }
         if (tracer_.enabled()) {
           const MetricCounters d = locals[worker].c - before;
           QuerySpan span;
@@ -450,6 +528,14 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
           span.bbox_comps = d.bbox_comps;
           span.bucket_comps = d.bucket_comps;
           span.worker = worker;
+          if (prof_on) {
+            span.has_introspect = true;
+            span.nodes_visited = prof.nodes_visited;
+            span.nodes_pruned = prof.entries_pruned();
+            span.false_leaf_reads = prof.false_leaf_reads;
+            span.false_bucket_reads = prof.false_bucket_reads;
+            span.max_depth = prof.max_depth;
+          }
           tracer_.EmitQuerySpan(span);
         }
       });
@@ -492,8 +578,18 @@ StatusOr<BatchResult> QueryService::ExecuteBatchSequential(
   out.responses.resize(batch.size());
   out.per_worker.resize(1);
   ScopedCounterSink sink(&out.per_worker[0]);
+  const bool prof_on = introspect_on_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < batch.size(); ++i) {
+    introspect::QueryProfile prof;
+    introspect::ScopedQueryProfile prof_scope(prof_on ? &prof : nullptr);
     out.responses[i] = ExecuteOne(which, idx, batch[i]);
+    if (prof_on) {
+      // Shard 0: the sequential path never runs concurrently with itself,
+      // and the accumulator fields are relaxed atomics regardless.
+      profiles_[static_cast<size_t>(which)]
+               [static_cast<size_t>(batch[i].type)]
+                   ->Record(0, prof);
+    }
   }
   out.metrics += out.per_worker[0];
   return out;

@@ -28,6 +28,8 @@
 
 #include "lsdb/data/polygonal_map.h"
 #include "lsdb/index/spatial_index.h"
+#include "lsdb/introspect/page_heat.h"
+#include "lsdb/introspect/profiler.h"
 #include "lsdb/obs/latency_histogram.h"
 #include "lsdb/obs/stats_registry.h"
 #include "lsdb/obs/tracer.h"
@@ -69,6 +71,14 @@ struct ServiceOptions {
   /// 1-in-N sampling for buffer-pool trace events (1 = every event,
   /// 0 = none). Query spans are never sampled.
   uint64_t trace_pool_sample_every = 100;
+  /// Byte budget for the trace file (0 = unlimited). Past it, further
+  /// lines are dropped and counted in Tracer::lines_dropped().
+  uint64_t trace_max_bytes = 0;
+
+  /// Start with query-path introspection on (see set_introspection()).
+  /// Off by default: the per-hook cost is one thread-local load and an
+  /// untaken branch, and the paper metrics never depend on this either way.
+  bool introspect = false;
 
   // -- Robustness ----------------------------------------------------------
 
@@ -161,6 +171,47 @@ class QueryService {
   /// set; tests may AttachStream before issuing batches).
   Tracer& tracer() { return tracer_; }
 
+  // -- Introspection ------------------------------------------------------
+
+  /// Toggles query-path profiling for queries that start after the store
+  /// becomes visible. Safe to flip live while batches run: each query
+  /// installs a thread-local recording target and aggregates land in
+  /// sharded relaxed atomics. Responses and paper metrics are identical
+  /// either way; when off, every descent hook costs one thread-local load
+  /// and an untaken branch.
+  void set_introspection(bool on) {
+    introspect_on_.store(on, std::memory_order_relaxed);
+  }
+  bool introspection() const {
+    return introspect_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Merged query-path profile for one structure x query kind, aggregated
+  /// since service start. Empty (queries == 0) unless introspection was on
+  /// while batches ran.
+  introspect::ProfileAccumulator::Summary profile_summary(
+      ServedIndex which, QueryType type) const;
+
+  /// Attaches a per-page heat map to every structure's buffer pool plus
+  /// the shared segment pool. Idempotent. Call before issuing the batches
+  /// whose page traffic should be recorded.
+  void EnablePageHeat();
+  /// Heat map over `which`'s index pages; null until EnablePageHeat().
+  const introspect::PageHeatMap* page_heat(ServedIndex which) const {
+    return heat_[static_cast<size_t>(which) + 1].get();
+  }
+  /// Heat map over the shared segment-table pages; null until enabled.
+  const introspect::PageHeatMap* segment_page_heat() const {
+    return heat_[0].get();
+  }
+
+  /// Concrete structure accessors for offline walkers (structure x-ray,
+  /// lsdb_inspect). The served structures are frozen, so walking them is
+  /// safe alongside read batches.
+  RStarTree* rstar() { return rstar_.get(); }
+  RPlusTree* rplus() { return rplus_.get(); }
+  PmrQuadtree* pmr() { return pmr_.get(); }
+
  private:
   explicit QueryService(const ServiceOptions& options);
 
@@ -211,6 +262,15 @@ class QueryService {
   std::unique_ptr<LatencyHistogram>
       histograms_[std::size(kAllServedIndexes)][std::size(kAllQueryTypes)];
   std::atomic<uint64_t> next_query_id_{0};  ///< Trace span ids.
+
+  // Introspection state (see set_introspection / EnablePageHeat).
+  std::atomic<bool> introspect_on_{false};
+  /// [structure][query kind] profile aggregates, shards == worker count.
+  std::unique_ptr<introspect::ProfileAccumulator>
+      profiles_[std::size(kAllServedIndexes)][std::size(kAllQueryTypes)];
+  /// [segments, R*, R+, PMR] page heat maps; null until EnablePageHeat().
+  std::unique_ptr<introspect::PageHeatMap>
+      heat_[std::size(kAllServedIndexes) + 1];
 };
 
 }  // namespace lsdb

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "lsdb/introspect/page_heat.h"
 #include "lsdb/obs/tracer.h"
 #include "lsdb/util/crc32c.h"
 
@@ -203,6 +204,7 @@ void BufferPool::Unpin(uint32_t frame) {
 StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
   if (file_->zero_copy()) return FetchZeroCopy(id);
   std::unique_lock<std::mutex> lk(mu_);
+  if (heat_ != nullptr) heat_->Touch(id);
   if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   for (;;) {
     auto it = page_to_frame_.find(id);
@@ -246,6 +248,7 @@ StatusOr<BufferPool::PageRef> BufferPool::FetchZeroCopy(PageId id) {
   // page_fetch; the page's first touch (when it is checksum-verified and
   // genuinely faulted in) is the miss / disk_read, later touches are hits.
   std::unique_lock<std::mutex> lk(mu_);
+  if (heat_ != nullptr) heat_->Touch(id);
   if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   for (uint32_t attempt = 1;; ++attempt) {
     auto mapped = file_->MapPage(id);
@@ -380,6 +383,11 @@ void BufferPool::SetTracer(Tracer* tracer, std::string pool_name) {
   std::lock_guard<std::mutex> lk(mu_);
   tracer_ = tracer;
   pool_name_ = std::move(pool_name);
+}
+
+void BufferPool::SetPageHeat(introspect::PageHeatMap* heat) {
+  std::lock_guard<std::mutex> lk(mu_);
+  heat_ = heat;
 }
 
 void BufferPool::TraceEvent(PoolEvent e) const {

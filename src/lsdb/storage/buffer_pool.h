@@ -43,6 +43,9 @@ namespace lsdb {
 
 class Tracer;
 enum class PoolEvent : uint8_t;  // full definition in lsdb/obs/tracer.h
+namespace introspect {
+class PageHeatMap;  // full definition in lsdb/introspect/page_heat.h
+}
 
 class BufferPool {
  public:
@@ -154,6 +157,12 @@ class BufferPool {
   /// the sequential paper harness) the cost is one null-pointer test.
   void SetTracer(Tracer* tracer, std::string pool_name);
 
+  /// Attaches `heat` (not owned; may be null to detach) so every logical
+  /// page access — copying or zero-copy, hit or miss — bumps its per-page
+  /// counter. Call before sharing the pool across threads; unattached (the
+  /// default) the cost is one null-pointer test per fetch.
+  void SetPageHeat(introspect::PageHeatMap* heat);
+
  private:
   struct Frame {
     std::vector<uint8_t> buf;
@@ -209,6 +218,7 @@ class BufferPool {
   uint32_t retry_backoff_us_ = kDefaultIoBackoffUs;
   Tracer* tracer_ = nullptr;  ///< Not owned; null = no tracing.
   std::string pool_name_;
+  introspect::PageHeatMap* heat_ = nullptr;  ///< Not owned; null = off.
 };
 
 }  // namespace lsdb

@@ -1,5 +1,8 @@
 #include "lsdb/viz/svg.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 
 namespace lsdb {
@@ -37,6 +40,48 @@ Status WriteSvg(const PolygonalMap& map, const std::vector<Rect>& regions,
   for (const Segment& s : map.segments) {
     out << "<line x1=\"" << sx(s.a.x) << "\" y1=\"" << sy(s.a.y)
         << "\" x2=\"" << sx(s.b.x) << "\" y2=\"" << sy(s.b.y) << "\"/>\n";
+  }
+  out << "</g>\n</svg>\n";
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Status WriteHeatmapSvg(const std::vector<uint64_t>& page_counts,
+                       const std::string& path, double pixels) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+
+  const size_t n = page_counts.empty() ? 1 : page_counts.size();
+  const uint32_t cols =
+      static_cast<uint32_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const uint32_t rows = static_cast<uint32_t>((n + cols - 1) / cols);
+  const double tile = pixels / cols;
+
+  uint64_t max_count = 0;
+  for (uint64_t c : page_counts) max_count = std::max(max_count, c);
+  // log-scale so a single hot root page doesn't flatten everything else
+  // into an indistinguishable near-white band.
+  const double log_max = std::log1p(static_cast<double>(max_count));
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixels
+      << "\" height=\"" << (tile * rows) << "\" viewBox=\"0 0 " << pixels
+      << " " << (tile * rows) << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out << "<g stroke=\"#cccccc\" stroke-width=\"" << (tile * 0.02) << "\">\n";
+  for (size_t i = 0; i < page_counts.size(); ++i) {
+    double t = 0.0;
+    if (page_counts[i] > 0 && log_max > 0.0) {
+      t = std::log1p(static_cast<double>(page_counts[i])) / log_max;
+    }
+    // White -> deep red ramp.
+    const int r = 255 - static_cast<int>(t * 75.0);
+    const int gb = 255 - static_cast<int>(t * 215.0);
+    char color[8];
+    std::snprintf(color, sizeof(color), "#%02x%02x%02x", r, gb, gb);
+    out << "<rect x=\"" << ((i % cols) * tile) << "\" y=\""
+        << ((i / cols) * tile) << "\" width=\"" << tile << "\" height=\""
+        << tile << "\" fill=\"" << color << "\"><title>page " << i << ": "
+        << page_counts[i] << "</title></rect>\n";
   }
   out << "</g>\n</svg>\n";
   if (!out) return Status::IoError("short write to " + path);

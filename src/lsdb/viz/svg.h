@@ -32,6 +32,14 @@ struct SvgOptions {
 Status WriteSvg(const PolygonalMap& map, const std::vector<Rect>& regions,
                 const std::string& path, const SvgOptions& options = {});
 
+/// Writes per-page access counts as a square tile grid: pages laid out
+/// row-major in id order, ceil(sqrt(n)) columns, each tile shaded by a
+/// log-scaled single-hue ramp (white = untouched, darkest = hottest).
+/// Makes buffer-pool access skew visible at a glance — a hot root page
+/// and a handful of hot internal pages against a sea of cold leaves.
+Status WriteHeatmapSvg(const std::vector<uint64_t>& page_counts,
+                       const std::string& path, double pixels = 1024.0);
+
 }  // namespace lsdb
 
 #endif  // LSDB_VIZ_SVG_H_

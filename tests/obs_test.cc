@@ -271,6 +271,31 @@ TEST(LatencyHistogramTest, PercentilesOnKnownDistribution) {
   EXPECT_EQ(s.Quantile(1.0), 100u);  // == max
 }
 
+TEST(LatencyHistogramTest, QuantileExtremesAtP0AndP100) {
+  // Empty: both extremes are zero (no samples to report).
+  LatencyHistogram empty(1);
+  EXPECT_EQ(empty.Merge().Quantile(0.0), 0u);
+  EXPECT_EQ(empty.Merge().Quantile(1.0), 0u);
+  // Single sample: p0 == p100 == the sample, exactly (top-bucket clamp).
+  LatencyHistogram one(1);
+  one.Record(0, 777);
+  const auto s1 = one.Merge();
+  EXPECT_EQ(s1.Quantile(0.0), 777u);
+  EXPECT_EQ(s1.Quantile(1.0), 777u);
+  // Samples in distinct buckets: p0 resolves to the first occupied
+  // bucket's upper bound, p100 to the exact max (never the top bucket's
+  // upper bound, which would overstate the tail by up to 2x).
+  LatencyHistogram two(1);
+  two.Record(0, 2);    // bucket [2,3]
+  two.Record(0, 900);  // bucket [512,1023], top occupied
+  const auto s2 = two.Merge();
+  EXPECT_EQ(s2.Quantile(0.0), 3u);
+  EXPECT_EQ(s2.Quantile(1.0), 900u);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_EQ(s2.Quantile(-1.0), s2.Quantile(0.0));
+  EXPECT_EQ(s2.Quantile(2.0), s2.Quantile(1.0));
+}
+
 TEST(LatencyHistogramTest, ZeroValuesLandInBucketZero) {
   LatencyHistogram h(1);
   h.Record(0, 0);
@@ -430,6 +455,119 @@ TEST(TracerTest, SampleEveryZeroDisablesPoolEventsOnly) {
   t.EmitQuerySpan(span);
   t.Close();
   EXPECT_EQ(Lines(out.str()).size(), 1u);  // the span only
+}
+
+TEST(TracerTest, ByteBudgetDropsAndCountsExcessLines) {
+  std::ostringstream out;
+  Tracer t;
+  TracerOptions topt;
+  // Size the budget from a real span line so the test does not bake in
+  // the serialization format: room for exactly two lines, not three.
+  {
+    std::ostringstream probe;
+    Tracer sizer;
+    sizer.AttachStream(&probe);
+    QuerySpan span;
+    span.kind = "window";
+    span.structure = "R*";
+    sizer.EmitQuerySpan(span);
+    sizer.Close();
+    topt.max_bytes = 2 * probe.str().size();
+  }
+  t.AttachStream(&out, topt);
+  QuerySpan span;
+  span.kind = "window";
+  span.structure = "R*";
+  for (int i = 0; i < 5; ++i) t.EmitQuerySpan(span);
+  t.Close();
+  EXPECT_EQ(t.lines_emitted(), 2u);
+  EXPECT_EQ(t.lines_dropped(), 3u);
+  const auto lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  // What did land must still be complete lines, not truncated JSON.
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonValidator::Valid(line)) << line;
+  }
+}
+
+TEST(TracerTest, ZeroBudgetMeansUnlimited) {
+  std::ostringstream out;
+  Tracer t;
+  TracerOptions topt;
+  topt.max_bytes = 0;
+  t.AttachStream(&out, topt);
+  QuerySpan span;
+  for (int i = 0; i < 100; ++i) t.EmitQuerySpan(span);
+  t.Close();
+  EXPECT_EQ(t.lines_emitted(), 100u);
+  EXPECT_EQ(t.lines_dropped(), 0u);
+}
+
+TEST(TracerTest, FlushMakesLinesVisibleWithoutDisabling) {
+  std::ostringstream out;
+  Tracer t;
+  t.AttachStream(&out);
+  QuerySpan span;
+  t.EmitQuerySpan(span);
+  t.Flush();  // NOLINT(lsdb-ignored-status): Tracer::Flush returns void
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(Lines(out.str()).size(), 1u);
+  t.EmitQuerySpan(span);  // still accepts events after a flush
+  t.Close();
+  EXPECT_EQ(t.lines_emitted(), 2u);
+  EXPECT_FALSE(t.enabled());
+}
+
+TEST(TracerTest, ReattachResetsByteBudgetAccounting) {
+  QuerySpan span;
+  Tracer t;
+  TracerOptions topt;
+  {
+    // Budget = one span line exactly, measured rather than hardcoded.
+    std::ostringstream probe;
+    Tracer sizer;
+    sizer.AttachStream(&probe);
+    sizer.EmitQuerySpan(span);
+    sizer.Close();
+    topt.max_bytes = probe.str().size();
+  }
+  std::ostringstream first;
+  t.AttachStream(&first, topt);
+  for (int i = 0; i < 3; ++i) t.EmitQuerySpan(span);
+  EXPECT_GT(t.lines_dropped(), 0u);
+  const uint64_t dropped_before = t.lines_dropped();
+  // A fresh sink starts a fresh budget; the drop counter is cumulative.
+  std::ostringstream second;
+  t.AttachStream(&second, topt);
+  t.EmitQuerySpan(span);
+  t.Close();
+  EXPECT_FALSE(second.str().empty());
+  EXPECT_GE(t.lines_dropped(), dropped_before);
+}
+
+TEST(TracerTest, IntrospectBlockAppearsOnlyWhenFlagged) {
+  std::ostringstream out;
+  Tracer t;
+  t.AttachStream(&out);
+  QuerySpan plain;
+  t.EmitQuerySpan(plain);
+  QuerySpan profiled;
+  profiled.has_introspect = true;
+  profiled.nodes_visited = 12;
+  profiled.nodes_pruned = 4;
+  profiled.false_leaf_reads = 2;
+  profiled.max_depth = 3;
+  t.EmitQuerySpan(profiled);
+  t.Close();
+  const auto lines = Lines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("nodes_visited"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"nodes_visited\":12"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"nodes_pruned\":4"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"max_depth\":3"), std::string::npos);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonValidator::Valid(line)) << line;
+  }
 }
 
 // ---------------------------------------------------------------------------

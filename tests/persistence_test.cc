@@ -3,9 +3,11 @@
 // query results.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <fstream>
 #include <memory>
+#include <string>
 
 #include "lsdb/grid/uniform_grid.h"
 #include "lsdb/pmr/pmr_quadtree.h"
@@ -30,9 +32,17 @@ IndexOptions TestOptions() {
   return opt;
 }
 
+// Paths carry the pid: ctest runs each discovered test in its own process,
+// and the typed instantiations would otherwise collide on shared files
+// under a parallel ctest invocation.
+std::string UniquePath(const char* stem) {
+  return ::testing::TempDir() + "/lsdb_" + stem + "." +
+         std::to_string(::getpid()) + ".pages";
+}
+
 struct Paths {
-  std::string table = ::testing::TempDir() + "/lsdb_persist_table.pages";
-  std::string index = ::testing::TempDir() + "/lsdb_persist_index.pages";
+  std::string table = UniquePath("persist_table");
+  std::string index = UniquePath("persist_index");
 };
 
 template <typename IndexT>
@@ -118,10 +128,8 @@ TYPED_TEST(PersistenceTest, ReopenedIndexAnswersIdentically) {
 // least one corruption must actually be reported.
 TYPED_TEST(PersistenceTest, OnDiskCorruptionIsTypedNotFatal) {
   const IndexOptions opt = TestOptions();
-  const std::string table_path =
-      ::testing::TempDir() + "/lsdb_corrupt_table.pages";
-  const std::string index_path =
-      ::testing::TempDir() + "/lsdb_corrupt_index.pages";
+  const std::string table_path = UniquePath("corrupt_table");
+  const std::string index_path = UniquePath("corrupt_index");
   Rng rng(43);
   const auto segs = RandomSegments(&rng, 300, 1024, 96);
   {
@@ -202,7 +210,7 @@ TYPED_TEST(PersistenceTest, OnDiskCorruptionIsTypedNotFatal) {
 
 TEST(PersistenceNegativeTest, KindMismatchRejected) {
   const IndexOptions opt = TestOptions();
-  const std::string path = ::testing::TempDir() + "/lsdb_kind.pages";
+  const std::string path = UniquePath("kind");
   {
     auto file = PosixPageFile::Create(path, opt.page_size);
     ASSERT_TRUE(file.ok());
@@ -226,7 +234,7 @@ TEST(PersistenceNegativeTest, KindMismatchRejected) {
 
 TEST(PersistenceNegativeTest, OptionMismatchRejected) {
   IndexOptions opt = TestOptions();
-  const std::string path = ::testing::TempDir() + "/lsdb_opts.pages";
+  const std::string path = UniquePath("opts");
   MemPageFile seg_mem(opt.page_size);
   BufferPool seg_pool(&seg_mem, 4, nullptr);
   SegmentTable table(&seg_pool, nullptr);

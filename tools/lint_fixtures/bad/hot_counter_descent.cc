@@ -1,0 +1,24 @@
+// lsdb-lint-pretend-path: src/lsdb/rtree/rstar_tree.cc
+// Golden-bad fixture: query-path profiling hooks called bare inside a
+// descent loop. Each call runs unconditionally — counter maintenance on
+// the hot path even when introspection is off — instead of compiling to a
+// thread-local load plus an untaken branch via LSDB_INTROSPECT.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include "lsdb/introspect/profiler.h"
+
+namespace lsdb {
+
+void Demo(introspect::QueryProfile* prof, uint32_t depth) {
+  prof->OnNode(depth, true, 10, 4, 0);  // bare hook: always executes
+  prof->BeginBucket(depth);             // same for the bucket pair
+  prof->OnResult(1);
+  prof->EndBucket();
+  // Reaching for the thread-local target directly re-implements the macro
+  // without its null test being optimizer-friendly, and is flagged even
+  // when a null check is hand-written around it.
+  introspect::QueryProfile* p = introspect::ThreadProfile();
+  if (p != nullptr) p->OnBtreeNode(depth, true, 8, 2);
+}
+
+}  // namespace lsdb

@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "lsdb/btree/btree.h"
+#include "lsdb/introspect/profiler.h"
 #include "lsdb/util/counters.h"
 
 namespace lsdb {
@@ -21,6 +22,12 @@ Status Demo(BTree* tree, MetricCounters& metrics_, size_t n) {
   assert(n > 0);  // NOLINT(lsdb-assert-on-disk): caller contract, not disk data
   const auto t0 = std::chrono::steady_clock::now();  // monotonic: allowed
   (void)t0;
+  // Profiling hooks in a descent TU: the macro is the sanctioned spelling
+  // (one TLS load + untaken branch when introspection is off), including
+  // arguments that wrap onto a continuation line.
+  LSDB_INTROSPECT(OnNode(0, true, n, 1, 1));
+  LSDB_INTROSPECT(OnBtreeNode(1, true,
+                              n, 1));
   return Status::OK();
 }
 

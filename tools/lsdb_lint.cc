@@ -1,7 +1,7 @@
 // lsdb_lint: domain-specific static checks for the lsdb tree.
 //
 // Complements clang-tidy (which may be absent from a minimal toolchain —
-// this tool builds with nothing beyond the standard library) with six
+// this tool builds with nothing beyond the standard library) with seven
 // project rules that generic linters cannot express:
 //
 //   lsdb-ignored-status    every Status/StatusOr return must be consumed.
@@ -36,6 +36,14 @@
 //                          the per-byte codecs (snapshot_format.h), which
 //                          are alignment-safe and cannot dodge
 //                          verify-on-first-touch.
+//   lsdb-hot-counter-in-descent
+//                          index descent TUs may only touch query-path
+//                          profiling state through LSDB_INTROSPECT(...),
+//                          whose off-cost is one thread-local load and an
+//                          untaken branch. Bare QueryProfile hook calls or
+//                          direct ThreadProfile() use in a descent loop
+//                          put unconditional stat work on the hot path and
+//                          break the zero-cost-when-off guarantee.
 //
 // Suppression: `// NOLINT(lsdb-<rule>): reason` on the offending line, or
 // `// NOLINTNEXTLINE(lsdb-<rule>): reason` on the line above. A bare
@@ -135,6 +143,17 @@ const std::vector<std::string>& MmapCastAllowlist() {
       "src/lsdb/snapshot/",
   };
   return kAllow;
+}
+
+// TUs containing index descent loops (the query hot path). Profiling state
+// there may only be touched through the LSDB_INTROSPECT macro.
+const std::vector<std::string>& DescentTus() {
+  static const std::vector<std::string> kTus = {
+      "src/lsdb/btree/btree.cc",      "src/lsdb/rtree/rstar_tree.cc",
+      "src/lsdb/rplus/rplus_tree.cc", "src/lsdb/pmr/pmr_quadtree.cc",
+      "src/lsdb/grid/uniform_grid.cc",
+  };
+  return kTus;
 }
 
 // ---------------------------------------------------------------------------
@@ -722,6 +741,89 @@ void CheckUncheckedMmapCast(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: lsdb-hot-counter-in-descent
+// ---------------------------------------------------------------------------
+
+void CheckHotCounterInDescent(const std::string& path,
+                              const std::vector<std::string>& raw,
+                              const std::vector<std::string>& stripped,
+                              std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-hot-counter-in-descent";
+  bool descent = false;
+  for (const std::string& tu : DescentTus()) {
+    if (EndsWith(path, tu)) {
+      descent = true;
+      break;
+    }
+  }
+  if (!descent) return;
+  // QueryProfile hook methods (introspect/profiler.h). A call to one of
+  // these outside LSDB_INTROSPECT runs unconditionally — stat work on the
+  // hot path even with introspection off.
+  static const std::vector<std::string> kHooks = {
+      "OnNode", "OnBtreeNode", "BeginBucket", "EndBucket", "OnResult",
+  };
+  // Direct access to the thread-local profiling target. Descent TUs never
+  // need it: the macro performs the load-and-test itself.
+  static const std::vector<std::string> kTlsTokens = {
+      "ThreadProfile", "tls_query_profile",
+  };
+  // Paren depth inside an LSDB_INTROSPECT(...) argument list; hook names
+  // on a wrapped continuation line are still guarded.
+  int guard_depth = 0;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    bool guarded = guard_depth > 0;
+    size_t macro = line.find("LSDB_INTROSPECT");
+    if (macro != std::string::npos) guarded = true;
+    // Update the carry-over depth: from the macro's opening paren (or the
+    // line start when already inside one) to the end of the line.
+    size_t from = guard_depth > 0
+                      ? 0
+                      : (macro == std::string::npos ? line.size() : macro);
+    for (size_t p = from; p < line.size(); ++p) {
+      if (line[p] == '(') ++guard_depth;
+      if (line[p] == ')' && guard_depth > 0) {
+        if (--guard_depth == 0) break;  // macro closed; rest is unguarded
+      }
+    }
+
+    std::string hit;
+    for (const std::string& hook : kHooks) {
+      size_t pos = line.find(hook);
+      while (pos != std::string::npos) {
+        size_t after = pos + hook.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (WordAt(line, pos, hook) && after < line.size() &&
+            line[after] == '(') {
+          hit = hook + "()";
+          break;
+        }
+        pos = line.find(hook, pos + 1);
+      }
+      if (!hit.empty()) break;
+    }
+    if (hit.empty()) {
+      for (const std::string& tok : kTlsTokens) {
+        size_t pos = line.find(tok);
+        if (pos != std::string::npos && WordAt(line, pos, tok)) {
+          hit = tok;
+          guarded = false;  // never sanctioned in a descent TU, macro or not
+          break;
+        }
+      }
+    }
+    if (!hit.empty() && !guarded && !Suppressed(raw, i, kRule)) {
+      findings->push_back(
+          {path, i + 1, kRule,
+           "unguarded profiling touch '" + hit +
+               "' in an index descent TU; wrap it as LSDB_INTROSPECT(...) "
+               "so the off-path stays one TLS load and an untaken branch"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -754,6 +856,7 @@ bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
   CheckCounterMutation(path, raw, stripped, &file_findings);
   CheckDeterminism(path, raw, stripped, &file_findings);
   CheckUncheckedMmapCast(path, raw, stripped, &file_findings);
+  CheckHotCounterInDescent(path, raw, stripped, &file_findings);
   for (Finding& f : file_findings) {
     f.path = arg_path;  // report the real file, even under pretend-path
     findings->push_back(std::move(f));

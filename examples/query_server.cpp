@@ -3,10 +3,17 @@
 //
 //   $ ./examples/query_server [county] [threads] [trace.jsonl]
 //         [--snapshot-out file.lsnap | --snapshot-in file.lsnap]
+//         [--admitted] [--deadline-ms N] [--policy fifo|lifo|codel]
 //
 // --snapshot-out serializes the freshly built service to a single-file
 // snapshot after serving; --snapshot-in skips the build entirely and
 // serves zero-copy from a mapped snapshot (instant start).
+//
+// --admitted re-serves the batch through the overload-protected path
+// (SubmitQuery / bounded admission queue) with a per-query deadline of
+// --deadline-ms (default 50) under the chosen shedding policy, then
+// prints the admission scoreboard — the interactive twin of
+// bench_overload.
 //
 // This is the serving-side counterpart to the sequential paper harness:
 // the same R*-tree, R+-tree, and PMR quadtree, but built once, frozen
@@ -41,6 +48,10 @@ int main(int argc, char** argv) {
   // --introspect profiles every served query and attaches page-heat
   // counters, then dumps a /debug/introspect section after /metrics.
   bool introspect = false;
+  // --admitted demos the overload-protected serving path (see header).
+  bool admitted = false;
+  uint64_t deadline_ms = 50;
+  AdmissionOptions::Policy policy = AdmissionOptions::Policy::kCoDel;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot-out") == 0 && i + 1 < argc) {
@@ -49,6 +60,17 @@ int main(int argc, char** argv) {
       snapshot_in = argv[++i];
     } else if (std::strcmp(argv[i], "--introspect") == 0) {
       introspect = true;
+    } else if (std::strcmp(argv[i], "--admitted") == 0) {
+      admitted = true;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = static_cast<uint64_t>(atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      const char* p = argv[++i];
+      policy = std::strcmp(p, "fifo") == 0
+                   ? AdmissionOptions::Policy::kFifoReject
+                   : std::strcmp(p, "lifo") == 0
+                         ? AdmissionOptions::Policy::kAdaptiveLifo
+                         : AdmissionOptions::Policy::kCoDel;
     } else if (positional == 0) {
       county = argv[i];
       ++positional;
@@ -77,6 +99,8 @@ int main(int argc, char** argv) {
   ServiceOptions opt;
   opt.num_threads = threads;
   opt.trace_path = trace_path;  // empty = tracing disabled (near-zero cost)
+  opt.admission.policy = policy;
+  opt.admission.default_deadline_ns = deadline_ms * 1'000'000;
   auto svc = snapshot_in.empty()
                  ? QueryService::Build(map, opt)
                  : QueryService::OpenFromSnapshot(snapshot_in, opt);
@@ -141,6 +165,43 @@ int main(int argc, char** argv) {
       std::printf("     worker %zu     %s\n", w,
                   res->per_worker[w].ToString().c_str());
     }
+  }
+
+  // 4b. Optionally re-serve the batch through the overload-protected
+  // path: every query passes the bounded admission queue, runs under a
+  // deadline token, and the scoreboard shows admitted / shed / timeout
+  // counts the way an operator would read them off /metrics.
+  if (admitted) {
+    std::printf("\n--- admitted path (policy=%s, deadline=%llums) ---\n",
+                AdmissionPolicyName(policy),
+                static_cast<unsigned long long>(deadline_ms));
+    for (ServedIndex which : kAllServedIndexes) {
+      auto res = (*svc)->ExecuteBatchAdmitted(which, batch);
+      if (!res.ok()) {
+        std::fprintf(stderr, "admitted batch failed: %s\n",
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      size_t ok = 0, shed = 0, timeout = 0, cancelled = 0;
+      for (const QueryResponse& r : res->responses) {
+        ok += r.status.ok() || r.status.IsNotFound();
+        shed += r.status.IsUnavailable();
+        timeout += r.status.IsDeadlineExceeded();
+        cancelled += r.status.IsCancelled();
+      }
+      std::printf("%-4s %zu queries -> %zu ok, %zu shed, %zu timeout, "
+                  "%zu cancelled\n",
+                  ServedIndexName(which), batch.size(), ok, shed, timeout,
+                  cancelled);
+    }
+    const AdmissionStats as = (*svc)->admission_stats();
+    std::printf("admission scoreboard: admitted=%llu executed=%llu "
+                "timeouts=%llu shed_total=%llu max_depth=%llu\n",
+                static_cast<unsigned long long>(as.admitted),
+                static_cast<unsigned long long>(as.executed),
+                static_cast<unsigned long long>(as.timeouts),
+                static_cast<unsigned long long>(as.shed_total),
+                static_cast<unsigned long long>(as.max_depth));
   }
 
   // 5. Optionally persist the service as a single-file snapshot for

@@ -162,11 +162,56 @@ def check_introspect(doc, path):
                                  "top"), f"{where} page_heat")
 
 
+def check_overload(doc, path):
+    if not require(doc, ("bench", "county", "segments", "smoke", "threads",
+                         "policy", "latency_injected_us", "capacity_qps",
+                         "unloaded_p99_ns", "deadline_ns", "sweep",
+                         "p99_bound_ns", "p99_at_3x_ns", "bounded",
+                         "accounted"), path):
+        return
+    if doc["policy"] not in ("fifo", "lifo", "codel"):
+        fail(f"{path}: unknown policy {doc['policy']!r}")
+    if not (doc["capacity_qps"] > 0 and doc["deadline_ns"] > 0):
+        fail(f"{path}: nonpositive capacity/deadline")
+    sweep = doc["sweep"]
+    if [p.get("load_factor") for p in sweep] != [0.5, 1.0, 2.0, 3.0]:
+        fail(f"{path}: expected sweep at 0.5/1/2/3x capacity")
+        return
+    for p in sweep:
+        where = f"{path} load {p.get('load_factor', '?')}x"
+        if not require(p, ("offered_qps", "submitted", "ok", "shed",
+                           "timeout", "cancelled", "goodput_qps",
+                           "admitted_p50_ns", "admitted_p99_ns"), where):
+            continue
+        # The accounting contract: every submitted query completes exactly
+        # once as success, shed, timeout, or cancellation.
+        total = p["ok"] + p["shed"] + p["timeout"] + p["cancelled"]
+        if total != p["submitted"]:
+            fail(f"{where}: {total} outcomes != {p['submitted']} submitted")
+        if p["ok"] > 0 and p["goodput_qps"] <= 0:
+            fail(f"{where}: nonpositive goodput with successes")
+        if p["admitted_p50_ns"] > p["admitted_p99_ns"]:
+            fail(f"{where}: p50 > p99")
+    # Past saturation the layer must actually protect itself: some load is
+    # shed or timed out, and successes still flow.
+    overload = sweep[-1]
+    if overload["shed"] + overload["timeout"] == 0:
+        fail(f"{path}: no shedding/timeouts at 3x capacity")
+    if overload["ok"] == 0:
+        fail(f"{path}: zero goodput at 3x capacity")
+    if doc["bounded"] is not True:
+        fail(f"{path}: admitted p99 not bounded at 3x capacity "
+             f"({doc['p99_at_3x_ns']} > {doc['p99_bound_ns']} ns)")
+    if doc["accounted"] is not True:
+        fail(f"{path}: query accounting did not balance")
+
+
 CHECKERS = {
     "service_observability": check_service,
     "bulk_build": check_build,
     "snapshot_start": check_snapshot,
     "introspect": check_introspect,
+    "overload": check_overload,
 }
 
 # Tracked regression metrics: (bench kind, extractor) -> {label: value}.
@@ -185,6 +230,11 @@ def tracked_metrics(doc):
     elif kind == "snapshot_start":
         out["mmap_qps"] = ("hi", doc.get("mmap_qps"))
         out["pool_qps"] = ("hi", doc.get("pool_qps"))
+    elif kind == "overload":
+        # Capacity is the stable cross-run metric; the sweep's absolute
+        # latencies are deadline-relative and jitter-dominated on shared
+        # runners, so they are schema-checked but not regression-gated.
+        out["capacity_qps"] = ("hi", doc.get("capacity_qps"))
     return {k: v for k, v in out.items() if v[1] is not None}
 
 

@@ -10,8 +10,10 @@
 # Tier 2: rebuild with ThreadSanitizer (-DLSDB_SAN=thread) and re-run the
 #         concurrency-sensitive tests — the query service, worker pool,
 #         buffer pool, the observability layer (sharded histograms,
-#         tracer, registry), and the robustness suite (concurrent batches
-#         with injected faults) — which must report zero races.
+#         tracer, registry), the robustness suite (concurrent batches
+#         with injected faults), and the overload suite (cross-thread
+#         cancellation mid-descent, admission queue, pin waits under
+#         tokens, shutdown drain) — which must report zero races.
 # Tier 2b: rebuild with AddressSanitizer (-DLSDB_SAN=address) and run the
 #         fault-injection suite — checksums, corruption round trips,
 #         retries, breaker trips — which must report zero memory errors
@@ -28,7 +30,10 @@
 #         (BENCH_service.json), bulk build (BENCH_build.json, whose exit
 #         status already enforces bulk-vs-incremental equivalence),
 #         snapshot cold-start (BENCH_snapshot.json, >=10x speedup
-#         enforced), and query-path introspection (BENCH_introspect.json).
+#         enforced), query-path introspection (BENCH_introspect.json),
+#         and the overload sweep (BENCH_overload.json, whose exit status
+#         already enforces the bounded-p99 and accounting invariants at
+#         3x saturation).
 # Tier 4: scripts/check_bench.py validates every generated BENCH_*.json
 #         against its schema and gates tracked throughput/latency metrics
 #         (service qps/p99, snapshot qps) against the committed baselines
@@ -47,7 +52,7 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 cmake -B build-tsan -S . -DLSDB_SAN=thread
 cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
-  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*:IntrospectTest.*:IntrospectServiceTest.*'
+  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*:IntrospectTest.*:IntrospectServiceTest.*:OverloadServiceTest.*:AdmissionQueueTest.*:CancelTokenTest.*:BufferPoolCancelTest.*'
 
 cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
@@ -63,6 +68,7 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ./build/bench/bench_bulk_build --smoke Charles build/BENCH_build.json
 ./build/bench/bench_snapshot_start --smoke Charles build/BENCH_snapshot.json 4
 ./build/bench/bench_introspect Charles 500 build/BENCH_introspect.json 4
+./build/bench/bench_overload --smoke Charles build/BENCH_overload.json 2
 
 python3 scripts/check_bench.py --dir build --baseline .
 

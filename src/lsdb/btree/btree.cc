@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "lsdb/introspect/profiler.h"
+#include "lsdb/service/cancel.h"
 
 namespace lsdb {
 
@@ -524,6 +525,7 @@ StatusOr<PageId> BTree::FindLeaf(uint64_t key) {
     if (depth > height_) {
       return Status::Corruption("btree descent exceeds tree height");
     }
+    LSDB_RETURN_IF_CANCELLED();
     Node node;
     LSDB_RETURN_IF_ERROR(LoadNode(id, &node));
     LSDB_INTROSPECT(OnBtreeNode(depth - 1, node.leaf, node.keys.size(),
@@ -611,6 +613,7 @@ Status BTree::Scan(uint64_t lo, uint64_t hi,
     if (++hops > live_pages_) {
       return Status::Corruption("btree leaf chain cycle");
     }
+    LSDB_RETURN_IF_CANCELLED();
     Node leaf;
     LSDB_RETURN_IF_ERROR(LoadChainedLeaf(id, &leaf));
     size_t i = 0;

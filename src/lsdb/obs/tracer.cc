@@ -162,6 +162,29 @@ void Tracer::EmitHealthEvent(const char* structure, const char* event) {
   WriteLine(line);
 }
 
+void Tracer::EmitAdmissionEvent(const char* structure, const char* event) {
+  if (!enabled()) return;
+  uint64_t every;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    every = options_.pool_event_sample_every;
+  }
+  if (every == 0) return;
+  const uint64_t seq =
+      admission_event_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % every != 0) return;
+  std::string line;
+  line.reserve(96);
+  line += "{\"event\":\"admission\",\"structure\":\"";
+  JsonEscape(structure, &line);
+  line += "\",\"outcome\":\"";
+  JsonEscape(event, &line);
+  line += "\",\"sampled_every\":";
+  line += std::to_string(every);
+  line += "}";
+  WriteLine(line);
+}
+
 void Tracer::WriteLine(const std::string& line) {
   std::lock_guard<std::mutex> lk(mu_);
   if (out_ == nullptr) return;  // closed between the enabled() test and now

@@ -110,6 +110,13 @@ class Tracer {
   /// sampled (these are rare and always interesting). No-op when disabled.
   void EmitHealthEvent(const char* structure, const char* event);
 
+  /// Emits an "admission" line for an overload-layer outcome — a shed
+  /// (by reason), a timeout, or a cancellation — tagged with the structure
+  /// the request targeted. Sampled 1-in-N with the pool-event knob (its
+  /// own counter): sheds arrive in bursts precisely when the service is
+  /// overloaded, the worst moment to amplify I/O. No-op when disabled.
+  void EmitAdmissionEvent(const char* structure, const char* event);
+
   /// Lines written so far (post-sampling).
   uint64_t lines_emitted() const {
     return lines_emitted_.load(std::memory_order_relaxed);
@@ -128,6 +135,7 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> pool_event_seq_{0};  ///< Pre-sampling event count.
+  std::atomic<uint64_t> admission_event_seq_{0};
   std::atomic<uint64_t> lines_emitted_{0};
   std::atomic<uint64_t> lines_dropped_{0};
 

@@ -8,6 +8,7 @@
 
 #include "lsdb/introspect/profiler.h"
 #include "lsdb/pmr/window_decompose.h"
+#include "lsdb/service/cancel.h"
 #include "lsdb/storage/superblock.h"
 
 namespace lsdb {
@@ -95,7 +96,12 @@ StatusOr<bool> PmrQuadtree::IsLeaf(const QuadBlock& b) {
   // (depth equal: b is a leaf) or to a descendant (depth greater: b is
   // internal). Sentinels guarantee the range is never empty.
   auto key = btree_.SeekGE(geom_.SubtreeKeyLow(b));
-  if (!key.ok()) return Status::Corruption("uncovered quadtree block");
+  if (!key.ok()) {
+    if (key.status().IsCancelled() || key.status().IsDeadlineExceeded()) {
+      return key.status();
+    }
+    return Status::Corruption("uncovered quadtree block");
+  }
   if (*key > geom_.SubtreeKeyHigh(b)) {
     return Status::Corruption("uncovered quadtree block");
   }
@@ -131,11 +137,20 @@ Status PmrQuadtree::VisitLeavesInCellRect(
   const uint32_t zmax = MortonEncode(cx1, cy1);
   uint32_t cur = zmin;
   for (;;) {
+    LSDB_RETURN_IF_CANCELLED();
     // Predecessor probe: the leaf whose Z-range covers cell `cur`.
     const uint64_t probe = (static_cast<uint64_t>(cur) << 36) |
                            (uint64_t{0xf} << 32) | 0xffffffffu;
     auto key = btree_.SeekLE(probe);
-    if (!key.ok()) return Status::Corruption("uncovered quadtree cell");
+    if (!key.ok()) {
+      // A cancelled/expired descent is the query's status, not a
+      // structural hole — do not let it masquerade as corruption (which
+      // would count as a breaker failure).
+      if (key.status().IsCancelled() || key.status().IsDeadlineExceeded()) {
+        return key.status();
+      }
+      return Status::Corruption("uncovered quadtree cell");
+    }
     QuadBlock leaf;
     uint32_t segid;
     LSDB_RETURN_IF_ERROR(geom_.UnpackKeyChecked(*key, &leaf, &segid));
@@ -354,6 +369,7 @@ Status PmrQuadtree::Erase(SegmentId id, const Segment& s) {
 Status PmrQuadtree::WindowRec(const QuadBlock& b, const Rect& w,
                               std::unordered_set<SegmentId>* seen,
                               std::vector<SegmentHit>* out) {
+  LSDB_RETURN_IF_CANCELLED();
   ++CounterSink(metrics_).bucket_comps;
   if (!geom_.BlockRegion(b).Intersects(w)) return Status::OK();
   auto leaf = IsLeaf(b);
@@ -396,6 +412,7 @@ Status PmrQuadtree::PointWindow(const Point& p,
       p.y >= geom_.world_size()) {
     return Status::OK();
   }
+  LSDB_RETURN_IF_CANCELLED();
   // One predecessor probe finds the leaf whose cell contains p. Because
   // insertion uses *closed* block regions, every segment through p — even
   // one that merely touches this leaf's boundary at p — is stored here,
@@ -440,6 +457,10 @@ Status PmrQuadtree::ScanPiece(const QuadBlock& piece,
   // sort just before the range (its Z-order base is smaller).
   if (keys->size() == before && geom_.SubtreeKeyLow(piece) > 0) {
     auto prior = btree_.SeekLE(geom_.SubtreeKeyLow(piece) - 1);
+    if (prior.status().IsCancelled() ||
+        prior.status().IsDeadlineExceeded()) {
+      return prior.status();
+    }
     if (prior.ok()) {
       QuadBlock lb;
       uint32_t segid;
@@ -533,6 +554,7 @@ Status PmrQuadtree::WindowQueryStaticDecomposed(
   std::unordered_set<SegmentId> seen;
   std::vector<uint64_t> keys;
   for (const QuadBlock& piece : pieces) {
+    LSDB_RETURN_IF_CANCELLED();
     keys.clear();
     LSDB_RETURN_IF_ERROR(ScanPiece(piece, &keys));
     for (uint64_t k : keys) {
@@ -624,7 +646,12 @@ StatusOr<QuadBlock> PmrQuadtree::LocateBlock(const Point& p) {
   }
   ++CounterSink(metrics_).bucket_comps;
   auto key = btree_.SeekLE(geom_.PointProbeKey(p));
-  if (!key.ok()) return Status::Corruption("uncovered point");
+  if (!key.ok()) {
+    if (key.status().IsCancelled() || key.status().IsDeadlineExceeded()) {
+      return key.status();
+    }
+    return Status::Corruption("uncovered point");
+  }
   QuadBlock b;
   uint32_t segid;
   LSDB_RETURN_IF_ERROR(geom_.UnpackKeyChecked(*key, &b, &segid));

@@ -1,6 +1,7 @@
 #include "lsdb/rplus/rplus_tree.h"
 
 #include "lsdb/introspect/profiler.h"
+#include "lsdb/service/cancel.h"
 #include "lsdb/storage/superblock.h"
 
 #include <algorithm>
@@ -591,6 +592,7 @@ Status RPlusTree::WindowQueryRec(PageId pid, uint8_t expected_level,
                                  std::unordered_set<SegmentId>* seen,
                                  std::vector<SegmentHit>* out) {
   (void)region;
+  LSDB_RETURN_IF_CANCELLED();
   RNode node;
   LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
   // Levels strictly decrease toward the leaves; a mismatch means a corrupt
@@ -676,6 +678,7 @@ StatusOr<NearestResult> RPlusTree::Nearest(const Point& p) {
     if (top.kind == kExactSegment) {
       return NearestResult{top.id, top.dist, top.seg};
     }
+    LSDB_RETURN_IF_CANCELLED();
     RNode node;
     LSDB_RETURN_IF_ERROR(io_.Load(top.id, &node));
     if (node.level != top.level) {

@@ -1,6 +1,7 @@
 #include "lsdb/rtree/rstar_tree.h"
 
 #include "lsdb/introspect/profiler.h"
+#include "lsdb/service/cancel.h"
 #include "lsdb/storage/superblock.h"
 
 #include <algorithm>
@@ -480,6 +481,7 @@ Status RStarTree::Erase(SegmentId id, const Segment& s) {
 Status RStarTree::WindowQueryRec(PageId pid, uint8_t expected_level,
                                  const Rect& w,
                                  std::vector<SegmentHit>* out) {
+  LSDB_RETURN_IF_CANCELLED();
   RNode node;
   LSDB_RETURN_IF_ERROR(io_.Load(pid, &node));
   // Levels must strictly decrease toward the leaves; a mismatch means a
@@ -540,6 +542,7 @@ StatusOr<NearestResult> RStarTree::Nearest(const Point& p) {
     if (top.kind == kExactSegment) {
       return NearestResult{top.id, top.dist, top.seg};
     }
+    LSDB_RETURN_IF_CANCELLED();
     RNode node;
     LSDB_RETURN_IF_ERROR(io_.Load(top.id, &node));
     if (node.level != top.level) {

@@ -1,0 +1,192 @@
+#include "lsdb/service/admission.h"
+
+#include <chrono>
+#include <utility>
+
+namespace lsdb {
+
+namespace {
+
+uint64_t NsBetween(CancelToken::Clock::time_point from,
+                   CancelToken::Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+const char* AdmissionPolicyName(AdmissionOptions::Policy p) {
+  switch (p) {
+    case AdmissionOptions::Policy::kFifoReject:
+      return "fifo";
+    case AdmissionOptions::Policy::kAdaptiveLifo:
+      return "adaptive_lifo";
+    case AdmissionOptions::Policy::kCoDel:
+      return "codel";
+  }
+  return "unknown";
+}
+
+const char* ShedReasonName(ShedReason r) {
+  switch (r) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kEvicted:
+      return "evicted";
+    case ShedReason::kKindLimit:
+      return "kind_limit";
+    case ShedReason::kBrownout:
+      return "brownout";
+    case ShedReason::kCoDel:
+      return "codel";
+    case ShedReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(const AdmissionOptions& options)
+    : options_(options) {}
+
+bool AdmissionQueue::AboveKindLimit(QueryType kind) const {
+  const size_t k = static_cast<size_t>(kind);
+  const uint32_t limit = options_.max_outstanding_per_kind[k];
+  if (limit == 0) return false;
+  return outstanding_[k].load(std::memory_order_relaxed) >= limit;
+}
+
+bool AdmissionQueue::Offer(Ticket&& ticket, std::vector<Shed>* shed_out) {
+  const QueryType kind = ticket.request.type;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) {
+    shed_out->push_back(Shed{std::move(ticket), ShedReason::kShutdown});
+    shed_[static_cast<size_t>(ShedReason::kShutdown)].fetch_add(
+        1, std::memory_order_relaxed);
+    return false;
+  }
+  if (AboveKindLimit(kind)) {
+    shed_out->push_back(Shed{std::move(ticket), ShedReason::kKindLimit});
+    shed_[static_cast<size_t>(ShedReason::kKindLimit)].fetch_add(
+        1, std::memory_order_relaxed);
+    return false;
+  }
+  if (q_.size() >= options_.max_queue) {
+    if (options_.policy == AdmissionOptions::Policy::kAdaptiveLifo &&
+        !q_.empty()) {
+      // The oldest ticket's caller has waited the longest and is the most
+      // likely to have given up already: evict it to admit fresh work.
+      Ticket old = std::move(q_.front());
+      q_.pop_front();
+      shed_out->push_back(Shed{std::move(old), ShedReason::kEvicted});
+      shed_[static_cast<size_t>(ShedReason::kEvicted)].fetch_add(
+          1, std::memory_order_relaxed);
+    } else {
+      shed_out->push_back(Shed{std::move(ticket), ShedReason::kQueueFull});
+      shed_[static_cast<size_t>(ShedReason::kQueueFull)].fetch_add(
+          1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  outstanding_[static_cast<size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  q_.push_back(std::move(ticket));
+  if (q_.size() > max_depth_) max_depth_ = q_.size();
+  return true;
+}
+
+bool AdmissionQueue::Take(Ticket* out, std::vector<Shed>* shed_out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto now = CancelToken::Clock::now();
+  while (!q_.empty()) {
+    // Adaptive LIFO flips to newest-first once the backlog crosses half
+    // the bound; the other policies always serve the oldest ticket.
+    const bool newest_first =
+        options_.policy == AdmissionOptions::Policy::kAdaptiveLifo &&
+        q_.size() > options_.max_queue / 2;
+    Ticket t;
+    if (newest_first) {
+      t = std::move(q_.back());
+      q_.pop_back();
+    } else {
+      t = std::move(q_.front());
+      q_.pop_front();
+    }
+    const uint64_t sojourn = NsBetween(t.enqueued, now);
+    last_queue_delay_ns_.store(sojourn, std::memory_order_relaxed);
+    if (options_.policy == AdmissionOptions::Policy::kCoDel) {
+      if (sojourn < options_.codel_target_ns) {
+        above_target_ = false;
+      } else if (!above_target_) {
+        // First sojourn above target: start the control interval but let
+        // this ticket through — transient bursts are tolerated.
+        above_target_ = true;
+        above_since_ = now;
+      } else if (NsBetween(above_since_, now) >=
+                 options_.codel_interval_ns) {
+        // Queue delay has stayed above target for a full interval: shed
+        // stale tickets until sojourn recovers below the target.
+        shed_out->push_back(Shed{std::move(t), ShedReason::kCoDel});
+        shed_[static_cast<size_t>(ShedReason::kCoDel)].fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    *out = std::move(t);
+    return true;
+  }
+  return false;
+}
+
+void AdmissionQueue::Close(std::vector<Ticket>* drained) {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  while (!q_.empty()) {
+    drained->push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+}
+
+void AdmissionQueue::RecordShed(ShedReason reason) {
+  shed_[static_cast<size_t>(reason)].fetch_add(1,
+                                               std::memory_order_relaxed);
+}
+
+void AdmissionQueue::OnFinished(QueryType kind) {
+  outstanding_[static_cast<size_t>(kind)].fetch_sub(
+      1, std::memory_order_relaxed);
+}
+
+void AdmissionQueue::OnExecuted(QueryType kind, const Status& status) {
+  OnFinished(kind);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (status.IsDeadlineExceeded()) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+AdmissionStats AdmissionQueue::Snapshot() const {
+  AdmissionStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.depth = q_.size();
+    s.max_depth = max_depth_;
+  }
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumShedReasons; ++i) {
+    s.shed[i] = shed_[i].load(std::memory_order_relaxed);
+    s.shed_total += s.shed[i];
+  }
+  s.last_queue_delay_ns =
+      last_queue_delay_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lsdb

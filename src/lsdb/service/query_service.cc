@@ -1,6 +1,8 @@
 #include "lsdb/service/query_service.h"
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 
 #include "lsdb/build/bulk_loader.h"
 #include "lsdb/query/incident.h"
@@ -58,7 +60,24 @@ bool SameResponses(const BatchResult& a, const BatchResult& b) {
 QueryService::QueryService(const ServiceOptions& options)
     : options_(options) {}
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  // Shutdown order matters: close the admission queue first (future
+  // Offers shed with kShutdown), complete every drained ticket, then
+  // destroy the worker pool. The pool's destructor drains already-queued
+  // dispatch tasks — they find the queue empty and no-op — so no ticket
+  // is ever silently dropped and no dispatch task outlives admission_.
+  if (admission_ != nullptr) {
+    std::vector<AdmissionQueue::Ticket> drained;
+    admission_->Close(&drained);
+    for (AdmissionQueue::Ticket& t : drained) {
+      admission_->OnFinished(t.request.type);
+      QueryResponse r;
+      r.status = Status::Cancelled("query service shutting down");
+      if (t.done) t.done(std::move(r));
+    }
+  }
+  workers_.reset();
+}
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::Build(
     const PolygonalMap& map, const ServiceOptions& options) {
@@ -144,6 +163,7 @@ Status QueryService::SetUpObservability() {
     topt.max_bytes = options_.trace_max_bytes;
     LSDB_RETURN_IF_ERROR(tracer_.OpenFile(options_.trace_path, topt));
   }
+  admission_ = std::make_unique<AdmissionQueue>(options_.admission);
   // Pool events flow to the service tracer (no-ops while it is disabled).
   seg_pool_->SetTracer(&tracer_, "segments");
   // The index-owned pools are private to each structure; their cache
@@ -237,6 +257,32 @@ void QueryService::RefreshGauges() {
         .GetGauge("lsdb_worker_items_processed{worker=\"" +
                   std::to_string(w) + "\"}")
         ->Set(static_cast<double>(workers_->items_processed(w)));
+  }
+  if (admission_ != nullptr) {
+    const AdmissionStats a = admission_->Snapshot();
+    stats_.GetGauge("lsdb_admission_queue_depth")
+        ->Set(static_cast<double>(a.depth));
+    stats_.GetGauge("lsdb_admission_queue_max_depth")
+        ->Set(static_cast<double>(a.max_depth));
+    stats_.GetGauge("lsdb_admission_admitted_total")
+        ->Set(static_cast<double>(a.admitted));
+    stats_.GetGauge("lsdb_admission_executed_total")
+        ->Set(static_cast<double>(a.executed));
+    stats_.GetGauge("lsdb_admission_timeouts_total")
+        ->Set(static_cast<double>(a.timeouts));
+    stats_.GetGauge("lsdb_admission_cancelled_total")
+        ->Set(static_cast<double>(a.cancelled));
+    stats_.GetGauge("lsdb_admission_last_queue_delay_ns")
+        ->Set(static_cast<double>(a.last_queue_delay_ns));
+    for (size_t i = 0; i < kNumShedReasons; ++i) {
+      if (a.shed[i] == 0) continue;  // gauges appear once sheds exist
+      stats_
+          .GetGauge(std::string("lsdb_admission_shed_total{reason=\"") +
+                    ShedReasonName(static_cast<ShedReason>(i)) + "\"}")
+          ->Set(static_cast<double>(a.shed[i]));
+    }
+    stats_.GetGauge("lsdb_worker_tasks_pending")
+        ->Set(static_cast<double>(workers_->tasks_pending()));
   }
   stats_.GetGauge("lsdb_introspect_enabled")
       ->Set(introspection() ? 1.0 : 0.0);
@@ -435,10 +481,13 @@ SpatialIndex* QueryService::index(ServedIndex which) {
 }
 
 QueryResponse QueryService::ExecuteOne(ServedIndex which, SpatialIndex* idx,
-                                       const QueryRequest& q) {
+                                       const QueryRequest& q,
+                                       bool breaker_preapproved) {
   CircuitBreaker& breaker = breakers_[static_cast<size_t>(which)];
   QueryResponse r;
-  if (!breaker.AllowRequest()) {
+  // An admitted request that already consumed a half-open probe ticket at
+  // submit must not consume a second one here.
+  if (!breaker_preapproved && !breaker.AllowRequest()) {
     r.status = Status::Unavailable(
         std::string(ServedIndexName(which)) + " index degraded: breaker open");
     return r;
@@ -500,6 +549,18 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
             introspect_on_.load(std::memory_order_relaxed);
         introspect::QueryProfile prof;
         introspect::ScopedQueryProfile prof_scope(prof_on ? &prof : nullptr);
+        // Per-query deadline/cancel scope. Requests carrying neither leave
+        // the thread-local token null, so the descent checkpoints stay on
+        // their one-load untaken-branch path and paper metrics are
+        // byte-identical.
+        CancelToken token;
+        const bool tok_on =
+            batch[i].deadline_ns > 0 || batch[i].cancel != nullptr;
+        if (tok_on) {
+          if (batch[i].deadline_ns > 0) token.ArmBudget(batch[i].deadline_ns);
+          token.LinkParent(batch[i].cancel);
+        }
+        ScopedCancelScope cancel_scope(tok_on ? &token : nullptr);
         // Snapshot the worker-private counters around the query so its
         // exact metric deltas can be attributed to the span.
         const MetricCounters before = locals[worker].c;
@@ -582,6 +643,14 @@ StatusOr<BatchResult> QueryService::ExecuteBatchSequential(
   for (size_t i = 0; i < batch.size(); ++i) {
     introspect::QueryProfile prof;
     introspect::ScopedQueryProfile prof_scope(prof_on ? &prof : nullptr);
+    CancelToken token;
+    const bool tok_on =
+        batch[i].deadline_ns > 0 || batch[i].cancel != nullptr;
+    if (tok_on) {
+      if (batch[i].deadline_ns > 0) token.ArmBudget(batch[i].deadline_ns);
+      token.LinkParent(batch[i].cancel);
+    }
+    ScopedCancelScope cancel_scope(tok_on ? &token : nullptr);
     out.responses[i] = ExecuteOne(which, idx, batch[i]);
     if (prof_on) {
       // Shard 0: the sequential path never runs concurrently with itself,
@@ -592,6 +661,147 @@ StatusOr<BatchResult> QueryService::ExecuteBatchSequential(
     }
   }
   out.metrics += out.per_worker[0];
+  return out;
+}
+
+void QueryService::CompleteShed(AdmissionQueue::Shed&& shed) {
+  // kEvicted / kCoDel tickets were admitted (Offer counted their kind
+  // slot); the other reasons reject before admission.
+  if (shed.reason == ShedReason::kEvicted ||
+      shed.reason == ShedReason::kCoDel) {
+    admission_->OnFinished(shed.ticket.request.type);
+  }
+  if (tracer_.enabled()) {
+    tracer_.EmitAdmissionEvent(ServedIndexName(shed.ticket.which),
+                               ShedReasonName(shed.reason));
+  }
+  QueryResponse r;
+  r.status = shed.reason == ShedReason::kShutdown
+                 ? Status::Cancelled("shed: query service shutting down")
+                 : Status::Unavailable(std::string("shed: ") +
+                                       ShedReasonName(shed.reason));
+  if (shed.ticket.done) shed.ticket.done(std::move(r));
+}
+
+void QueryService::SubmitQuery(ServedIndex which, const QueryRequest& q,
+                               std::function<void(QueryResponse)> done) {
+  // Brownout: while the structure's breaker is open, shed at submit
+  // instead of occupying queue space behind requests that will fail
+  // anyway. AllowRequest() still lets half-open probes through — those
+  // carry their grant into execution via breaker_preapproved.
+  bool preapproved = false;
+  CircuitBreaker& b = breakers_[static_cast<size_t>(which)];
+  if (options_.admission.brownout_on_breaker && b.open()) {
+    if (!b.AllowRequest()) {
+      admission_->RecordShed(ShedReason::kBrownout);
+      if (tracer_.enabled()) {
+        tracer_.EmitAdmissionEvent(ServedIndexName(which),
+                                   ShedReasonName(ShedReason::kBrownout));
+      }
+      QueryResponse r;
+      r.status = Status::Unavailable(
+          std::string("shed: ") + ServedIndexName(which) +
+          " degraded (breaker open)");
+      if (done) done(std::move(r));
+      return;
+    }
+    preapproved = true;
+  }
+  AdmissionQueue::Ticket t;
+  t.which = which;
+  t.request = q;
+  t.done = std::move(done);
+  t.token = std::make_unique<CancelToken>();
+  const uint64_t budget = q.deadline_ns > 0
+                              ? q.deadline_ns
+                              : options_.admission.default_deadline_ns;
+  if (budget > 0) t.token->ArmBudget(budget);
+  t.token->LinkParent(q.cancel);
+  t.enqueued = CancelToken::Clock::now();
+  t.breaker_preapproved = preapproved;
+  std::vector<AdmissionQueue::Shed> shed;
+  const bool enqueued = admission_->Offer(std::move(t), &shed);
+  for (AdmissionQueue::Shed& s : shed) CompleteShed(std::move(s));
+  if (!enqueued) return;
+  // One dispatch task per admitted ticket. Submit only fails while the
+  // pool destructor runs, which ~QueryService sequences after Close() —
+  // but complete inline rather than strand a ticket if it ever happens.
+  if (!workers_->Submit([this](uint32_t w) { DispatchOne(w); })) {
+    DispatchOne(0);
+  }
+}
+
+void QueryService::DispatchOne(uint32_t worker) {
+  AdmissionQueue::Ticket t;
+  std::vector<AdmissionQueue::Shed> shed;
+  const bool have = admission_->Take(&t, &shed);
+  for (AdmissionQueue::Shed& s : shed) CompleteShed(std::move(s));
+  // Drained by Close() or shed by CoDel before this task ran: nothing to
+  // execute (the ticket was completed elsewhere).
+  if (!have) return;
+  SpatialIndex* idx = index(t.which);
+  QueryResponse r;
+  // Deadline check before touching the index: a ticket that burned its
+  // whole budget queueing times out here without costing a descent.
+  const Status pre = t.token->StatusNow();
+  if (!pre.ok()) {
+    r.status = pre;
+  } else {
+    // Thread-private sink: admitted queries must not mutate the frozen
+    // indexes' own counters. The per-dispatch deltas are discarded —
+    // admitted-path totals come from the registry counters below.
+    MetricCounters scratch;
+    ScopedCounterSink sink(&scratch);
+    ScopedCancelScope cancel_scope(t.token.get());
+    r = ExecuteOne(t.which, idx, t.request, t.breaker_preapproved);
+  }
+  // Latency is submit-to-completion: queueing delay is the overload
+  // signal, so it belongs in the admitted path's histograms.
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          CancelToken::Clock::now() - t.enqueued)
+          .count());
+  r.latency_ns = ns;
+  histogram(t.which, t.request.type)->Record(worker, ns);
+  stats_
+      .GetCounter(std::string("lsdb_queries_total{index=\"") +
+                  ServedIndexName(t.which) + "\",kind=\"" +
+                  QueryTypeName(t.request.type) + "\"}")
+      ->Add(1);
+  if (tracer_.enabled()) {
+    if (r.status.IsDeadlineExceeded()) {
+      tracer_.EmitAdmissionEvent(ServedIndexName(t.which), "timeout");
+    } else if (r.status.IsCancelled()) {
+      tracer_.EmitAdmissionEvent(ServedIndexName(t.which), "cancelled");
+    }
+  }
+  admission_->OnExecuted(t.request.type, r.status);
+  if (t.done) t.done(std::move(r));
+}
+
+StatusOr<BatchResult> QueryService::ExecuteBatchAdmitted(
+    ServedIndex which, const std::vector<QueryRequest>& batch) {
+  if (index(which) == nullptr) {
+    return Status::InvalidArgument("unknown index");
+  }
+  BatchResult out;
+  out.responses.resize(batch.size());
+  std::mutex mu;
+  std::condition_variable all_done;
+  size_t remaining = batch.size();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SubmitQuery(which, batch[i], [&, i](QueryResponse r) {
+      std::lock_guard<std::mutex> lk(mu);
+      out.responses[i] = std::move(r);
+      if (--remaining == 0) all_done.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  // Bounded by construction, not by a wait deadline: every submitted
+  // ticket is completed exactly once (executed, shed, or drained at
+  // shutdown), so `remaining` always reaches zero.
+  // NOLINTNEXTLINE(lsdb-unbounded-wait)
+  all_done.wait(lk, [&] { return remaining == 0; });
   return out;
 }
 

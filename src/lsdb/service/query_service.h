@@ -21,6 +21,7 @@
 #define LSDB_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -37,6 +38,8 @@
 #include "lsdb/rplus/rplus_tree.h"
 #include "lsdb/rtree/rstar_tree.h"
 #include "lsdb/seg/segment_table.h"
+#include "lsdb/service/admission.h"
+#include "lsdb/service/cancel.h"
 #include "lsdb/service/circuit_breaker.h"
 #include "lsdb/service/request.h"
 #include "lsdb/service/worker_pool.h"
@@ -91,6 +94,15 @@ struct ServiceOptions {
   FaultPlan fault_plan;
   /// Per-structure circuit-breaker thresholds.
   CircuitBreaker::Options breaker;
+
+  // -- Overload protection -------------------------------------------------
+
+  /// Admission queue bound, shedding policy, per-kind outstanding limits,
+  /// default deadline budget, and brownout behaviour for the
+  /// SubmitQuery/ExecuteBatchAdmitted path (see admission.h). The batch
+  /// paths (ExecuteBatch*) bypass admission but still honor per-request
+  /// deadlines and cancel tokens.
+  AdmissionOptions admission;
 };
 
 class QueryService {
@@ -130,6 +142,30 @@ class QueryService {
   /// Ground-truth execution of `batch` on the calling thread, in order.
   [[nodiscard]] StatusOr<BatchResult> ExecuteBatchSequential(
       ServedIndex which, const std::vector<QueryRequest>& batch);
+
+  // -- Overload-protected path ---------------------------------------------
+
+  /// Submits one query through the admission queue; `done` is invoked
+  /// exactly once — on a worker thread with the response, or inline with
+  /// Status::Unavailable when the request is shed (and Status::Cancelled
+  /// at shutdown). Per-query deadline = request.deadline_ns if set, else
+  /// AdmissionOptions::default_deadline_ns; request.cancel (if any) is
+  /// linked so the caller can abort mid-descent. Unlike ExecuteBatch,
+  /// QueryResponse::latency_ns here is submit-to-completion (queueing
+  /// included) — that is the latency an overloaded caller experiences.
+  void SubmitQuery(ServedIndex which, const QueryRequest& q,
+                   std::function<void(QueryResponse)> done);
+
+  /// Convenience synchronous wrapper over SubmitQuery: submits the whole
+  /// batch through admission and blocks until every response (executed or
+  /// shed) lands. Response i corresponds to request i. BatchResult metric
+  /// counters are NOT aggregated on this path (admitted queries run
+  /// against throwaway per-dispatch sinks); use stats() for totals.
+  [[nodiscard]] StatusOr<BatchResult> ExecuteBatchAdmitted(
+      ServedIndex which, const std::vector<QueryRequest>& batch);
+
+  /// Scoreboard of the admission queue (depth, sheds by reason, timeouts).
+  AdmissionStats admission_stats() const { return admission_->Snapshot(); }
 
   SpatialIndex* index(ServedIndex which);
   SegmentTable* segment_table() { return segs_.get(); }
@@ -221,7 +257,14 @@ class QueryService {
   [[nodiscard]] Status SetUpObservability();
   void RefreshGauges();
   QueryResponse ExecuteOne(ServedIndex which, SpatialIndex* idx,
-                           const QueryRequest& q);
+                           const QueryRequest& q,
+                           bool breaker_preapproved = false);
+  /// Worker-side body of the admission path: takes the next ticket,
+  /// completes CoDel sheds, runs the query under its cancel scope.
+  void DispatchOne(uint32_t worker);
+  /// Completes a shed ticket with Unavailable (Cancelled for kShutdown)
+  /// and settles its admission accounting.
+  void CompleteShed(AdmissionQueue::Shed&& shed);
   LatencyHistogram* histogram(ServedIndex which, QueryType type) {
     return histograms_[static_cast<size_t>(which)][static_cast<size_t>(type)]
         .get();
@@ -254,6 +297,10 @@ class QueryService {
   CircuitBreaker breakers_[std::size(kAllServedIndexes)];
 
   std::unique_ptr<WorkerPool> workers_;
+  /// Bounded admission queue for the SubmitQuery path. Closed and drained
+  /// explicitly in ~QueryService BEFORE workers_ is reset, because
+  /// dispatch tasks queued in the pool dereference it.
+  std::unique_ptr<AdmissionQueue> admission_;
 
   // Observability state (per service instance; see SetUpObservability).
   StatsRegistry stats_;

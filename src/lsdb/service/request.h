@@ -21,6 +21,8 @@
 
 namespace lsdb {
 
+class CancelToken;  // full definition in lsdb/service/cancel.h
+
 /// Which of the study's structures serves a batch.
 enum class ServedIndex { kRStar, kRPlus, kPmr };
 const char* ServedIndexName(ServedIndex s);
@@ -43,6 +45,19 @@ struct QueryRequest {
   QueryType type = QueryType::kPoint;
   Point point{0, 0};  ///< kPoint / kNearest / kIncident.
   Rect window;        ///< kWindow.
+
+  /// Overload protection (both optional; the defaults keep the layer
+  /// inert and the descent checkpoints on their one-load untaken-branch
+  /// path, so paper metrics are unaffected):
+  ///  * deadline_ns — per-query execution budget. The service arms a
+  ///    monotonic deadline (submit time + budget) and the query unwinds
+  ///    with Status::DeadlineExceeded at its next descent checkpoint
+  ///    once it expires. 0 = no deadline (an admitted request may still
+  ///    inherit AdmissionOptions::default_deadline_ns).
+  ///  * cancel — caller-owned token (must outlive the response). Calling
+  ///    Cancel() on it unwinds the query with Status::Cancelled.
+  uint64_t deadline_ns = 0;
+  const CancelToken* cancel = nullptr;
 
   static QueryRequest PointQ(Point p) {
     return QueryRequest{QueryType::kPoint, p, Rect{}};

@@ -22,6 +22,17 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+bool WorkerPool::Submit(TaskFn task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return false;
+    tasks_.push_back(std::move(task));
+    tasks_pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_ready_.notify_one();
+  return true;
+}
+
 void WorkerPool::ParallelFor(uint64_t count, const ItemFn& fn) {
   if (count == 0) return;
   std::lock_guard<std::mutex> batch_lk(batch_mu_);
@@ -35,6 +46,10 @@ void WorkerPool::ParallelFor(uint64_t count, const ItemFn& fn) {
   }
   work_ready_.notify_all();
   std::unique_lock<std::mutex> lk(mu_);
+  // The barrier completes once every worker has drained its share of the
+  // job; per-item deadlines belong to the items (cancel tokens), not to
+  // the barrier itself.
+  // NOLINTNEXTLINE(lsdb-unbounded-wait)
   job_done_.wait(lk, [this] { return active_ == 0; });
   fn_ = nullptr;
 }
@@ -46,8 +61,23 @@ void WorkerPool::WorkerMain(uint32_t id) {
     uint64_t count = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_ready_.wait(
-          lk, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      // Idle park until work or shutdown; no deadline applies to an idle
+      // worker, so the predicate-only wait is deliberate.
+      // NOLINTNEXTLINE(lsdb-unbounded-wait)
+      work_ready_.wait(lk, [&] {
+        return shutdown_ || epoch_ != seen_epoch || !tasks_.empty();
+      });
+      // Graceful drain: accepted tasks run even during shutdown — a
+      // worker only exits once the task queue is empty.
+      if (!tasks_.empty()) {
+        TaskFn task = std::move(tasks_.front());
+        tasks_.pop_front();
+        lk.unlock();
+        task(id);
+        tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
+        items_done_[id].fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       if (shutdown_) return;
       seen_epoch = epoch_;
       fn = fn_;

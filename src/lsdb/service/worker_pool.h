@@ -1,10 +1,19 @@
-// Fixed pool of worker threads executing batched parallel-for jobs.
+// Fixed pool of worker threads executing batched parallel-for jobs and
+// one-off submitted tasks.
 //
 // The pool is created once per QueryService and reused for every batch:
 // ParallelFor publishes a job (item count + function), wakes the workers,
 // and blocks until every item has been processed. Items are claimed
 // dynamically off an atomic cursor, so uneven per-query cost (a fat window
 // query next to a cheap point query) self-balances across threads.
+//
+// Submit() feeds the same workers individual tasks (the admission-
+// controlled query path). Tasks never disappear silently: a task accepted
+// by Submit() runs exactly once, even when the pool is being destroyed —
+// shutdown drains the task queue before the workers exit, so queued
+// requests complete (or are completed-as-cancelled by their own logic)
+// deterministically. Submit() after shutdown begins returns false and the
+// caller keeps ownership of the work.
 
 #ifndef LSDB_SERVICE_WORKER_POOL_H_
 #define LSDB_SERVICE_WORKER_POOL_H_
@@ -12,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -44,6 +54,20 @@ class WorkerPool {
   /// flight at a time (calls from multiple threads serialize).
   void ParallelFor(uint64_t count, const ItemFn& fn);
 
+  using TaskFn = std::function<void(uint32_t worker)>;
+
+  /// Enqueues one task for any idle worker. Returns true when accepted:
+  /// the task is guaranteed to run exactly once (possibly during shutdown
+  /// drain). Returns false once destruction has begun — the caller still
+  /// owns the work and must complete or fail it itself.
+  bool Submit(TaskFn task);
+
+  /// Tasks accepted by Submit() that have not finished running yet
+  /// (queued + in flight). Exported as a service gauge.
+  uint64_t tasks_pending() const {
+    return tasks_pending_.load(std::memory_order_relaxed);
+  }
+
   /// Items `worker` has processed over the pool's lifetime (all jobs).
   /// Work is claimed dynamically, so the spread across workers shows how
   /// well uneven per-item costs balanced; exported by the query service's
@@ -72,6 +96,10 @@ class WorkerPool {
   uint64_t epoch_ = 0;    ///< Bumped per job so workers see new work.
   uint32_t active_ = 0;   ///< Workers still running the current job.
   bool shutdown_ = false;
+
+  /// One-off tasks (guarded by mu_). Drained before workers exit.
+  std::deque<TaskFn> tasks_;
+  std::atomic<uint64_t> tasks_pending_{0};
 };
 
 }  // namespace lsdb

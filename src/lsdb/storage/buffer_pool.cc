@@ -7,6 +7,7 @@
 
 #include "lsdb/introspect/page_heat.h"
 #include "lsdb/obs/tracer.h"
+#include "lsdb/service/cancel.h"
 #include "lsdb/util/crc32c.h"
 
 namespace lsdb {
@@ -110,6 +111,11 @@ Status BufferPool::ReadPageVerified(PageId id, uint8_t* buf) {
     // Only transient-looking IO errors are worth retrying; corruption and
     // argument errors are final.
     if (!s.IsIoError() || attempt >= retry_max_attempts_) return s;
+    // A cancelled or deadline-expired query gives up instead of burning
+    // its remaining budget in backoff sleeps.
+    if (CancelToken* tok = ThreadCancelToken()) {
+      LSDB_RETURN_IF_ERROR(tok->StatusNow());
+    }
     ++io_retries_;
     if (retry_backoff_us_ > 0) {
       std::this_thread::sleep_for(
@@ -171,18 +177,35 @@ StatusOr<uint32_t> BufferPool::GetVictimFrame(
     return Status::ResourceExhausted("all buffer frames pinned");
   }
   // Another thread holds pins; block until one is released (bounded, so a
-  // cross-thread pin cycle degrades to an error instead of a hang).
+  // cross-thread pin cycle degrades to an error instead of a hang). The
+  // wait honors the calling query's cancel token: it never sleeps past
+  // the token's deadline, and it is sliced so a cross-thread Cancel() is
+  // observed within one poll interval instead of parking the thread for
+  // the full exhaustion timeout.
   ++pin_waits_;
   TraceEvent(PoolEvent::kPinWait);
-  const auto timed_out =
-      frame_released_.wait_for(
-          lk, std::chrono::milliseconds(kExhaustedWaitMs)) ==
-      std::cv_status::timeout;
-  if (timed_out && free_frames_.empty() && lru_.empty()) {
-    return Status::ResourceExhausted(
-        "timed out waiting for a buffer frame to be unpinned");
+  CancelToken* tok = ThreadCancelToken();
+  const auto give_up = CancelToken::Clock::now() +
+                       std::chrono::milliseconds(kExhaustedWaitMs);
+  for (;;) {
+    if (tok != nullptr) {
+      LSDB_RETURN_IF_ERROR(tok->StatusNow());
+    }
+    auto slice = CancelToken::Clock::now() +
+                 std::chrono::milliseconds(kCancelPollMs);
+    if (slice > give_up) slice = give_up;
+    if (tok != nullptr && tok->has_deadline() && tok->deadline() < slice) {
+      slice = tok->deadline();
+    }
+    const bool have_frame = frame_released_.wait_until(
+        lk, slice,
+        [this] { return !free_frames_.empty() || !lru_.empty(); });
+    if (have_frame) return kRetryFrame;
+    if (CancelToken::Clock::now() >= give_up) {
+      return Status::ResourceExhausted(
+          "timed out waiting for a buffer frame to be unpinned");
+    }
   }
-  return kRetryFrame;
 }
 
 void BufferPool::Unpin(uint32_t frame) {

@@ -53,6 +53,12 @@ class BufferPool {
   /// release a pin before giving up with ResourceExhausted.
   static constexpr int kExhaustedWaitMs = 1000;
 
+  /// Slice of the exhausted wait between cancel-token polls: a query
+  /// cancelled from another thread while parked on frame exhaustion
+  /// unblocks within this bound (deadline expiry is exact — the wait
+  /// never sleeps past the installed token's deadline).
+  static constexpr int kCancelPollMs = 10;
+
   /// Default bounded-retry policy for transient kIoError from the backing
   /// file: total attempts per IO, and the linear backoff unit between them
   /// (attempt k sleeps k * backoff_us). Deterministic — no jitter.

@@ -25,6 +25,8 @@ enum class StatusCode : int {
   kUnimplemented = 6,   ///< Feature intentionally not supported.
   kInternal = 7,        ///< Invariant violation inside the library.
   kUnavailable = 8,     ///< Degraded component; request rejected fast.
+  kDeadlineExceeded = 9, ///< Query ran past its deadline budget.
+  kCancelled = 10,      ///< Caller cancelled the query cooperatively.
 };
 
 /// Value-semantic result of a fallible operation.
@@ -66,6 +68,12 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg = "") {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg = "") {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -75,6 +83,10 @@ class [[nodiscard]] Status {
   }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

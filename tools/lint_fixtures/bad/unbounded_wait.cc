@@ -1,0 +1,23 @@
+// lsdb-lint-pretend-path: src/lsdb/service/worker_pool.cc
+// Golden-bad fixture: condition-variable waits that can wedge a serving
+// thread. Plain wait() has no deadline at all; the 2-arg timed forms skip
+// the predicate and silently tolerate lost wakeups.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace lsdb {
+
+void Demo(std::condition_variable& cv, std::mutex& mu, bool& ready) {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk);  // no deadline, no predicate: blocks forever on a miss
+  cv.wait(lk, [&] { return ready; });  // predicate but still no deadline
+  cv.wait_for(lk, std::chrono::milliseconds(10));  // no predicate
+  cv.wait_until(lk,
+                std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(10));  // no predicate
+}
+
+}  // namespace lsdb

@@ -1,7 +1,7 @@
 // lsdb_lint: domain-specific static checks for the lsdb tree.
 //
 // Complements clang-tidy (which may be absent from a minimal toolchain —
-// this tool builds with nothing beyond the standard library) with seven
+// this tool builds with nothing beyond the standard library) with eight
 // project rules that generic linters cannot express:
 //
 //   lsdb-ignored-status    every Status/StatusOr return must be consumed.
@@ -44,6 +44,15 @@
 //                          direct ThreadProfile() use in a descent loop
 //                          put unconditional stat work on the hot path and
 //                          break the zero-cost-when-off guarantee.
+//   lsdb-unbounded-wait    serving-path TUs (service/, storage/) may not
+//                          block forever on a condition variable: plain
+//                          .wait() has no deadline at all, and a timed
+//                          wait_for/wait_until without the predicate
+//                          overload is lost-wakeup-prone. The sanctioned
+//                          form is wait_until(lock, deadline, predicate)
+//                          with the deadline derived from a budget or
+//                          cancel token; a wait that is provably bounded
+//                          another way carries a NOLINT with the reason.
 //
 // Suppression: `// NOLINT(lsdb-<rule>): reason` on the offending line, or
 // `// NOLINTNEXTLINE(lsdb-<rule>): reason` on the line above. A bare
@@ -143,6 +152,16 @@ const std::vector<std::string>& MmapCastAllowlist() {
       "src/lsdb/snapshot/",
   };
   return kAllow;
+}
+
+// Serving-path layers where a stuck thread wedges the whole service: the
+// worker pool / admission queue and the buffer pool. Condition-variable
+// waits there must be predicate-checked and deadline-bounded.
+const std::vector<std::string>& WaitScopes() {
+  static const std::vector<std::string> kScopes = {
+      "src/lsdb/service/", "src/lsdb/storage/",
+  };
+  return kScopes;
 }
 
 // TUs containing index descent loops (the query hot path). Profiling state
@@ -824,6 +843,101 @@ void CheckHotCounterInDescent(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: lsdb-unbounded-wait
+// ---------------------------------------------------------------------------
+
+// Counts top-level arguments of a call whose opening paren is at
+// (line_idx, paren_pos) in `stripped`, scanning across continuation lines.
+// Returns 0 for an empty list, -1 when the list never closes in range.
+int CountCallArgs(const std::vector<std::string>& stripped, size_t line_idx,
+                  size_t paren_pos) {
+  int depth = 0;
+  int commas = 0;
+  bool any_token = false;
+  for (size_t j = line_idx; j < stripped.size() && j < line_idx + 50; ++j) {
+    const std::string& line = stripped[j];
+    for (size_t p = (j == line_idx ? paren_pos : 0); p < line.size(); ++p) {
+      const char c = line[p];
+      if (c == '(' || c == '[') {
+        ++depth;
+        continue;
+      }
+      if (c == ')' || c == ']') {
+        --depth;
+        if (depth == 0) return any_token ? commas + 1 : 0;
+        continue;
+      }
+      if (depth == 1 && c == ',') {
+        ++commas;
+        continue;
+      }
+      if (depth >= 1 && c != ' ' && c != '\t') any_token = true;
+    }
+  }
+  return -1;
+}
+
+void CheckUnboundedWait(const std::string& path,
+                        const std::vector<std::string>& raw,
+                        const std::vector<std::string>& stripped,
+                        std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-unbounded-wait";
+  bool in_scope = false;
+  for (const std::string& scope : WaitScopes()) {
+    if (PathContains(path, scope)) {
+      in_scope = true;
+      break;
+    }
+  }
+  if (!in_scope) return;
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    // A wait must be a member call (`cv.wait(...)` / `cv->wait(...)`):
+    // that anchors the match to condition variables / futures and skips
+    // free functions that happen to contain "wait".
+    static const std::vector<std::string> kNames = {"wait", "wait_for",
+                                                    "wait_until"};
+    for (const std::string& name : kNames) {
+      size_t pos = line.find(name);
+      while (pos != std::string::npos) {
+        const bool member =
+            (pos > 0 && line[pos - 1] == '.') ||
+            (pos > 1 && line[pos - 2] == '-' && line[pos - 1] == '>');
+        size_t after = pos + name.size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (member && WordAt(line, pos, name) && after < line.size() &&
+            line[after] == '(') {
+          if (name == "wait") {
+            if (!Suppressed(raw, i, kRule)) {
+              findings->push_back(
+                  {path, i + 1, kRule,
+                   "deadline-less wait() in a serving-path TU can block a "
+                   "worker forever; use wait_until(lock, deadline, "
+                   "predicate) with a budget- or token-derived deadline, "
+                   "or annotate // NOLINT(lsdb-unbounded-wait): <reason>"});
+            }
+          } else {
+            // Timed waits must use the predicate overload (>= 3 args):
+            // the 2-arg form returns cv_status and silently tolerates
+            // spurious wakeups / missed notifies.
+            const int args = CountCallArgs(stripped, i, after);
+            if (args >= 0 && args < 3 && !Suppressed(raw, i, kRule)) {
+              findings->push_back(
+                  {path, i + 1, kRule,
+                   name + "() without a predicate is lost-wakeup-prone; "
+                          "pass the predicate overload " +
+                       name + "(lock, deadline, predicate)"});
+            }
+          }
+          break;  // one finding per line per name
+        }
+        pos = line.find(name, pos + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -857,6 +971,7 @@ bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
   CheckDeterminism(path, raw, stripped, &file_findings);
   CheckUncheckedMmapCast(path, raw, stripped, &file_findings);
   CheckHotCounterInDescent(path, raw, stripped, &file_findings);
+  CheckUnboundedWait(path, raw, stripped, &file_findings);
   for (Finding& f : file_findings) {
     f.path = arg_path;  // report the real file, even under pretend-path
     findings->push_back(std::move(f));

@@ -1,0 +1,285 @@
+// Single-thread throughput-mode bench: measures what the SIMD scan cache
+// plus grouped batch execution buy over the default per-query pool path,
+// and verifies on the way that every compiled ISA kernel matches the
+// scalar oracle and that throughput-mode responses are bit-identical to
+// default-mode responses.
+//
+//   $ bench_simd [--smoke] [county] [windows] [out.json]
+//
+// Two QueryService instances are built over the same county — one default,
+// one with throughput_mode on — and the same all-window ("Range") and
+// all-nearest batches run through ExecuteBatch on each, R* and R+ only
+// (PMR has no scan cache and anchors nothing here). threads=1 so the
+// speedup isolates the execution strategy, not parallelism.
+//
+// Output (default BENCH_simd.json) schema, one object:
+//   {
+//     "bench": "simd", "county": ..., "segments": N, "smoke": false,
+//     "threads": 1, "queries": W, "isa": "avx2",
+//     "isas_verified": ["scalar", "sse2", "avx2"],
+//     "structures": [
+//       {"index": "R*", "range_qps_default": ..., "range_qps_throughput":
+//        ..., "range_speedup": ..., "nearest_qps_default": ...,
+//        "nearest_qps_throughput": ..., "equivalent": true},
+//       {"index": "R+", ...}],
+//     "equivalent": true, "speedup_ok": true
+//   }
+// scripts/check_bench.py validates the shape and re-enforces the
+// acceptance gate on committed artifacts; this binary itself exits
+// nonzero when responses diverge or (non-smoke) the R* Range speedup
+// falls under 2x, so CI cannot commit a regressed artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lsdb/service/query_service.h"
+#include "lsdb/simd/simd.h"
+#include "lsdb/util/random.h"
+
+using namespace lsdb;         // NOLINT
+using namespace lsdb::bench;  // NOLINT
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// All-window batch: the paper's Range workload at serving scale. Sizes
+/// mix one-block windows with multi-subtree spans so grouping has both
+/// dense and sparse clusters to exploit.
+std::vector<QueryRequest> RangeBatch(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Coord x = static_cast<Coord>(rng.Uniform(15500));
+    const Coord y = static_cast<Coord>(rng.Uniform(15500));
+    const Coord side = static_cast<Coord>(64 + rng.Uniform(700));
+    batch.push_back(QueryRequest::WindowQ(Rect::Of(x, y, x + side, y + side)));
+  }
+  return batch;
+}
+
+std::vector<QueryRequest> NearestBatch(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryRequest> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(QueryRequest::NearestQ(
+        Point{static_cast<Coord>(rng.Uniform(16384)),
+              static_cast<Coord>(rng.Uniform(16384))}));
+  }
+  return batch;
+}
+
+/// Quick differential pass: random SoA batches through `isa` vs the
+/// Rect::Intersects oracle. Returns false on any mask mismatch.
+bool VerifyIsa(simd::Isa isa) {
+  if (!simd::ForceIsa(isa)) return false;
+  Rng rng(4242);
+  simd::RectSoA soa;
+  std::vector<uint64_t> mask;
+  for (int batch = 0; batch < 200; ++batch) {
+    const size_t n = 1 + rng.Uniform(120);
+    soa.Reset(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Coord x = static_cast<Coord>(rng.Uniform(1 << 20)) - (1 << 19);
+      const Coord y = static_cast<Coord>(rng.Uniform(1 << 20)) - (1 << 19);
+      const Coord dx = static_cast<Coord>(rng.Uniform(2048)) - 4;  // ~inverted
+      const Coord dy = static_cast<Coord>(rng.Uniform(2048)) - 4;
+      soa.Set(i, Rect{x, y, x + dx, y + dy});
+    }
+    const Rect w = Rect::Of(-1000, -1000,
+                            static_cast<Coord>(rng.Uniform(1 << 19)),
+                            static_cast<Coord>(rng.Uniform(1 << 19)));
+    mask.assign(soa.mask_words(), 0);
+    simd::IntersectMask(soa, w, mask.data());
+    for (size_t i = 0; i < soa.padded_size(); ++i) {
+      const bool bit = (mask[i / 64] >> (i % 64)) & 1;
+      const bool want = i < n && soa.Get(i).Intersects(w);
+      if (bit != want) {
+        simd::ResetIsa();
+        return false;
+      }
+    }
+  }
+  simd::ResetIsa();
+  return true;
+}
+
+/// Wall-clock qps of one ExecuteBatch call (after one warmup pass).
+double TimedQps(QueryService* svc, ServedIndex which,
+                const std::vector<QueryRequest>& batch,
+                StatusOr<BatchResult>* out) {
+  if (!svc->ExecuteBatch(which, batch).ok()) {
+    *out = Status::Internal("warmup failed");
+    return 0;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  *out = svc->ExecuteBatch(which, batch);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!out->ok()) return 0;
+  return static_cast<double>(batch.size()) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int argi = 1;
+  bool smoke = false;
+  if (argi < argc && std::string(argv[argi]) == "--smoke") {
+    smoke = true;
+    ++argi;
+  }
+  const std::string county = argi < argc ? argv[argi++] : "Charles";
+  const size_t n_windows =
+      argi < argc ? static_cast<size_t>(atoi(argv[argi++]))
+                  : (smoke ? 400 : 4000);
+  const std::string out_path = argi < argc ? argv[argi++] : "BENCH_simd.json";
+
+  const PolygonalMap map = CountyMap(county);
+  if (map.segments.empty()) {
+    std::fprintf(stderr, "unknown county %s\n", county.c_str());
+    return 1;
+  }
+
+  // ISA sweep first: the qps numbers below mean nothing if a vector
+  // kernel disagrees with the scalar oracle.
+  std::string isas_json;
+  size_t isas_verified = 0;
+  for (simd::Isa isa : simd::AvailableIsas()) {
+    if (!VerifyIsa(isa)) {
+      std::fprintf(stderr, "ISA %s FAILED differential check\n",
+                   simd::IsaName(isa));
+      return 1;
+    }
+    if (!isas_json.empty()) isas_json += ",";
+    isas_json += std::string("\"") + simd::IsaName(isa) + "\"";
+    ++isas_verified;
+  }
+
+  ServiceOptions base;
+  base.num_threads = 1;
+  auto plain = QueryService::Build(map, base);
+  ServiceOptions tput = base;
+  tput.throughput_mode = true;
+  auto grouped = QueryService::Build(map, tput);
+  if (!plain.ok() || !grouped.ok()) {
+    std::fprintf(stderr, "service build failed\n");
+    return 1;
+  }
+
+  const auto range = RangeBatch(n_windows, 2026);
+  const auto nearest = NearestBatch(n_windows / 2, 808);
+  std::printf("simd/throughput bench: %s county (%zu segments), %zu-window "
+              "Range batch, 1 worker, active ISA %s%s\n\n",
+              county.c_str(), map.segments.size(), range.size(),
+              simd::IsaName(simd::ActiveIsa()), smoke ? " [smoke]" : "");
+  std::printf("%-6s %16s %19s %9s %18s %21s %6s\n", "index", "range qps",
+              "range qps (tput)", "speedup", "nearest qps",
+              "nearest qps (tput)", "equiv");
+  PrintRule(102);
+
+  std::string structures_json;
+  bool all_equivalent = true;
+  double rstar_range_speedup = 0;
+  const ServedIndex kTreeIndexes[] = {ServedIndex::kRStar,
+                                      ServedIndex::kRPlus};
+  for (ServedIndex which : kTreeIndexes) {
+    StatusOr<BatchResult> r_def = Status::Internal("unset"),
+                          r_grp = Status::Internal("unset"),
+                          n_def = Status::Internal("unset"),
+                          n_grp = Status::Internal("unset");
+    const double range_qps_def = TimedQps(plain->get(), which, range, &r_def);
+    const double range_qps_grp =
+        TimedQps(grouped->get(), which, range, &r_grp);
+    const double near_qps_def = TimedQps(plain->get(), which, nearest, &n_def);
+    const double near_qps_grp =
+        TimedQps(grouped->get(), which, nearest, &n_grp);
+    if (range_qps_def <= 0 || range_qps_grp <= 0 || near_qps_def <= 0 ||
+        near_qps_grp <= 0) {
+      std::fprintf(stderr, "batch failed on %s\n", ServedIndexName(which));
+      return 1;
+    }
+    // Equivalence against the sequential ground truth, both modes.
+    auto seq_r = plain->get()->ExecuteBatchSequential(which, range);
+    auto seq_n = plain->get()->ExecuteBatchSequential(which, nearest);
+    const bool equivalent = seq_r.ok() && seq_n.ok() &&
+                            SameResponses(*r_def, *seq_r) &&
+                            SameResponses(*r_grp, *seq_r) &&
+                            SameResponses(*n_def, *seq_n) &&
+                            SameResponses(*n_grp, *seq_n);
+    all_equivalent = all_equivalent && equivalent;
+    const double speedup = range_qps_grp / range_qps_def;
+    if (which == ServedIndex::kRStar) rstar_range_speedup = speedup;
+
+    std::printf("%-6s %16.0f %19.0f %8.2fx %18.0f %21.0f %6s\n",
+                ServedIndexName(which), range_qps_def, range_qps_grp, speedup,
+                near_qps_def, near_qps_grp, equivalent ? "yes" : "NO");
+
+    if (!structures_json.empty()) structures_json += ",";
+    structures_json += "{\"index\":\"";
+    structures_json += ServedIndexName(which);
+    structures_json +=
+        "\",\"range_qps_default\":" + FormatDouble(range_qps_def);
+    structures_json +=
+        ",\"range_qps_throughput\":" + FormatDouble(range_qps_grp);
+    structures_json += ",\"range_speedup\":" + FormatDouble(speedup);
+    structures_json +=
+        ",\"nearest_qps_default\":" + FormatDouble(near_qps_def);
+    structures_json +=
+        ",\"nearest_qps_throughput\":" + FormatDouble(near_qps_grp);
+    structures_json += ",\"equivalent\":";
+    structures_json += equivalent ? "true" : "false";
+    structures_json += "}";
+  }
+  PrintRule(102);
+
+  const bool speedup_ok = rstar_range_speedup >= 2.0;
+  std::string json = "{\"bench\":\"simd\"";
+  json += ",\"county\":\"" + county + "\"";
+  json += ",\"segments\":" + std::to_string(map.segments.size());
+  json += ",\"smoke\":";
+  json += smoke ? "true" : "false";
+  json += ",\"threads\":1";
+  json += ",\"queries\":" + std::to_string(range.size());
+  json += ",\"isa\":\"";
+  json += simd::IsaName(simd::ActiveIsa());
+  json += "\",\"isas_verified\":[" + isas_json + "]";
+  json += ",\"structures\":[" + structures_json + "]";
+  json += ",\"equivalent\":";
+  json += all_equivalent ? "true" : "false";
+  json += ",\"speedup_ok\":";
+  json += speedup_ok ? "true" : "false";
+  json += "}\n";
+
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+
+  std::printf("\nISAs verified vs scalar oracle: %zu\n", isas_verified);
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_equivalent) {
+    std::fprintf(stderr, "FAIL: throughput-mode responses diverged\n");
+    return 1;
+  }
+  if (!smoke && !speedup_ok) {
+    std::fprintf(stderr, "FAIL: R* Range speedup %.2fx < 2x gate\n",
+                 rstar_range_speedup);
+    return 1;
+  }
+  return 0;
+}

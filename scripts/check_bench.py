@@ -206,12 +206,51 @@ def check_overload(doc, path):
         fail(f"{path}: query accounting did not balance")
 
 
+def check_simd(doc, path):
+    if not require(doc, ("bench", "county", "segments", "smoke", "threads",
+                         "queries", "isa", "isas_verified", "structures",
+                         "equivalent", "speedup_ok"), path):
+        return
+    if doc["threads"] != 1:
+        fail(f"{path}: simd bench must be single-threaded")
+    if not doc["isas_verified"]:
+        fail(f"{path}: no ISA verified against the scalar kernel")
+    order_ok = [s.get("index") for s in doc["structures"]] == ["R*", "R+"]
+    if not order_ok:
+        fail(f"{path}: expected R*, R+ entries in order")
+    for s in doc["structures"]:
+        where = f"{path} structure {s.get('index', '?')}"
+        if not require(s, ("index", "range_qps_default",
+                           "range_qps_throughput", "range_speedup",
+                           "nearest_qps_default", "nearest_qps_throughput",
+                           "equivalent"), where):
+            continue
+        for key in ("range_qps_default", "range_qps_throughput",
+                    "nearest_qps_default", "nearest_qps_throughput"):
+            if not s[key] > 0:
+                fail(f"{where}: nonpositive {key}")
+        if s["equivalent"] is not True:
+            fail(f"{where}: throughput-mode responses not equivalent")
+    if doc["equivalent"] is not True:
+        fail(f"{path}: equivalence not confirmed")
+    # Acceptance gate for committed artifacts: smoke runs only validate
+    # plumbing, a real run must show the 2x single-thread Range speedup on
+    # R* (the bench itself exits nonzero when it is missed).
+    if not doc["smoke"]:
+        if doc["speedup_ok"] is not True:
+            fail(f"{path}: speedup gate not confirmed")
+        if order_ok and doc["structures"][0].get("range_speedup", 0) < 2.0:
+            fail(f"{path}: R* range speedup "
+                 f"{doc['structures'][0].get('range_speedup')} < 2x")
+
+
 CHECKERS = {
     "service_observability": check_service,
     "bulk_build": check_build,
     "snapshot_start": check_snapshot,
     "introspect": check_introspect,
     "overload": check_overload,
+    "simd": check_simd,
 }
 
 # Tracked regression metrics: (bench kind, extractor) -> {label: value}.
@@ -235,6 +274,13 @@ def tracked_metrics(doc):
         # latencies are deadline-relative and jitter-dominated on shared
         # runners, so they are schema-checked but not regression-gated.
         out["capacity_qps"] = ("hi", doc.get("capacity_qps"))
+    elif kind == "simd":
+        for s in doc.get("structures", []):
+            idx = s.get("index", "?")
+            out[f"{idx}.range_qps_throughput"] = \
+                ("hi", s.get("range_qps_throughput"))
+            out[f"{idx}.nearest_qps_throughput"] = \
+                ("hi", s.get("nearest_qps_throughput"))
     return {k: v for k, v in out.items() if v[1] is not None}
 
 
@@ -242,7 +288,14 @@ def check_regression(cur_doc, base_doc, name, threshold):
     cur = tracked_metrics(cur_doc)
     base = tracked_metrics(base_doc)
     for key, (direction, base_val) in base.items():
-        if key not in cur or base_val in (None, 0):
+        if base_val in (None, 0):
+            continue
+        if key not in cur:
+            # A tracked metric that vanishes from the fresh artifact is a
+            # regression in itself — silently skipping it would let a bench
+            # drop the very field the gate watches.
+            fail(f"{name}: tracked metric {key} missing from fresh run "
+                 f"(baseline {base_val:.6g})")
             continue
         cur_val = cur[key][1]
         if direction == "hi" and cur_val < base_val * (1.0 - threshold):
@@ -253,6 +306,45 @@ def check_regression(cur_doc, base_doc, name, threshold):
                  f"(>{threshold:.0%} rise)")
 
 
+def self_test():
+    """Fixture check of the gate's directionality: for every tracked-metric
+    direction, an improvement must pass and a regression must fail."""
+    base = {"bench": "service_observability",
+            "structures": [{"index": "R*", "qps": 100.0, "p99_ns": 1000.0}]}
+
+    def svc(qps, p99):
+        return {"bench": "service_observability",
+                "structures": [{"index": "R*", "qps": qps, "p99_ns": p99}]}
+
+    cases = [
+        # (label, fresh doc, expected gate failures at threshold 0.25)
+        ("hi-metric improvement passes", svc(200.0, 1000.0), 0),
+        ("lo-metric improvement passes", svc(100.0, 500.0), 0),
+        ("within-threshold drift passes", svc(80.0, 1200.0), 0),
+        ("hi-metric regression fails", svc(50.0, 1000.0), 1),
+        ("lo-metric regression fails", svc(100.0, 2000.0), 1),
+        ("both-direction regression fails", svc(50.0, 2000.0), 2),
+        ("missing tracked metric fails",
+         {"bench": "service_observability",
+          "structures": [{"index": "R*", "qps": 100.0}]}, 1),
+    ]
+    ok = True
+    for label, cur, want in cases:
+        del FAILURES[:]
+        check_regression(cur, base, label, 0.25)
+        got = len(FAILURES)
+        if got != want:
+            ok = False
+        print(f"check_bench: self-test [{label}] -> {got} gate failure(s), "
+              f"expected {want}: {'ok' if got == want else 'MISMATCH'}")
+    del FAILURES[:]
+    if not ok:
+        print("check_bench: self-test FAILED", file=sys.stderr)
+        return 1
+    print("check_bench: self-test ok")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--dir", default="build",
@@ -261,7 +353,12 @@ def main():
                     help="directory holding committed baseline BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=0.25,
                     help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate-direction fixtures and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
     if not paths:
@@ -298,8 +395,9 @@ def main():
             fail(f"{base_path}: invalid baseline JSON: {e}")
             continue
         if tracked_metrics(base_doc):
+            before = len(FAILURES)
             check_regression(doc, base_doc, name, args.threshold)
-            if not FAILURES:
+            if len(FAILURES) == before:
                 print(f"check_bench: {name} within {args.threshold:.0%} "
                       "of baseline")
 

@@ -26,14 +26,21 @@
 #         default group and compiles every hit as non-recoverable) and
 #         re-run the ENTIRE ctest suite. halt_on_error turns any UB into
 #         a test failure.
+# Tier 2d: rebuild with -DLSDB_SIMD=off (every kernel call pinned to the
+#         scalar oracle) and run the SIMD differential/equivalence, scan-
+#         cache, throughput-mode, and paper-equivalence suites — the same
+#         tests the default (native-dispatch) build already ran in Tier 1,
+#         so the suites execute with vectorization both on and off.
 # Tier 3: smoke-run the machine-readable benches — service observability
 #         (BENCH_service.json), bulk build (BENCH_build.json, whose exit
 #         status already enforces bulk-vs-incremental equivalence),
 #         snapshot cold-start (BENCH_snapshot.json, >=10x speedup
 #         enforced), query-path introspection (BENCH_introspect.json),
-#         and the overload sweep (BENCH_overload.json, whose exit status
+#         the overload sweep (BENCH_overload.json, whose exit status
 #         already enforces the bounded-p99 and accounting invariants at
-#         3x saturation).
+#         3x saturation), and the SIMD/throughput-mode bench
+#         (BENCH_simd.json, whose exit status enforces per-ISA scalar
+#         equivalence and default-vs-throughput response identity).
 # Tier 4: scripts/check_bench.py validates every generated BENCH_*.json
 #         against its schema and gates tracked throughput/latency metrics
 #         (service qps/p99, snapshot qps) against the committed baselines
@@ -52,12 +59,17 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 cmake -B build-tsan -S . -DLSDB_SAN=thread
 cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
-  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*:IntrospectTest.*:IntrospectServiceTest.*:OverloadServiceTest.*:AdmissionQueueTest.*:CancelTokenTest.*:BufferPoolCancelTest.*'
+  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*:IntrospectTest.*:IntrospectServiceTest.*:OverloadServiceTest.*:AdmissionQueueTest.*:CancelTokenTest.*:BufferPoolCancelTest.*:ThroughputModeTest.*'
 
 cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lsdb_tests \
   --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*:BulkLoadTest.*:SnapshotTest.*:SnapshotCorruptionTest.*:SnapshotFaultTest.*'
+
+cmake -B build-scalar -S . -DLSDB_SIMD=off
+cmake --build build-scalar -j"${JOBS}" --target lsdb_tests
+./build-scalar/tests/lsdb_tests \
+  --gtest_filter='SimdTest.*:ScanCacheTest.*:ThroughputModeTest.*:Equivalence*:ExperimentTest.*'
 
 cmake -B build-ubsan -S . -DLSDB_SAN=undefined
 cmake --build build-ubsan -j"${JOBS}"
@@ -69,6 +81,7 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 ./build/bench/bench_snapshot_start --smoke Charles build/BENCH_snapshot.json 4
 ./build/bench/bench_introspect Charles 500 build/BENCH_introspect.json 4
 ./build/bench/bench_overload --smoke Charles build/BENCH_overload.json 2
+./build/bench/bench_simd --smoke Charles 400 build/BENCH_simd.json
 
 python3 scripts/check_bench.py --dir build --baseline .
 

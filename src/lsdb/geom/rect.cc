@@ -26,6 +26,9 @@ int64_t Rect::Enlargement(const Rect& r) const {
 }
 
 int64_t Rect::SquaredDistanceTo(const Point& p) const {
+  // Computing with inverted bounds would yield a small bogus distance that
+  // could steer nearest-neighbour descents into empty entries.
+  if (empty()) return INT64_MAX;
   int64_t dx = 0;
   if (p.x < xmin) {
     dx = static_cast<int64_t>(xmin) - p.x;

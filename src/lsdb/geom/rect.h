@@ -1,10 +1,28 @@
 // Axis-aligned integer rectangle (closed on all sides).
 //
 // Rectangles serve both as minimum bounding rectangles (R-tree entries) and
-// as space-partition regions (R+-tree, quadtree blocks, query windows). A
-// rectangle is closed: points on its boundary are contained. Degenerate
-// rectangles (zero width/height) are valid — a vertical segment's MBR is a
-// degenerate rectangle, and a point query uses a degenerate window.
+// as space-partition regions (R+-tree, quadtree blocks, query windows). The
+// semantics contract, which every caller (and the SIMD node-scan kernels in
+// src/lsdb/simd/) must agree on:
+//
+//  * Closed boundaries: points on an edge or corner are contained, and two
+//    rectangles sharing only an edge or corner DO intersect. Partition
+//    regions (R+ nodes, quadtree blocks, grid cells) exploit this by
+//    tiling space with shared boundary lines, so a query point or crossing
+//    segment always lies in at least one region.
+//  * Degenerate is not empty: zero width and/or height (xmin == xmax,
+//    ymin == ymax) is a valid line or point rectangle — a vertical
+//    segment's MBR and a point query's window are degenerate. Degenerate
+//    rectangles contain points and intersect other rectangles by the same
+//    closed rules; only their Area() is zero.
+//  * Empty means inverted: xmax < xmin or ymax < ymin (the
+//    default-constructed state). An empty rectangle contains nothing,
+//    intersects nothing (including itself), is the identity for Union and
+//    absorbing for Intersection, and has Area() == Margin() == 0.
+//  * Shared edges have zero overlap area: Intersects() may be true while
+//    OverlapArea() == 0 (the overlap region is degenerate). Code that
+//    prunes on positive overlap must handle the touching case explicitly
+//    (see pmr/window_decompose.cc).
 
 #ifndef LSDB_GEOM_RECT_H_
 #define LSDB_GEOM_RECT_H_
@@ -77,7 +95,9 @@ struct Rect {
   /// How much this rect's area grows if extended to include r.
   int64_t Enlargement(const Rect& r) const;
 
-  /// Squared Euclidean distance from p to the closed rectangle (0 inside).
+  /// Squared Euclidean distance from p to the closed rectangle (0 inside,
+  /// including on the boundary). An empty rectangle contains no points, so
+  /// its distance is INT64_MAX ("infinitely far"), never 0.
   int64_t SquaredDistanceTo(const Point& p) const;
 
   std::string ToString() const;

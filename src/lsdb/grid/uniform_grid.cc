@@ -91,6 +91,14 @@ Rect UniformGrid::CellRegion(uint32_t cx, uint32_t cy) const {
   const Coord side = Coord{1} << cell_shift_;
   const Coord x0 = static_cast<Coord>(cx) * side;
   const Coord y0 = static_cast<Coord>(cy) * side;
+  // Closed one-past region: adjacent cells share their boundary lines, the
+  // same tiling convention as quadtree blocks (QuadGeometry::BlockRegion)
+  // and R+ partitions. A segment on a shared line is stored in both cells;
+  // a window ending on one scans the cell on either side. CellRange() maps
+  // a coordinate to the single cell whose half-open span owns it, so the
+  // cell *below* a boundary coordinate is not ranged — that's fine: every
+  // point of a segment lies in its owning cell's closed region, so each
+  // in-window segment point is found through CellRange(w) regardless.
   return Rect::Of(x0, y0, x0 + side, y0 + side);
 }
 

@@ -11,6 +11,15 @@ Status SpatialIndex::WindowQuery(const Rect& w,
   return Status::OK();
 }
 
+Status SpatialIndex::WindowQueryBatch(
+    const std::vector<Rect>& ws, std::vector<std::vector<SegmentHit>>* outs) {
+  outs->assign(ws.size(), {});
+  for (size_t i = 0; i < ws.size(); ++i) {
+    LSDB_RETURN_IF_ERROR(WindowQueryEx(ws[i], &(*outs)[i]));
+  }
+  return Status::OK();
+}
+
 Status SpatialIndex::PointQueryEx(const Point& p,
                                   std::vector<SegmentHit>* out) {
   return WindowQueryEx(Rect::AtPoint(p), out);

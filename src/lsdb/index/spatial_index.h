@@ -97,6 +97,27 @@ class SpatialIndex {
   /// Returns NotFound on an empty index.
   [[nodiscard]] virtual StatusOr<NearestResult> Nearest(const Point& p) = 0;
 
+  /// Runs many window queries in one call: outs->at(i) receives exactly what
+  /// WindowQueryEx(ws[i]) would produce, hits in the same order. The default
+  /// is that loop; R*/R+ override it with a shared descent that walks each
+  /// tree node once for every window still alive in its subtree ("throughput
+  /// mode"), so one materialized node answers many windows per visit.
+  [[nodiscard]] virtual Status WindowQueryBatch(
+      const std::vector<Rect>& ws, std::vector<std::vector<SegmentHit>>* outs);
+
+  /// Builds the frozen structure-of-arrays scan cache (SIMD node scans) for
+  /// structures that support one. Requires frozen(); strictly opt-in — the
+  /// default serving and paper-harness paths never call it, so their page
+  /// reads, fault-injection visibility, and Table 1/2 metrics are untouched.
+  /// Best-effort: on error the structure keeps serving from its pool.
+  [[nodiscard]] virtual Status BuildScanCache() { return Status::OK(); }
+
+  /// Releases the scan cache (no-op when absent). Thaw() calls this.
+  virtual void DropScanCache() {}
+
+  /// True when a scan cache is live and descents are answering from it.
+  virtual bool scan_cache_enabled() const { return false; }
+
   /// Writes all dirty pages back to the page file.
   [[nodiscard]] virtual Status Flush() = 0;
 
@@ -128,7 +149,12 @@ class SpatialIndex {
   /// run WindowQueryEx/PointQueryEx/Nearest concurrently (the buffer pool
   /// serializes page access internally).
   void Freeze() { frozen_ = true; }
-  void Thaw() { frozen_ = false; }
+  /// Thaw drops any scan cache: it is a view of the frozen tree and would
+  /// go stale the moment mutations resume.
+  void Thaw() {
+    DropScanCache();
+    frozen_ = false;
+  }
   bool frozen() const { return frozen_; }
 
  protected:

@@ -26,7 +26,17 @@ void DecomposeRec(const QuadGeometry& geom, const QuadBlock& b,
 
 void DecomposeWindow(const QuadGeometry& geom, const Rect& w,
                      std::vector<QuadBlock>* out) {
-  DecomposeRec(geom, QuadBlock{0, 0}, w, out);
+  // Clip to the world before deciding touch semantics. A window reaching
+  // past the world boundary can have positive area while its in-world part
+  // is a degenerate strip (e.g. [-10..0] x [0..20] meets the world only on
+  // the line x = 0); the touch-skip above would then discard every block it
+  // touches, because there is no neighbouring block on the out-of-world
+  // side holding positive overlap. Segments only exist inside the world, so
+  // decomposing w ∩ world is exact — and for in-world windows wc == w, the
+  // recursion is unchanged, and block probes stay byte-identical.
+  const Rect wc = w.Intersection(geom.WorldRect());
+  if (wc.empty()) return;
+  DecomposeRec(geom, QuadBlock{0, 0}, wc, out);
 }
 
 }  // namespace lsdb

@@ -1,0 +1,85 @@
+// Frozen-tree node cache in structure-of-arrays form, the read side of the
+// SIMD-ified node scan (ROADMAP "SIMD-ified node scans", following arXiv
+// 2309.16913).
+//
+// A frozen R*/R+ tree never changes, so its paged nodes can be rematerialized
+// once into memory with the child rectangles transposed into xmin[]/ymin[]/
+// xmax[]/ymax[] lanes (simd::RectSoA). A descent that finds its node here
+// skips the buffer pool entirely — no mutex, no LRU bookkeeping, no 20-byte
+// AoS decode — and tests all child MBRs with one IntersectMask call per
+// node. The on-disk page format is untouched: this is a view built at
+// Freeze()/snapshot-open time, dropped on Thaw(), and the sequential paper
+// harness never builds one, so Table 1/2 metrics stay byte-identical.
+//
+// The cache is strictly opt-in (QueryService builds it only in throughput
+// mode): the fault-injection and paper-metric paths depend on queries
+// reaching the real page files.
+
+#ifndef LSDB_RTREE_NODE_CACHE_H_
+#define LSDB_RTREE_NODE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lsdb/rtree/rnode.h"
+#include "lsdb/simd/simd.h"
+#include "lsdb/util/status.h"
+
+namespace lsdb {
+
+/// Upper bound on IntersectMask words per node; descents size their stack
+/// mask buffers with this. 64 words = 4096 entries ≈ an 80 KB page, far
+/// beyond any configuration the harness runs; Build refuses larger pages
+/// and the caller falls back to the pool path.
+inline constexpr size_t kMaxNodeMaskWords = 64;
+
+/// One frozen node with its child rectangles in SoA lanes. `child[i]` is a
+/// child page id on internal nodes and a segment id on leaves, exactly as
+/// in RNodeEntry.
+struct CachedRNode {
+  uint8_t level = 0;  ///< 0 = leaf.
+  uint32_t count = 0;
+  PageId overflow = kInvalidPageId;  ///< R+ leaf overflow chain.
+  simd::RectSoA rects;
+  std::vector<uint32_t> child;
+
+  bool leaf() const { return level == 0; }
+};
+
+class FrozenNodeCache {
+ public:
+  /// Walks the tree from `root` through `io`, materializing every reachable
+  /// node including R+ leaf overflow-chain pages. Counter increments made
+  /// by the walk are redirected to a scratch sink, so index-owned paper
+  /// metrics are untouched (pinned by ScanCacheBuildPerturbsNoCounters).
+  /// On any error the cache is left empty and callers keep using the pool.
+  [[nodiscard]] Status Build(RNodeIO* io, PageId root);
+
+  void Clear() {
+    nodes_.clear();
+    node_count_ = 0;
+    bytes_ = 0;
+  }
+
+  bool enabled() const { return node_count_ > 0; }
+
+  /// The cached node for page `id`, or null if `id` is not cached (callers
+  /// must then fall back to RNodeIO::Load).
+  const CachedRNode* Get(PageId id) const {
+    return id < nodes_.size() ? nodes_[id].get() : nullptr;
+  }
+
+  size_t node_count() const { return node_count_; }
+  /// Approximate heap footprint, for capacity planning / gauges.
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::unique_ptr<CachedRNode>> nodes_;  ///< Indexed by PageId.
+  size_t node_count_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace lsdb
+
+#endif  // LSDB_RTREE_NODE_CACHE_H_

@@ -1,10 +1,12 @@
 #include "lsdb/service/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 
 #include "lsdb/build/bulk_loader.h"
+#include "lsdb/geom/morton.h"
 #include "lsdb/query/incident.h"
 #include "lsdb/snapshot/snapshot_writer.h"
 
@@ -396,6 +398,17 @@ Status QueryService::BuildIndexes(const PolygonalMap& map) {
     }
     LSDB_RETURN_IF_ERROR(idx->Flush());
     idx->Freeze();
+    // Throughput mode: rematerialize the frozen tree into the SoA scan
+    // cache (no-op for structures without one). Fault injectors are armed
+    // only after this, so the cache never absorbs an injected fault.
+    if (options_.throughput_mode) {
+      LSDB_RETURN_IF_ERROR(idx->BuildScanCache());
+    }
+  }
+  // Refinement reads segments far more often than nodes; throughput mode
+  // flattens the frozen table too so Get() skips the pool mutex + decode.
+  if (options_.throughput_mode) {
+    LSDB_RETURN_IF_ERROR(segs_->BuildFlatCache());
   }
   if (options_.inject_faults) ArmFaultInjectors();
   return Status::OK();
@@ -463,6 +476,15 @@ Status QueryService::OpenIndexesFromSnapshot(bool zero_copy) {
         static_cast<SpatialIndex*>(rplus_.get()),
         static_cast<SpatialIndex*>(pmr_.get())}) {
     idx->Freeze();
+    // SoA sidecar rebuild on mmap open: the snapshot file carries only the
+    // paged images, so throughput mode re-derives the scan cache from the
+    // mapping here (verify-on-first-touch runs during this walk).
+    if (options_.throughput_mode) {
+      LSDB_RETURN_IF_ERROR(idx->BuildScanCache());
+    }
+  }
+  if (options_.throughput_mode) {
+    LSDB_RETURN_IF_ERROR(segs_->BuildFlatCache());
   }
   if (options_.inject_faults) ArmFaultInjectors();
   return Status::OK();
@@ -527,6 +549,17 @@ namespace {
 struct alignas(64) PaddedCounters {
   MetricCounters c;
 };
+
+/// Spatial sort key for throughput-mode grouping: Hilbert index of the
+/// request window's center, clamped to the 16-bit curve domain.
+uint64_t GroupedWindowKey(const QueryRequest& q) {
+  const Rect w =
+      q.type == QueryType::kWindow ? q.window : Rect::AtPoint(q.point);
+  const Point c = w.Center();
+  const uint32_t x = static_cast<uint32_t>(std::clamp<Coord>(c.x, 0, 65535));
+  const uint32_t y = static_cast<uint32_t>(std::clamp<Coord>(c.y, 0, 65535));
+  return HilbertEncode(16, x, y);
+}
 }  // namespace
 
 StatusOr<BatchResult> QueryService::ExecuteBatch(
@@ -538,8 +571,7 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
   std::vector<PaddedCounters> locals(workers_->size());
   const uint64_t id_base = next_query_id_.fetch_add(
       batch.size(), std::memory_order_relaxed);
-  workers_->ParallelFor(
-      batch.size(), [&](uint32_t worker, uint64_t i) {
+  const auto run_one = [&](uint32_t worker, uint64_t i) {
         ScopedCounterSink sink(&locals[worker].c);
         // Per-query descent profile, installed only when introspection is
         // on (null install keeps the descent hooks on their one-branch
@@ -599,7 +631,97 @@ StatusOr<BatchResult> QueryService::ExecuteBatch(
           }
           tracer_.EmitQuerySpan(span);
         }
+  };
+  if (!options_.throughput_mode) {
+    workers_->ParallelFor(batch.size(), run_one);
+  } else {
+    // -- Throughput mode ----------------------------------------------------
+    // Window and point queries without deadline/cancel tokens are grouped
+    // and executed through the shared multi-window descent; everything else
+    // (nearest, incident, token-carrying requests) keeps the per-query path
+    // so cancellation checkpoints fire exactly as in the default mode.
+    std::vector<uint32_t> grouped, solo;
+    grouped.reserve(batch.size());
+    for (uint32_t i = 0; i < batch.size(); ++i) {
+      const QueryRequest& q = batch[i];
+      const bool groupable =
+          (q.type == QueryType::kWindow || q.type == QueryType::kPoint) &&
+          q.deadline_ns == 0 && q.cancel == nullptr;
+      (groupable ? grouped : solo).push_back(i);
+    }
+    // Sort groups by the Hilbert index of the window center: windows close
+    // on the curve descend the same subtrees, so the contiguous chunk each
+    // worker takes shares node visits ("one pinned node answers many
+    // windows per visit").
+    std::stable_sort(grouped.begin(), grouped.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return GroupedWindowKey(batch[a]) <
+                              GroupedWindowKey(batch[b]);
+                     });
+    if (!grouped.empty()) {
+      const uint32_t nchunks = static_cast<uint32_t>(
+          std::min<size_t>(workers_->size(), grouped.size()));
+      CircuitBreaker& breaker = breakers_[static_cast<size_t>(which)];
+      workers_->ParallelFor(nchunks, [&](uint32_t worker, uint64_t c) {
+        ScopedCounterSink sink(&locals[worker].c);
+        const size_t begin = grouped.size() * c / nchunks;
+        const size_t end = grouped.size() * (c + 1) / nchunks;
+        std::vector<Rect> ws;
+        std::vector<uint32_t> ids;  // Original request index per window.
+        ws.reserve(end - begin);
+        ids.reserve(end - begin);
+        for (size_t k = begin; k < end; ++k) {
+          const uint32_t i = grouped[k];
+          // One breaker ticket per request, exactly as ExecuteOne takes.
+          if (!breaker.AllowRequest()) {
+            out.responses[i].status = Status::Unavailable(
+                std::string(ServedIndexName(which)) +
+                " index degraded: breaker open");
+            continue;
+          }
+          ids.push_back(i);
+          ws.push_back(batch[i].type == QueryType::kWindow
+                           ? batch[i].window
+                           : Rect::AtPoint(batch[i].point));
+        }
+        if (ids.empty()) return;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::vector<SegmentHit>> hits;
+        const Status s = idx->WindowQueryBatch(ws, &hits);
+        const auto t1 = std::chrono::steady_clock::now();
+        // The group executed as one descent; attribute the amortized share
+        // to each request (documented in DESIGN.md §15).
+        const uint64_t ns =
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()) /
+            ids.size();
+        for (size_t k = 0; k < ids.size(); ++k) {
+          const uint32_t i = ids[k];
+          QueryResponse& r = out.responses[i];
+          r.status = s;
+          if (s.ok()) r.hits = std::move(hits[k]);
+          r.latency_ns = ns;
+          histogram(which, batch[i].type)->Record(worker, ns);
+          if (CircuitBreaker::IsFailure(s)) {
+            if (breaker.RecordFailure()) {
+              tracer_.EmitHealthEvent(ServedIndexName(which), "breaker_open");
+            }
+          } else if (CircuitBreaker::IsSuccess(s)) {
+            if (breaker.RecordSuccess()) {
+              tracer_.EmitHealthEvent(ServedIndexName(which),
+                                      "breaker_closed");
+            }
+          }
+        }
       });
+    }
+    if (!solo.empty()) {
+      workers_->ParallelFor(solo.size(), [&](uint32_t worker, uint64_t k) {
+        run_one(worker, solo[k]);
+      });
+    }
+  }
   out.per_worker.reserve(locals.size());
   for (const PaddedCounters& pc : locals) {
     out.per_worker.push_back(pc.c);

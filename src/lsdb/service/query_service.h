@@ -65,6 +65,21 @@ struct ServiceOptions {
   /// (src/lsdb/build/) instead of one-at-a-time insertion. Served query
   /// results are identical; startup is much faster on large maps.
   bool bulk_build = false;
+  /// Throughput mode (SIMD node scans + grouped batch execution). After
+  /// Freeze() — including snapshot opens, where the sidecar is rebuilt over
+  /// the mapping — every R*/R+ node is rematerialized into an in-memory
+  /// structure-of-arrays scan cache (rtree/node_cache.h): descents skip the
+  /// buffer pool and test child MBRs with one SIMD IntersectMask per node.
+  /// ExecuteBatch additionally groups a batch's window/point queries by
+  /// spatial locality and runs each group down the tree in one shared
+  /// descent, so a node is materialized once for many windows. Responses
+  /// are identical to the default path (pinned by equivalence tests);
+  /// requests carrying deadlines or cancel tokens keep the per-query path
+  /// so their cancellation checkpoints behave identically. Off by default:
+  /// the default path keeps every query on the buffer pool, which the
+  /// paper-metric accounting and fault-injection machinery rely on (a
+  /// cached descent would never see an injected page fault).
+  bool throughput_mode = false;
 
   /// If non-empty, the service opens a Tracer on this file and emits one
   /// JSONL span per served query plus sampled buffer-pool events. Empty

@@ -1,0 +1,296 @@
+// SIMD kernel implementations and ISA dispatch. See simd.h for the
+// semantics contract. Vector intrinsics are confined to this file
+// (lsdb_lint rule lsdb-raw-intrinsic).
+
+#include "lsdb/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if !defined(LSDB_SIMD_FORCE_SCALAR)
+#if defined(__x86_64__) || defined(__i386__)
+#define LSDB_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define LSDB_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif  // !LSDB_SIMD_FORCE_SCALAR
+
+namespace lsdb::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernel — the oracle. Delegates every lane to Rect::Intersects so
+// the SIMD layer cannot drift from the geometry layer's semantics.
+// ---------------------------------------------------------------------------
+
+void KernelScalar(const RectSoA& rects, const Rect& w, uint64_t* mask) {
+  const size_t words = rects.mask_words();
+  std::memset(mask, 0, words * sizeof(uint64_t));
+  const size_t n = rects.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (rects.Get(i).Intersects(w)) mask[i / 64] |= uint64_t{1} << (i % 64);
+  }
+}
+
+#if defined(LSDB_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// x86-64. SSE2 is part of the base x86-64 ABI, so the SSE2 kernel needs no
+// target attribute; AVX2 is compiled with a per-function target attribute
+// and only dispatched to after __builtin_cpu_supports("avx2").
+//
+// Per lane i the intersection predicate is the conjunction of six
+// comparisons; we compute its negation ("bad") as a disjunction of
+// greater-than tests, which maps directly onto _mm*_cmpgt_epi32:
+//   bad = rxmin > w.xmax  |  wxmin > rxmax
+//       | rymin > w.ymax  |  wymin > rymax
+//       | rxmin > rxmax   |  rymin > rymax      (lane rect is empty)
+// The window's own emptiness is handled once by the dispatcher, and the
+// padding lanes are empty sentinels, so they produce 0 bits here.
+// ---------------------------------------------------------------------------
+
+void KernelSse2(const RectSoA& rects, const Rect& w, uint64_t* mask) {
+  const size_t padded = rects.padded_size();
+  const __m128i wxmin = _mm_set1_epi32(w.xmin);
+  const __m128i wymin = _mm_set1_epi32(w.ymin);
+  const __m128i wxmax = _mm_set1_epi32(w.xmax);
+  const __m128i wymax = _mm_set1_epi32(w.ymax);
+  uint64_t word = 0;
+  for (size_t i = 0; i < padded; i += 4) {
+    const __m128i rxmin =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rects.xmin() + i));
+    const __m128i rymin =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rects.ymin() + i));
+    const __m128i rxmax =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rects.xmax() + i));
+    const __m128i rymax =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rects.ymax() + i));
+    __m128i bad = _mm_cmpgt_epi32(rxmin, wxmax);
+    bad = _mm_or_si128(bad, _mm_cmpgt_epi32(wxmin, rxmax));
+    bad = _mm_or_si128(bad, _mm_cmpgt_epi32(rymin, wymax));
+    bad = _mm_or_si128(bad, _mm_cmpgt_epi32(wymin, rymax));
+    bad = _mm_or_si128(bad, _mm_cmpgt_epi32(rxmin, rxmax));
+    bad = _mm_or_si128(bad, _mm_cmpgt_epi32(rymin, rymax));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(bad))) ^ 0xFu;
+    word |= static_cast<uint64_t>(bits) << (i % 64);
+    if ((i + 4) % 64 == 0) {
+      mask[i / 64] = word;
+      word = 0;
+    }
+  }
+  if (padded % 64 != 0) mask[padded / 64] = word;
+}
+
+__attribute__((target("avx2"))) void KernelAvx2(const RectSoA& rects,
+                                                const Rect& w,
+                                                uint64_t* mask) {
+  const size_t padded = rects.padded_size();
+  const __m256i wxmin = _mm256_set1_epi32(w.xmin);
+  const __m256i wymin = _mm256_set1_epi32(w.ymin);
+  const __m256i wxmax = _mm256_set1_epi32(w.xmax);
+  const __m256i wymax = _mm256_set1_epi32(w.ymax);
+  uint64_t word = 0;
+  for (size_t i = 0; i < padded; i += 8) {
+    const __m256i rxmin =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rects.xmin() + i));
+    const __m256i rymin =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rects.ymin() + i));
+    const __m256i rxmax =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rects.xmax() + i));
+    const __m256i rymax =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rects.ymax() + i));
+    __m256i bad = _mm256_cmpgt_epi32(rxmin, wxmax);
+    bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(wxmin, rxmax));
+    bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(rymin, wymax));
+    bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(wymin, rymax));
+    bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(rxmin, rxmax));
+    bad = _mm256_or_si256(bad, _mm256_cmpgt_epi32(rymin, rymax));
+    const uint32_t bits =
+        static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(bad))) ^
+        0xFFu;
+    word |= static_cast<uint64_t>(bits) << (i % 64);
+    if ((i + 8) % 64 == 0) {
+      mask[i / 64] = word;
+      word = 0;
+    }
+  }
+  if (padded % 64 != 0) mask[padded / 64] = word;
+}
+
+#endif  // LSDB_SIMD_X86
+
+#if defined(LSDB_SIMD_NEON)
+
+void KernelNeon(const RectSoA& rects, const Rect& w, uint64_t* mask) {
+  const size_t padded = rects.padded_size();
+  const int32x4_t wxmin = vdupq_n_s32(w.xmin);
+  const int32x4_t wymin = vdupq_n_s32(w.ymin);
+  const int32x4_t wxmax = vdupq_n_s32(w.xmax);
+  const int32x4_t wymax = vdupq_n_s32(w.ymax);
+  uint64_t word = 0;
+  for (size_t i = 0; i < padded; i += 4) {
+    const int32x4_t rxmin = vld1q_s32(rects.xmin() + i);
+    const int32x4_t rymin = vld1q_s32(rects.ymin() + i);
+    const int32x4_t rxmax = vld1q_s32(rects.xmax() + i);
+    const int32x4_t rymax = vld1q_s32(rects.ymax() + i);
+    uint32x4_t bad = vcgtq_s32(rxmin, wxmax);
+    bad = vorrq_u32(bad, vcgtq_s32(wxmin, rxmax));
+    bad = vorrq_u32(bad, vcgtq_s32(rymin, wymax));
+    bad = vorrq_u32(bad, vcgtq_s32(wymin, rymax));
+    bad = vorrq_u32(bad, vcgtq_s32(rxmin, rxmax));
+    bad = vorrq_u32(bad, vcgtq_s32(rymin, rymax));
+    const uint32x4_t good = vmvnq_u32(bad);
+    // Collapse each 32-bit lane to one bit: AND with lane-indexed powers of
+    // two, then horizontal-add.
+    const uint32x4_t lane_bits = {1u, 2u, 4u, 8u};
+    const uint32_t bits = vaddvq_u32(vandq_u32(good, lane_bits));
+    word |= static_cast<uint64_t>(bits) << (i % 64);
+    if ((i + 4) % 64 == 0) {
+      mask[i / 64] = word;
+      word = 0;
+    }
+  }
+  if (padded % 64 != 0) mask[padded / 64] = word;
+}
+
+#endif  // LSDB_SIMD_NEON
+
+using KernelFn = void (*)(const RectSoA&, const Rect&, uint64_t*);
+
+bool IsaCompiledAndSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(LSDB_SIMD_X86)
+    case Isa::kSse2:
+      return true;  // Part of the x86-64 base ABI.
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(LSDB_SIMD_NEON)
+    case Isa::kNeon:
+      return true;  // Mandatory on AArch64.
+#endif
+    default:
+      return false;
+  }
+}
+
+KernelFn KernelFor(Isa isa) {
+  switch (isa) {
+#if defined(LSDB_SIMD_X86)
+    case Isa::kSse2:
+      return &KernelSse2;
+    case Isa::kAvx2:
+      return &KernelAvx2;
+#endif
+#if defined(LSDB_SIMD_NEON)
+    case Isa::kNeon:
+      return &KernelNeon;
+#endif
+    default:
+      return &KernelScalar;
+  }
+}
+
+Isa Widest() {
+  if (IsaCompiledAndSupported(Isa::kAvx2)) return Isa::kAvx2;
+  if (IsaCompiledAndSupported(Isa::kNeon)) return Isa::kNeon;
+  if (IsaCompiledAndSupported(Isa::kSse2)) return Isa::kSse2;
+  return Isa::kScalar;
+}
+
+/// Detected default: the widest supported ISA unless the LSDB_SIMD
+/// environment variable narrows it. Unknown or unsupported values fall
+/// back to the widest (env is a kill switch, not a promise).
+Isa DetectDefault() {
+  const char* env = std::getenv("LSDB_SIMD");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "off" || v == "scalar") return Isa::kScalar;
+    Isa want = Isa::kScalar;
+    bool known = false;
+    if (v == "sse2") want = Isa::kSse2, known = true;
+    if (v == "avx2") want = Isa::kAvx2, known = true;
+    if (v == "neon") want = Isa::kNeon, known = true;
+    if (known && IsaCompiledAndSupported(want)) return want;
+  }
+  return Widest();
+}
+
+// kScalar doubles as "no force" sentinel would be wrong (scalar is
+// forcible), so keep a separate flag.
+std::atomic<bool> g_forced{false};
+std::atomic<Isa> g_forced_isa{Isa::kScalar};
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Isa ActiveIsa() {
+  if (g_forced.load(std::memory_order_acquire)) {
+    return g_forced_isa.load(std::memory_order_acquire);
+  }
+  static const Isa kDetected = DetectDefault();
+  return kDetected;
+}
+
+std::vector<Isa> AvailableIsas() {
+  std::vector<Isa> out;
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon}) {
+    if (IsaCompiledAndSupported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+bool ForceIsa(Isa isa) {
+  if (!IsaCompiledAndSupported(isa)) return false;
+  g_forced_isa.store(isa, std::memory_order_release);
+  g_forced.store(true, std::memory_order_release);
+  return true;
+}
+
+void ResetIsa() { g_forced.store(false, std::memory_order_release); }
+
+void RectSoA::Reset(size_t n) {
+  size_ = n;
+  const size_t padded = (n + kLanePad - 1) / kLanePad * kLanePad;
+  // Empty sentinel: xmin=0 > xmax=-1 — never intersects anything.
+  xmin_.assign(padded, 0);
+  ymin_.assign(padded, 0);
+  xmax_.assign(padded, -1);
+  ymax_.assign(padded, -1);
+}
+
+void IntersectMask(const RectSoA& rects, const Rect& w, uint64_t* mask) {
+  if (w.empty()) {
+    std::memset(mask, 0, rects.mask_words() * sizeof(uint64_t));
+    return;
+  }
+  KernelFor(ActiveIsa())(rects, w, mask);
+}
+
+uint64_t IntersectMask64(const RectSoA& rects, const Rect& w) {
+  uint64_t word = 0;
+  IntersectMask(rects, w, &word);
+  return word;
+}
+
+}  // namespace lsdb::simd

@@ -1,0 +1,117 @@
+// Portable SIMD kernels for batched rectangle-intersection tests.
+//
+// This is the only translation unit in the tree allowed to use vector
+// intrinsics (enforced by the lsdb_lint rule `lsdb-raw-intrinsic`). The
+// public surface is deliberately tiny: a structure-of-arrays rectangle
+// container (RectSoA) plus one kernel, IntersectMask, that tests every
+// rectangle in the container against one query window and returns a bit
+// mask. Callers never see an intrinsic; they see bits.
+//
+// Semantics contract (must match geom/rect.h bit for bit):
+//   bit i is set  <=>  !window.empty() && !rects[i].empty() &&
+//                      rects[i].xmin <= window.xmax &&
+//                      rects[i].xmax >= window.xmin &&
+//                      rects[i].ymin <= window.ymax &&
+//                      rects[i].ymax >= window.ymin
+// i.e. exactly Rect::Intersects — closed boundaries (shared edges hit),
+// degenerate (zero-width/height) rectangles are valid, inverted
+// (max < min) rectangles are empty and never match. The scalar kernel is
+// implemented BY CALLING Rect::Intersects, so it is the semantics oracle;
+// the vector kernels are verified bit-identical against it by the
+// 10k-batch differential fuzz suite in tests/simd_test.cc.
+//
+// ISA dispatch happens once, lazily, at first use: the widest ISA the CPU
+// supports wins (AVX2 > SSE2 on x86-64, NEON on AArch64, scalar anywhere).
+// The build can force scalar with -DLSDB_SIMD=off, the environment with
+// LSDB_SIMD=off|scalar|sse2|avx2|neon|native, and tests/benches with
+// ForceIsa(). Coordinates are int32 (geom/point.h Coord); there is no
+// NaN/inf/denormal in this domain — the adversarial inputs are INT32_MIN/
+// INT32_MAX extremes and inverted rectangles, which the fuzz suite covers.
+
+#ifndef LSDB_SIMD_SIMD_H_
+#define LSDB_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lsdb/geom/rect.h"
+
+namespace lsdb::simd {
+
+enum class Isa : uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2, kNeon = 3 };
+
+const char* IsaName(Isa isa);
+
+/// The ISA the kernels will use: the forced one if ForceIsa() is active,
+/// otherwise the detected default (widest supported, after LSDB_SIMD env
+/// and -DLSDB_SIMD=off are applied).
+Isa ActiveIsa();
+
+/// All ISAs this binary compiled kernels for and this CPU can run,
+/// scalar included. The differential suite iterates these.
+std::vector<Isa> AvailableIsas();
+
+/// Forces a specific ISA for every subsequent IntersectMask call. Returns
+/// false (and changes nothing) if the ISA was not compiled in or the CPU
+/// lacks it. Not thread-safe against concurrent kernel calls — call it
+/// during setup, as the tests and benches do.
+bool ForceIsa(Isa isa);
+
+/// Reverts ForceIsa() to the detected default.
+void ResetIsa();
+
+/// Rectangles in structure-of-arrays form: xmin[]/ymin[]/xmax[]/ymax[] in
+/// four parallel lanes, padded to a lane-width multiple with never-matching
+/// sentinel rectangles (empty: xmin=0 > xmax=-1) so kernels can run full
+/// vectors without a scalar tail.
+class RectSoA {
+ public:
+  static constexpr size_t kLanePad = 8;  ///< Pad granule (AVX2 width).
+
+  RectSoA() = default;
+
+  /// Sizes the arrays for n rectangles (plus sentinel padding), all
+  /// initialized to the empty sentinel.
+  void Reset(size_t n);
+
+  void Set(size_t i, const Rect& r) {
+    xmin_[i] = r.xmin;
+    ymin_[i] = r.ymin;
+    xmax_[i] = r.xmax;
+    ymax_[i] = r.ymax;
+  }
+
+  Rect Get(size_t i) const {
+    return Rect{xmin_[i], ymin_[i], xmax_[i], ymax_[i]};
+  }
+
+  size_t size() const { return size_; }
+  /// size() rounded up to the pad granule; the kernels read this many lanes.
+  size_t padded_size() const { return xmin_.size(); }
+  /// 64-bit words needed to hold one mask bit per rectangle.
+  size_t mask_words() const { return (padded_size() + 63) / 64; }
+
+  const int32_t* xmin() const { return xmin_.data(); }
+  const int32_t* ymin() const { return ymin_.data(); }
+  const int32_t* xmax() const { return xmax_.data(); }
+  const int32_t* ymax() const { return ymax_.data(); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<int32_t> xmin_, ymin_, xmax_, ymax_;
+};
+
+/// Writes one bit per rectangle into mask[0 .. rects.mask_words()-1]: bit i
+/// of mask[i/64] is set iff rects.Get(i).Intersects(w) (see the semantics
+/// contract above). Padding lanes are always 0. Dispatches to the active
+/// ISA kernel.
+void IntersectMask(const RectSoA& rects, const Rect& w, uint64_t* mask);
+
+/// Convenience for containers with <= 64 rectangles (one mask word —
+/// every paper-sized node: M = 50 on a 1K page).
+uint64_t IntersectMask64(const RectSoA& rects, const Rect& w);
+
+}  // namespace lsdb::simd
+
+#endif  // LSDB_SIMD_SIMD_H_

@@ -121,6 +121,69 @@ TEST(RectTest, SquaredDistanceToPoint) {
   EXPECT_EQ(r.SquaredDistanceTo(Point{-3, 5}), 9);
 }
 
+TEST(RectTest, EmptyIntersectsNothing) {
+  const Rect e;  // default-constructed: inverted bounds
+  const Rect r = Rect::Of(-100, -100, 100, 100);
+  EXPECT_FALSE(e.Intersects(e));
+  EXPECT_FALSE(e.Intersects(r));
+  EXPECT_FALSE(r.Intersects(e));
+  EXPECT_FALSE(r.Contains(e));
+  EXPECT_FALSE(e.Contains(Point{0, 0}));
+  // An empty rect holds no points, so nothing is at finite distance.
+  EXPECT_EQ(e.SquaredDistanceTo(Point{0, 0}),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(RectTest, DegenerateWindowsKeepClosedSemantics) {
+  // A line window touches rects through their closed boundary...
+  const Rect line = Rect::Of(5, 0, 5, 10);
+  EXPECT_TRUE(line.Intersects(Rect::Of(0, 0, 5, 10)));   // on the right edge
+  EXPECT_TRUE(line.Intersects(Rect::Of(5, 10, 9, 12)));  // at one corner
+  EXPECT_FALSE(line.Intersects(Rect::Of(6, 0, 9, 10)));
+  // ...and a point window intersects exactly where the point is contained.
+  const Rect pt = Rect::AtPoint(Point{7, 7});
+  EXPECT_TRUE(pt.Intersects(pt));
+  EXPECT_TRUE(pt.Intersects(Rect::Of(7, 7, 20, 20)));
+  EXPECT_FALSE(pt.Intersects(Rect::Of(8, 7, 20, 20)));
+}
+
+// Pins the rect.h semantics contract over the full mix of normal,
+// degenerate, and inverted (empty) rectangles: the predicates must agree
+// with each other, with the set-algebra operations, and with distances.
+TEST(RectPropertyTest, PredicatesAgreeAcrossRandomRects) {
+  Rng rng(211);
+  auto raw_rect = [&rng]() {
+    // Roughly half the draws invert at least one axis (empty rect); small
+    // domain forces frequent touching and degenerate cases.
+    return Rect::Of(static_cast<Coord>(rng.UniformInt(-12, 12)),
+                    static_cast<Coord>(rng.UniformInt(-12, 12)),
+                    static_cast<Coord>(rng.UniformInt(-12, 12)),
+                    static_cast<Coord>(rng.UniformInt(-12, 12)));
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const Rect a = raw_rect(), b = raw_rect();
+    EXPECT_EQ(a.Intersects(b), b.Intersects(a));
+    EXPECT_EQ(a.Intersects(b), !a.Intersection(b).empty());
+    EXPECT_EQ(a.OverlapArea(b), b.OverlapArea(a));
+    if (a.OverlapArea(b) > 0) EXPECT_TRUE(a.Intersects(b));
+    if (a.Contains(b)) {
+      EXPECT_TRUE(a.Intersects(b));
+      EXPECT_EQ(a.Intersection(b), b);
+    }
+    if (!a.empty() && !b.empty()) {
+      EXPECT_TRUE(a.Union(b).Contains(a));
+      EXPECT_TRUE(a.Union(b).Contains(b));
+      EXPECT_GE(a.Enlargement(b), 0);
+    }
+    const Point p{static_cast<Coord>(rng.UniformInt(-15, 15)),
+                  static_cast<Coord>(rng.UniformInt(-15, 15))};
+    // Point containment, point-window intersection, and zero distance are
+    // the same predicate (all trivially false on an empty rect).
+    EXPECT_EQ(a.Contains(p), a.Intersects(Rect::AtPoint(p)));
+    EXPECT_EQ(a.Contains(p), a.SquaredDistanceTo(p) == 0);
+  }
+}
+
 TEST(SegmentTest, ContainsPointExact) {
   const Segment s{Point{0, 0}, Point{10, 10}};
   EXPECT_TRUE(s.ContainsPoint(Point{5, 5}));

@@ -219,6 +219,44 @@ TEST(WindowDecomposeTest, CoversWindowWithDisjointBlocks) {
   }
 }
 
+TEST(WindowDecomposeTest, WindowPastWorldBoundaryKeepsBoundaryBlocks) {
+  // Regression: a positive-area window reaching past the world edge whose
+  // in-world part is just the boundary line used to be touch-skipped in
+  // every block (zero overlap everywhere, and no in-world neighbour holds
+  // the positive overlap the skip argument relies on), silently dropping
+  // segments lying on the boundary.
+  const QuadGeometry geom(10, 10);
+  std::vector<QuadBlock> blocks;
+  DecomposeWindow(geom, Rect::Of(-16, 0, 0, 1024), &blocks);
+  ASSERT_FALSE(blocks.empty());
+  for (const QuadBlock& b : blocks) {
+    EXPECT_EQ(geom.BlockRegion(b).xmin, 0);  // the x = 0 column only
+  }
+  // A window fully outside the world covers nothing.
+  blocks.clear();
+  DecomposeWindow(geom, Rect::Of(-50, -50, -10, -10), &blocks);
+  EXPECT_TRUE(blocks.empty());
+}
+
+TEST(PmrTest, WindowPastWorldBoundaryFindsBoundarySegments) {
+  PmrFixture f;
+  const Segment on_edge{Point{0, 100}, Point{0, 300}};
+  const SegmentId id = f.Add(on_edge);
+  Rng rng(91);
+  for (const Segment& s : RandomSegments(&rng, 200, 1024, 32)) f.Add(s);
+  // Positive-area window whose in-world part is the line x = 0: both
+  // strategies must agree and find the boundary segment.
+  const Rect w = Rect::Of(-50, 50, 0, 350);
+  std::vector<SegmentHit> via_traversal;
+  ASSERT_TRUE(f.tree.WindowQueryTraversal(w, &via_traversal).ok());
+  std::vector<SegmentHit> via_decompose;
+  ASSERT_TRUE(f.tree.WindowQueryEx(w, &via_decompose).ok());
+  EXPECT_EQ(Ids(via_traversal), Ids(via_decompose));
+  bool found = false;
+  for (const SegmentHit& h : via_decompose) found |= h.id == id;
+  EXPECT_TRUE(found);
+}
+
 TEST(WindowDecomposeTest, AlignedWindowIsOneBlock) {
   const QuadGeometry geom(10, 10);
   std::vector<QuadBlock> blocks;

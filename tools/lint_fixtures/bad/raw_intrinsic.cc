@@ -1,0 +1,24 @@
+// lsdb-lint-pretend-path: src/lsdb/rtree/rstar_tree.cc
+// Golden-bad fixture: raw vector intrinsics and a vendor SIMD header in an
+// index TU. Vector code belongs in src/lsdb/simd/, where ISA dispatch,
+// padding-lane semantics, and the scalar-oracle equivalence live; an
+// intrinsic inlined into a descent loop dodges all three.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <immintrin.h>
+
+#include "lsdb/geom/rect.h"
+
+namespace lsdb {
+
+int Demo(const int* xmin, const Rect& w) {
+  __m128i lanes = _mm_loadu_si128(nullptr);          // x86 intrinsic
+  __m128i wmax = _mm_set1_epi32(w.xmax);
+  __m128i bad = _mm_cmpgt_epi32(lanes, wmax);
+  (void)xmin;
+  // NEON spelling of the same shortcut is equally banned.
+  // int32x4_t nlanes = vld1q_s32(xmin);
+  return _mm_movemask_ps(_mm_castsi128_ps(bad));
+}
+
+}  // namespace lsdb

@@ -1,0 +1,20 @@
+// lsdb-lint-pretend-path: src/lsdb/simd/simd.cc
+// Golden-good fixture: raw intrinsics and vendor headers are the point of
+// the simd/ layer — inside src/lsdb/simd/ the lsdb-raw-intrinsic rule must
+// stay silent. Index TUs consume the kernels via simd/simd.h instead.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <immintrin.h>
+
+namespace lsdb::simd {
+
+unsigned Demo(const int* xmin) {
+  __m128i lanes = _mm_loadu_si128(nullptr);
+  __m128i zero = _mm_set1_epi32(0);
+  __m128i bad = _mm_cmpgt_epi32(lanes, zero);
+  (void)xmin;  // vld1q_s32(xmin) on aarch64 — also sanctioned here
+  return static_cast<unsigned>(
+      _mm_movemask_ps(_mm_castsi128_ps(bad)));
+}
+
+}  // namespace lsdb::simd

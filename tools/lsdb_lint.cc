@@ -1,7 +1,7 @@
 // lsdb_lint: domain-specific static checks for the lsdb tree.
 //
 // Complements clang-tidy (which may be absent from a minimal toolchain —
-// this tool builds with nothing beyond the standard library) with eight
+// this tool builds with nothing beyond the standard library) with nine
 // project rules that generic linters cannot express:
 //
 //   lsdb-ignored-status    every Status/StatusOr return must be consumed.
@@ -44,6 +44,12 @@
 //                          direct ThreadProfile() use in a descent loop
 //                          put unconditional stat work on the hot path and
 //                          break the zero-cost-when-off guarantee.
+//   lsdb-raw-intrinsic     no raw vector intrinsics (_mm*/vld1q_*/...) or
+//                          vendor SIMD headers outside src/lsdb/simd/.
+//                          Vector code must go through the simd:: kernels,
+//                          which centralize ISA dispatch, padding-lane
+//                          semantics, and the scalar-oracle equivalence
+//                          the differential tests enforce.
 //   lsdb-unbounded-wait    serving-path TUs (service/, storage/) may not
 //                          block forever on a condition variable: plain
 //                          .wait() has no deadline at all, and a timed
@@ -126,19 +132,23 @@ const std::vector<std::string>& ReadPathTus() {
   static const std::vector<std::string> kTus = {
       "src/lsdb/btree/btree.cc",        "src/lsdb/rtree/rnode.cc",
       "src/lsdb/rtree/rstar_tree.cc",   "src/lsdb/rplus/rplus_tree.cc",
-      "src/lsdb/pmr/pmr_quadtree.cc",   "src/lsdb/storage/buffer_pool.cc",
-      "src/lsdb/storage/page_file.cc",  "src/lsdb/storage/superblock.cc",
-      "src/lsdb/seg/segment_table.cc",  "src/lsdb/grid/uniform_grid.cc",
+      "src/lsdb/rtree/node_cache.cc",   "src/lsdb/pmr/pmr_quadtree.cc",
+      "src/lsdb/storage/buffer_pool.cc", "src/lsdb/storage/page_file.cc",
+      "src/lsdb/storage/superblock.cc", "src/lsdb/seg/segment_table.cc",
+      "src/lsdb/grid/uniform_grid.cc",
   };
   return kTus;
 }
 
 // TUs allowed to reinterpret raw page bytes: the storage layer itself plus
-// the node (de)serializers and the checksum kernel.
+// the node (de)serializers and the checksum kernel. The SIMD kernels cast
+// in-memory SoA lanes (never page bytes) to vector types, which needs the
+// same spelling.
 const std::vector<std::string>& PageCastAllowlist() {
   static const std::vector<std::string> kAllow = {
       "src/lsdb/storage/", "src/lsdb/rtree/rnode.cc",
       "src/lsdb/btree/btree.cc", "src/lsdb/util/crc32c.cc",
+      "src/lsdb/simd/",
   };
   return kAllow;
 }
@@ -843,6 +853,89 @@ void CheckHotCounterInDescent(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: lsdb-raw-intrinsic
+// ---------------------------------------------------------------------------
+
+void CheckRawIntrinsic(const std::string& path,
+                       const std::vector<std::string>& raw,
+                       const std::vector<std::string>& stripped,
+                       std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-raw-intrinsic";
+  if (!PathContains(path, "src/lsdb/")) return;
+  if (PathContains(path, "src/lsdb/simd/")) return;
+  // Vendor SIMD headers; pulling one in is the first step of scattering
+  // intrinsics, so the include itself is the finding.
+  static const std::vector<std::string> kHeaders = {
+      "immintrin.h", "emmintrin.h", "xmmintrin.h", "smmintrin.h",
+      "tmmintrin.h", "nmmintrin.h", "wmmintrin.h", "avxintrin.h",
+      "avx2intrin.h", "arm_neon.h", "arm_sve.h",
+  };
+  // NEON intrinsics have no common `_mm`-style prefix; match the families
+  // the kernels use (loads/stores, compares, bitwise, dup, reductions).
+  static const std::vector<std::string> kNeonPrefixes = {
+      "vld1",  "vst1",  "vdupq_", "vcgtq_", "vcgeq_", "vcltq_", "vceqq_",
+      "vorrq_", "vandq_", "veorq_", "vmvnq_", "vaddvq_", "vminvq_",
+      "vmaxvq_",
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    // Include scan against the raw line: quoted includes are string
+    // literals and would be blanked by the stripper.
+    if (raw[i].find("#include") != std::string::npos) {
+      for (const std::string& hdr : kHeaders) {
+        if (raw[i].find(hdr) != std::string::npos &&
+            !Suppressed(raw, i, kRule)) {
+          findings->push_back(
+              {path, i + 1, kRule,
+               "vendor SIMD header <" + hdr +
+                   "> outside src/lsdb/simd/; use the simd:: kernels "
+                   "(simd/simd.h) instead of raw intrinsics"});
+          break;
+        }
+      }
+    }
+    const std::string& line = stripped[i];
+    std::string hit;
+    // x86 intrinsics: an identifier starting `_mm` (covers _mm_, _mm256_,
+    // _mm512_ and the __m128i/__m256i types via their _mm-prefixed use).
+    size_t pos = line.find("_mm");
+    while (pos != std::string::npos && hit.empty()) {
+      const bool word_start = pos == 0 || !IsIdentChar(line[pos - 1]);
+      if (word_start && pos + 3 < line.size() &&
+          (line[pos + 3] == '_' ||
+           std::isdigit(static_cast<unsigned char>(line[pos + 3])) != 0)) {
+        size_t end = pos;
+        while (end < line.size() && IsIdentChar(line[end])) ++end;
+        hit = line.substr(pos, end - pos);
+      }
+      pos = line.find("_mm", pos + 1);
+    }
+    if (hit.empty()) {
+      for (const std::string& prefix : kNeonPrefixes) {
+        size_t p = line.find(prefix);
+        while (p != std::string::npos) {
+          if (p == 0 || !IsIdentChar(line[p - 1])) {
+            size_t end = p;
+            while (end < line.size() && IsIdentChar(line[end])) ++end;
+            hit = line.substr(p, end - p);
+            break;
+          }
+          p = line.find(prefix, p + 1);
+        }
+        if (!hit.empty()) break;
+      }
+    }
+    if (!hit.empty() && !Suppressed(raw, i, kRule)) {
+      findings->push_back(
+          {path, i + 1, kRule,
+           "raw SIMD intrinsic '" + hit +
+               "' outside src/lsdb/simd/; route vector code through the "
+               "simd:: kernels so ISA dispatch, padding-lane semantics, "
+               "and the scalar oracle stay centralized"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: lsdb-unbounded-wait
 // ---------------------------------------------------------------------------
 
@@ -971,6 +1064,7 @@ bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
   CheckDeterminism(path, raw, stripped, &file_findings);
   CheckUncheckedMmapCast(path, raw, stripped, &file_findings);
   CheckHotCounterInDescent(path, raw, stripped, &file_findings);
+  CheckRawIntrinsic(path, raw, stripped, &file_findings);
   CheckUnboundedWait(path, raw, stripped, &file_findings);
   for (Finding& f : file_findings) {
     f.path = arg_path;  // report the real file, even under pretend-path

@@ -337,6 +337,78 @@ def self_test():
             ok = False
         print(f"check_bench: self-test [{label}] -> {got} gate failure(s), "
               f"expected {want}: {'ok' if got == want else 'MISMATCH'}")
+
+    # Schema-checker fixtures for the bench kinds whose producing code
+    # paths run through the concurrency layer (worker pool, buffer pool,
+    # admission): a minimal valid document must pass clean, and each
+    # invariant the checker claims to enforce must actually fire.
+    def svc_struct(idx):
+        return {"index": idx, "queries": 10, "qps": 1.0, "p50_ns": 1,
+                "p90_ns": 2, "p99_ns": 3, "max_ns": 4, "hit_ratio": 0.5,
+                "faults_injected": 0, "io_retries": 0,
+                "checksum_failures": 0, "degraded": False}
+
+    def svc_doc(**over):
+        doc = {"bench": "service_observability", "county": "X",
+               "segments": 1, "threads": 1, "batch": 1, "trace_lines": 0,
+               "segment_pool_hit_ratio": 0.5,
+               "structures": [svc_struct("R*"), svc_struct("R+"),
+                              svc_struct("PMR")]}
+        doc.update(over)
+        return doc
+
+    svc_bad_pct = svc_doc()
+    svc_bad_pct["structures"][0]["p50_ns"] = 99  # > p99
+    svc_bad_degraded = svc_doc()
+    svc_bad_degraded["structures"][1]["degraded"] = True
+    svc_missing_qps = svc_doc()
+    del svc_missing_qps["structures"][2]["qps"]
+
+    def ovl_point(lf):
+        return {"load_factor": lf, "offered_qps": 10.0, "submitted": 100,
+                "ok": 80, "shed": 10, "timeout": 5, "cancelled": 5,
+                "goodput_qps": 8.0, "admitted_p50_ns": 10,
+                "admitted_p99_ns": 20}
+
+    def ovl_doc(**over):
+        doc = {"bench": "overload", "county": "X", "segments": 1,
+               "smoke": True, "threads": 2, "policy": "codel",
+               "latency_injected_us": 0, "capacity_qps": 10.0,
+               "unloaded_p99_ns": 5, "deadline_ns": 100,
+               "sweep": [ovl_point(0.5), ovl_point(1.0), ovl_point(2.0),
+                         ovl_point(3.0)],
+               "p99_bound_ns": 100, "p99_at_3x_ns": 50, "bounded": True,
+               "accounted": True}
+        doc.update(over)
+        return doc
+
+    ovl_bad_accounting = ovl_doc()
+    ovl_bad_accounting["sweep"][3]["ok"] = 81  # outcomes != submitted
+    ovl_bad_policy = ovl_doc(policy="random")
+
+    schema_cases = [
+        ("service schema valid", check_service, svc_doc(), 0),
+        ("service non-monotone percentiles fail", check_service,
+         svc_bad_pct, 1),
+        ("service degraded in fault-free run fails", check_service,
+         svc_bad_degraded, 1),
+        ("service missing qps fails", check_service, svc_missing_qps, 1),
+        ("overload schema valid", check_overload, ovl_doc(), 0),
+        ("overload unbalanced accounting fails", check_overload,
+         ovl_bad_accounting, 1),
+        ("overload unknown policy fails", check_overload, ovl_bad_policy, 1),
+        ("overload unbounded p99 fails", check_overload,
+         ovl_doc(bounded=False), 1),
+    ]
+    for label, checker, doc, want in schema_cases:
+        del FAILURES[:]
+        checker(doc, label)
+        got = len(FAILURES)
+        if got != want:
+            ok = False
+        print(f"check_bench: self-test [{label}] -> {got} schema "
+              f"failure(s), expected {want}: "
+              f"{'ok' if got == want else 'MISMATCH'}")
     del FAILURES[:]
     if not ok:
         print("check_bench: self-test FAILED", file=sys.stderr)

@@ -8,19 +8,21 @@
 #         also hardens the [[nodiscard]] Status discipline into a build
 #         break), build, and run the full test suite.
 # Tier 2: rebuild with ThreadSanitizer (-DLSDB_SAN=thread) and re-run the
-#         concurrency-sensitive tests — the query service, worker pool,
-#         buffer pool, the observability layer (sharded histograms,
-#         tracer, registry), the robustness suite (concurrent batches
-#         with injected faults), and the overload suite (cross-thread
-#         cancellation mid-descent, admission queue, pin waits under
-#         tokens, shutdown drain) — which must report zero races.
+#         ENTIRE ctest suite (the lock-order verifier is armed in this
+#         build too, so TSan races and acquisition-order inversions are
+#         caught in the same pass), which must report zero races. The
+#         `concurrency` ctest label marks the suites that exercise
+#         cross-thread behavior for local selection (ctest -L
+#         concurrency); CI runs everything.
 # Tier 2b: rebuild with AddressSanitizer (-DLSDB_SAN=address) and run the
-#         fault-injection suite — checksums, corruption round trips,
-#         retries, breaker trips — which must report zero memory errors
-#         even while pages are corrupted and reads fail. The snapshot
-#         round-trip and corrupt-snapshot suites (hostile *.lsnap files,
-#         snapshot serving under the fault injector) run here too: mmap
-#         serving must stay memory-clean while its pages are damaged.
+#         `needs-disk` ctest label — checksums, corruption round trips,
+#         retries, breaker trips, the snapshot round-trip and
+#         corrupt-snapshot suites (hostile *.lsnap files, snapshot
+#         serving under the fault injector), and the concurrent
+#         robustness suite — which must report zero memory errors even
+#         while pages are corrupted and reads fail. Test selection lives
+#         in tests/CMakeLists.txt as labels, not in hard-coded filter
+#         lists here.
 # Tier 2c: rebuild with UndefinedBehaviorSanitizer (-DLSDB_SAN=undefined,
 #         which also enables the float checks GCC leaves out of the
 #         default group and compiles every hit as non-recoverable) and
@@ -57,14 +59,14 @@ cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 cmake -B build-tsan -S . -DLSDB_SAN=thread
-cmake --build build-tsan -j"${JOBS}" --target lsdb_tests
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lsdb_tests \
-  --gtest_filter='QueryServiceTest.*:WorkerPoolTest.*:BufferPoolTest.*:LatencyHistogramTest.*:TracerTest.*:StatsRegistryTest.*:ServiceObsTest.*:ServiceRobustnessTest.*:IntrospectTest.*:IntrospectServiceTest.*:OverloadServiceTest.*:AdmissionQueueTest.*:CancelTokenTest.*:BufferPoolCancelTest.*:ThroughputModeTest.*'
+cmake --build build-tsan -j"${JOBS}"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j"${JOBS}"
 
 cmake -B build-asan -S . -DLSDB_SAN=address
 cmake --build build-asan -j"${JOBS}" --target lsdb_tests
-ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lsdb_tests \
-  --gtest_filter='Crc32cTest.*:PageChecksumTest.*:StorageFaultTest.*:PoolRetryTest.*:FaultInjectionTest.*:ServiceRobustnessTest.*:*OnDiskCorruptionIsTypedNotFatal*:BulkLoadTest.*:SnapshotTest.*:SnapshotCorruptionTest.*:SnapshotFaultTest.*'
+ASAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-asan --output-on-failure -j"${JOBS}" -L needs-disk
 
 cmake -B build-scalar -S . -DLSDB_SIMD=off
 cmake --build build-scalar -j"${JOBS}" --target lsdb_tests

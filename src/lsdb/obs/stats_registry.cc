@@ -44,14 +44,14 @@ std::string Escaped(const std::string& s) {
 }  // namespace
 
 StatsRegistry::Counter* StatsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 StatsRegistry::Gauge* StatsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -60,12 +60,12 @@ StatsRegistry::Gauge* StatsRegistry::GetGauge(const std::string& name) {
 void StatsRegistry::RegisterHistogram(const std::string& name,
                                       const std::string& labels,
                                       const LatencyHistogram* h) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   histograms_[Sample(name, labels)] = HistogramView{labels, h};
 }
 
 std::string StatsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out;
   std::string last_base;
   for (const auto& [name, counter] : counters_) {
@@ -114,7 +114,7 @@ std::string StatsRegistry::RenderPrometheus() const {
 }
 
 std::string StatsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {

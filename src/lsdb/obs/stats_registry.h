@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "lsdb/obs/latency_histogram.h"
+#include "lsdb/util/mutex.h"
+#include "lsdb/util/thread_annotations.h"
 
 namespace lsdb {
 
@@ -59,24 +60,24 @@ class StatsRegistry {
   /// Finds or creates the counter/gauge named `name` (full sample name,
   /// labels included). Never returns null; pointer valid for the
   /// registry's lifetime.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) LSDB_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) LSDB_EXCLUDES(mu_);
 
   /// Registers a histogram view under `name` (base name, no labels) +
   /// `labels` (the inside of the braces, e.g. `index="R*",kind="point"`,
   /// may be empty). The histogram is not owned and must outlive the
   /// registry or be unregistered by destroying the registry first.
   void RegisterHistogram(const std::string& name, const std::string& labels,
-                         const LatencyHistogram* h);
+                         const LatencyHistogram* h) LSDB_EXCLUDES(mu_);
 
   /// Prometheus text exposition format, version 0.0.4: `# TYPE` comments,
   /// one `name value` sample per line, keys sorted. Histograms render as
   /// summaries (quantile label) plus `_count`/`_sum`/`_max` samples.
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const LSDB_EXCLUDES(mu_);
 
   /// The same data as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{...}}.
-  std::string RenderJson() const;
+  std::string RenderJson() const LSDB_EXCLUDES(mu_);
 
  private:
   struct HistogramView {
@@ -84,10 +85,15 @@ class StatsRegistry {
     const LatencyHistogram* histogram;
   };
 
-  mutable std::mutex mu_;  ///< Guards the maps; the values are atomics.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, HistogramView> histograms_;  // key: name{labels}
+  /// Guards the maps; the values are atomics, so Counter::Add and
+  /// Gauge::Set on a previously resolved pointer never lock.
+  mutable Mutex mu_{"StatsRegistry.mu"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      LSDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      LSDB_GUARDED_BY(mu_);
+  /// key: name{labels}
+  std::map<std::string, HistogramView> histograms_ LSDB_GUARDED_BY(mu_);
 };
 
 }  // namespace lsdb

@@ -22,7 +22,7 @@ Tracer::~Tracer() { Close(); }
 
 Status Tracer::OpenFile(const std::string& path,
                         const TracerOptions& options) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (out_ != nullptr) return Status::InvalidArgument("tracer already open");
   file_.open(path, std::ios::out | std::ios::trunc);
   if (!file_.is_open()) {
@@ -37,7 +37,7 @@ Status Tracer::OpenFile(const std::string& path,
 
 void Tracer::AttachStream(std::ostream* out,
                           const TracerOptions& options) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   options_ = options;
   out_ = out;
   bytes_written_ = 0;
@@ -45,12 +45,12 @@ void Tracer::AttachStream(std::ostream* out,
 }
 
 void Tracer::Flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (out_ != nullptr) out_->flush();
 }
 
 void Tracer::Close() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   if (out_ != nullptr) out_->flush();
   if (file_.is_open()) file_.close();
@@ -130,7 +130,7 @@ void Tracer::EmitPoolEvent(const char* pool_name, PoolEvent event) {
   if (!enabled()) return;
   uint64_t every;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     every = options_.pool_event_sample_every;
   }
   if (every == 0) return;
@@ -166,7 +166,7 @@ void Tracer::EmitAdmissionEvent(const char* structure, const char* event) {
   if (!enabled()) return;
   uint64_t every;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     every = options_.pool_event_sample_every;
   }
   if (every == 0) return;
@@ -186,7 +186,7 @@ void Tracer::EmitAdmissionEvent(const char* structure, const char* event) {
 }
 
 void Tracer::WriteLine(const std::string& line) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (out_ == nullptr) return;  // closed between the enabled() test and now
   if (options_.max_bytes != 0 &&
       bytes_written_ + line.size() + 1 > options_.max_bytes) {

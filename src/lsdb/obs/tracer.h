@@ -25,11 +25,12 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "lsdb/util/mutex.h"
 #include "lsdb/util/status.h"
+#include "lsdb/util/thread_annotations.h"
 
 namespace lsdb {
 
@@ -82,40 +83,45 @@ class Tracer {
 
   /// Opens `path` for writing (truncating) and enables the tracer.
   Status OpenFile(const std::string& path,
-                  const TracerOptions& options = TracerOptions());
+                  const TracerOptions& options = TracerOptions())
+      LSDB_EXCLUDES(mu_);
   /// Attaches a caller-owned stream (which must outlive the tracer or a
   /// Close()) and enables the tracer.
   void AttachStream(std::ostream* out,
-                    const TracerOptions& options = TracerOptions());
+                    const TracerOptions& options = TracerOptions())
+      LSDB_EXCLUDES(mu_);
   /// Flushes buffered lines to the sink without disabling. Safe to call
   /// from any thread, and when never opened (no-op).
-  void Flush();
+  void Flush() LSDB_EXCLUDES(mu_);
   /// Flushes and disables; safe to call when never opened.
-  void Close();
+  void Close() LSDB_EXCLUDES(mu_);
 
   /// The near-zero disabled path: callers test this before assembling an
   /// event. One relaxed atomic load.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Emits a "span" line for one query. No-op when disabled.
-  void EmitQuerySpan(const QuerySpan& span);
+  void EmitQuerySpan(const QuerySpan& span) LSDB_EXCLUDES(mu_);
 
   /// Emits a "pool" line for a buffer-pool event, subject to 1-in-N
   /// sampling. No-op when disabled. `sampled_every` is recorded on the
   /// line so consumers can rescale counts.
-  void EmitPoolEvent(const char* pool_name, PoolEvent event);
+  void EmitPoolEvent(const char* pool_name, PoolEvent event)
+      LSDB_EXCLUDES(mu_);
 
   /// Emits a "health" line for a service-level state change — breaker
   /// opened / closed — tagged with the structure it concerns. Never
   /// sampled (these are rare and always interesting). No-op when disabled.
-  void EmitHealthEvent(const char* structure, const char* event);
+  void EmitHealthEvent(const char* structure, const char* event)
+      LSDB_EXCLUDES(mu_);
 
   /// Emits an "admission" line for an overload-layer outcome — a shed
   /// (by reason), a timeout, or a cancellation — tagged with the structure
   /// the request targeted. Sampled 1-in-N with the pool-event knob (its
   /// own counter): sheds arrive in bursts precisely when the service is
   /// overloaded, the worst moment to amplify I/O. No-op when disabled.
-  void EmitAdmissionEvent(const char* structure, const char* event);
+  void EmitAdmissionEvent(const char* structure, const char* event)
+      LSDB_EXCLUDES(mu_);
 
   /// Lines written so far (post-sampling).
   uint64_t lines_emitted() const {
@@ -131,7 +137,7 @@ class Tracer {
   static void JsonEscape(const char* s, std::string* out);
 
  private:
-  void WriteLine(const std::string& line);
+  void WriteLine(const std::string& line) LSDB_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> pool_event_seq_{0};  ///< Pre-sampling event count.
@@ -139,11 +145,18 @@ class Tracer {
   std::atomic<uint64_t> lines_emitted_{0};
   std::atomic<uint64_t> lines_dropped_{0};
 
-  std::mutex mu_;  ///< Guards the sink and options below.
-  TracerOptions options_;
-  uint64_t bytes_written_ = 0;  ///< Bytes appended to the current sink.
-  std::ofstream file_;        ///< Owned sink (OpenFile).
-  std::ostream* out_ = nullptr;  ///< Active sink; &file_ or caller-owned.
+  /// Guards the sink and options below. When a BufferPool has this
+  /// tracer attached, emission happens with the pool's mutex held: the
+  /// lock order is always pool -> tracer, never the reverse (the tracer
+  /// calls nothing that could take a pool lock).
+  Mutex mu_{"Tracer.mu"};
+  TracerOptions options_ LSDB_GUARDED_BY(mu_);
+  /// Bytes appended to the current sink.
+  uint64_t bytes_written_ LSDB_GUARDED_BY(mu_) = 0;
+  /// Owned sink (OpenFile).
+  std::ofstream file_ LSDB_GUARDED_BY(mu_);
+  /// Active sink; &file_ or caller-owned.
+  std::ostream* out_ LSDB_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace lsdb

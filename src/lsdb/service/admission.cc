@@ -59,7 +59,7 @@ bool AdmissionQueue::AboveKindLimit(QueryType kind) const {
 
 bool AdmissionQueue::Offer(Ticket&& ticket, std::vector<Shed>* shed_out) {
   const QueryType kind = ticket.request.type;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (closed_) {
     shed_out->push_back(Shed{std::move(ticket), ShedReason::kShutdown});
     shed_[static_cast<size_t>(ShedReason::kShutdown)].fetch_add(
@@ -98,7 +98,7 @@ bool AdmissionQueue::Offer(Ticket&& ticket, std::vector<Shed>* shed_out) {
 }
 
 bool AdmissionQueue::Take(Ticket* out, std::vector<Shed>* shed_out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto now = CancelToken::Clock::now();
   while (!q_.empty()) {
     // Adaptive LIFO flips to newest-first once the backlog crosses half
@@ -141,7 +141,7 @@ bool AdmissionQueue::Take(Ticket* out, std::vector<Shed>* shed_out) {
 }
 
 void AdmissionQueue::Close(std::vector<Ticket>* drained) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   closed_ = true;
   while (!q_.empty()) {
     drained->push_back(std::move(q_.front()));
@@ -172,7 +172,7 @@ void AdmissionQueue::OnExecuted(QueryType kind, const Status& status) {
 AdmissionStats AdmissionQueue::Snapshot() const {
   AdmissionStats s;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     s.depth = q_.size();
     s.max_depth = max_depth_;
   }

@@ -43,12 +43,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "lsdb/service/cancel.h"
 #include "lsdb/service/request.h"
+#include "lsdb/util/mutex.h"
+#include "lsdb/util/thread_annotations.h"
 
 namespace lsdb {
 
@@ -140,16 +141,17 @@ class AdmissionQueue {
   /// *shed_out and calls OnFinished() for entries that were admitted
   /// (reason kEvicted / kCoDel); kQueueFull / kKindLimit / kShutdown
   /// entries were never admitted.
-  bool Offer(Ticket&& ticket, std::vector<Shed>* shed_out);
+  bool Offer(Ticket&& ticket, std::vector<Shed>* shed_out)
+      LSDB_EXCLUDES(mu_);
 
   /// Pops the next runnable ticket per policy into *out; CoDel sheds
   /// stale tickets into *shed_out on the way. Returns false when empty.
-  bool Take(Ticket* out, std::vector<Shed>* shed_out);
+  bool Take(Ticket* out, std::vector<Shed>* shed_out) LSDB_EXCLUDES(mu_);
 
   /// Closes the queue: concurrent and future Offers shed with kShutdown,
   /// and every queued ticket is moved into *drained (complete them as
   /// Cancelled and call OnFinished()).
-  void Close(std::vector<Ticket>* drained);
+  void Close(std::vector<Ticket>* drained) LSDB_EXCLUDES(mu_);
 
   /// Terminal accounting for an admitted ticket that did NOT execute
   /// (evicted / CoDel-shed / drained): releases its per-kind slot.
@@ -163,7 +165,7 @@ class AdmissionQueue {
   /// slot and classifies the response status (ok/timeout/cancelled).
   void OnExecuted(QueryType kind, const Status& status);
 
-  AdmissionStats Snapshot() const;
+  AdmissionStats Snapshot() const LSDB_EXCLUDES(mu_);
 
   const AdmissionOptions& options() const { return options_; }
 
@@ -172,15 +174,15 @@ class AdmissionQueue {
 
   const AdmissionOptions options_;
 
-  mutable std::mutex mu_;
-  std::deque<Ticket> q_;        ///< Guarded by mu_.
-  bool closed_ = false;         ///< Guarded by mu_.
-  uint64_t max_depth_ = 0;      ///< Guarded by mu_.
+  mutable Mutex mu_{"AdmissionQueue.mu"};
+  std::deque<Ticket> q_ LSDB_GUARDED_BY(mu_);
+  bool closed_ LSDB_GUARDED_BY(mu_) = false;
+  uint64_t max_depth_ LSDB_GUARDED_BY(mu_) = 0;  ///< High-water mark.
 
-  /// CoDel control state (guarded by mu_): has sojourn been continuously
-  /// at/above target, and since when.
-  bool above_target_ = false;
-  CancelToken::Clock::time_point above_since_{};
+  /// CoDel control state: has sojourn been continuously at/above target,
+  /// and since when.
+  bool above_target_ LSDB_GUARDED_BY(mu_) = false;
+  CancelToken::Clock::time_point above_since_ LSDB_GUARDED_BY(mu_){};
 
   std::array<std::atomic<uint32_t>, 4> outstanding_ = {};
   std::atomic<uint64_t> admitted_{0};

@@ -11,8 +11,11 @@
 // transient (or whose storage was repaired) closes the breaker again on
 // the first probe that succeeds.
 //
-// Lock-free: workers record outcomes concurrently; all state is atomics.
-// The consecutive-failure count is monotonic enough for the purpose — an
+// Lock-free: workers record outcomes concurrently; all state is atomics,
+// including the two option knobs, so set_options() is safe while the
+// breaker is serving (a live reconfiguration applies to the next
+// request/outcome that reads the knob — there is no torn read). The
+// consecutive-failure count is monotonic enough for the purpose — an
 // interleaved success resets it, which errs toward keeping the structure
 // in service (the conservative direction for a read-only workload).
 
@@ -37,7 +40,7 @@ class CircuitBreaker {
   };
 
   CircuitBreaker() = default;
-  explicit CircuitBreaker(const Options& options) : options_(options) {}
+  explicit CircuitBreaker(const Options& options) { set_options(options); }
 
   /// True if the request should be executed; false to fail it fast with
   /// kUnavailable. While open, every probe_interval-th caller is admitted
@@ -46,7 +49,9 @@ class CircuitBreaker {
     if (!open_.load(std::memory_order_acquire)) return true;
     const uint64_t ticket =
         probe_ticket_.fetch_add(1, std::memory_order_relaxed);
-    if (ticket % options_.probe_interval == 0) return true;
+    if (ticket % probe_interval_.load(std::memory_order_relaxed) == 0) {
+      return true;
+    }
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -67,7 +72,7 @@ class CircuitBreaker {
   bool RecordFailure() {
     const uint32_t streak =
         1 + consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
-    if (streak >= options_.failure_threshold &&
+    if (streak >= failure_threshold_.load(std::memory_order_relaxed) &&
         !open_.exchange(true, std::memory_order_acq_rel)) {
       times_opened_.fetch_add(1, std::memory_order_relaxed);
       return true;
@@ -89,10 +94,24 @@ class CircuitBreaker {
   uint64_t times_opened() const {
     return times_opened_.load(std::memory_order_relaxed);
   }
-  const Options& options() const { return options_; }
-  /// Reconfigures thresholds. Call before the breaker is shared across
-  /// threads (atomics are not guarded against concurrent reconfiguration).
-  void set_options(const Options& options) { options_ = options; }
+  /// By value: the knobs may be reconfigured live.
+  Options options() const {
+    Options o;
+    o.failure_threshold = failure_threshold_.load(std::memory_order_relaxed);
+    o.probe_interval = probe_interval_.load(std::memory_order_relaxed);
+    return o;
+  }
+  /// Reconfigures thresholds. Safe while the breaker is shared across
+  /// threads: each knob is a single atomic, applied to the next request
+  /// or outcome that reads it. probe_interval is clamped to >= 1 (the
+  /// modulo in AllowRequest must never divide by zero).
+  void set_options(const Options& options) {
+    failure_threshold_.store(options.failure_threshold,
+                             std::memory_order_relaxed);
+    probe_interval_.store(options.probe_interval < 1 ? 1
+                                                     : options.probe_interval,
+                          std::memory_order_relaxed);
+  }
 
   /// Administrative reset to the closed state (streak cleared).
   void Reset() {
@@ -101,7 +120,8 @@ class CircuitBreaker {
   }
 
  private:
-  Options options_;
+  std::atomic<uint32_t> failure_threshold_{Options{}.failure_threshold};
+  std::atomic<uint32_t> probe_interval_{Options{}.probe_interval};
   std::atomic<bool> open_{false};
   std::atomic<uint32_t> consecutive_failures_{0};
   std::atomic<uint64_t> probe_ticket_{0};

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
 #include "lsdb/build/bulk_loader.h"
 #include "lsdb/geom/morton.h"
 #include "lsdb/query/incident.h"
 #include "lsdb/snapshot/snapshot_writer.h"
+#include "lsdb/util/mutex.h"
 
 namespace lsdb {
 
@@ -908,22 +907,22 @@ StatusOr<BatchResult> QueryService::ExecuteBatchAdmitted(
   }
   BatchResult out;
   out.responses.resize(batch.size());
-  std::mutex mu;
-  std::condition_variable all_done;
+  Mutex mu("QueryService.batch_done");
+  CondVar all_done;
   size_t remaining = batch.size();
   for (size_t i = 0; i < batch.size(); ++i) {
     SubmitQuery(which, batch[i], [&, i](QueryResponse r) {
-      std::lock_guard<std::mutex> lk(mu);
+      MutexLock lk(mu);
       out.responses[i] = std::move(r);
-      if (--remaining == 0) all_done.notify_one();
+      if (--remaining == 0) all_done.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lk(mu);
+  MutexLock lk(mu);
   // Bounded by construction, not by a wait deadline: every submitted
   // ticket is completed exactly once (executed, shed, or drained at
   // shutdown), so `remaining` always reaches zero.
   // NOLINTNEXTLINE(lsdb-unbounded-wait)
-  all_done.wait(lk, [&] { return remaining == 0; });
+  all_done.Wait(mu, [&] { return remaining == 0; });
   return out;
 }
 

@@ -15,42 +15,42 @@ WorkerPool::WorkerPool(uint32_t threads)
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 bool WorkerPool::Submit(TaskFn task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (shutdown_) return false;
     tasks_.push_back(std::move(task));
     tasks_pending_.fetch_add(1, std::memory_order_relaxed);
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
   return true;
 }
 
 void WorkerPool::ParallelFor(uint64_t count, const ItemFn& fn) {
   if (count == 0) return;
-  std::lock_guard<std::mutex> batch_lk(batch_mu_);
+  MutexLock batch_lk(batch_mu_);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     fn_ = &fn;
     count_ = count;
     next_.store(0, std::memory_order_relaxed);
     active_ = size();
     ++epoch_;
   }
-  work_ready_.notify_all();
-  std::unique_lock<std::mutex> lk(mu_);
+  work_ready_.NotifyAll();
+  MutexLock lk(mu_);
   // The barrier completes once every worker has drained its share of the
   // job; per-item deadlines belong to the items (cancel tokens), not to
   // the barrier itself.
   // NOLINTNEXTLINE(lsdb-unbounded-wait)
-  job_done_.wait(lk, [this] { return active_ == 0; });
+  job_done_.Wait(mu_, [this]() LSDB_REQUIRES(mu_) { return active_ == 0; });
   fn_ = nullptr;
 }
 
@@ -59,30 +59,32 @@ void WorkerPool::WorkerMain(uint32_t id) {
   for (;;) {
     const ItemFn* fn = nullptr;
     uint64_t count = 0;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      // Idle park until work or shutdown; no deadline applies to an idle
-      // worker, so the predicate-only wait is deliberate.
-      // NOLINTNEXTLINE(lsdb-unbounded-wait)
-      work_ready_.wait(lk, [&] {
-        return shutdown_ || epoch_ != seen_epoch || !tasks_.empty();
-      });
-      // Graceful drain: accepted tasks run even during shutdown — a
-      // worker only exits once the task queue is empty.
-      if (!tasks_.empty()) {
-        TaskFn task = std::move(tasks_.front());
-        tasks_.pop_front();
-        lk.unlock();
-        task(id);
-        tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
-        items_done_[id].fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      fn = fn_;
-      count = count_;
+    mu_.Lock();
+    // Idle park until work or shutdown; no deadline applies to an idle
+    // worker, so the predicate-only wait is deliberate.
+    // NOLINTNEXTLINE(lsdb-unbounded-wait)
+    work_ready_.Wait(mu_, [&]() LSDB_REQUIRES(mu_) {
+      return shutdown_ || epoch_ != seen_epoch || !tasks_.empty();
+    });
+    // Graceful drain: accepted tasks run even during shutdown — a
+    // worker only exits once the task queue is empty.
+    if (!tasks_.empty()) {
+      TaskFn task = std::move(tasks_.front());
+      tasks_.pop_front();
+      mu_.Unlock();
+      task(id);
+      tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
+      items_done_[id].fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
+    if (shutdown_) {
+      mu_.Unlock();
+      return;
+    }
+    seen_epoch = epoch_;
+    fn = fn_;
+    count = count_;
+    mu_.Unlock();
     for (;;) {
       const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
@@ -90,8 +92,8 @@ void WorkerPool::WorkerMain(uint32_t id) {
       items_done_[id].fetch_add(1, std::memory_order_relaxed);
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (--active_ == 0) job_done_.notify_all();
+      MutexLock lk(mu_);
+      if (--active_ == 0) job_done_.NotifyAll();
     }
   }
 }

@@ -19,13 +19,14 @@
 #define LSDB_SERVICE_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "lsdb/util/mutex.h"
+#include "lsdb/util/thread_annotations.h"
 
 namespace lsdb {
 
@@ -52,7 +53,8 @@ class WorkerPool {
   /// returns when all items are done. fn must be safe to call from multiple
   /// threads; worker_id is in [0, size()). Only one ParallelFor may be in
   /// flight at a time (calls from multiple threads serialize).
-  void ParallelFor(uint64_t count, const ItemFn& fn);
+  void ParallelFor(uint64_t count, const ItemFn& fn)
+      LSDB_EXCLUDES(batch_mu_, mu_);
 
   using TaskFn = std::function<void(uint32_t worker)>;
 
@@ -60,7 +62,7 @@ class WorkerPool {
   /// the task is guaranteed to run exactly once (possibly during shutdown
   /// drain). Returns false once destruction has begun — the caller still
   /// owns the work and must complete or fail it itself.
-  bool Submit(TaskFn task);
+  bool Submit(TaskFn task) LSDB_EXCLUDES(mu_);
 
   /// Tasks accepted by Submit() that have not finished running yet
   /// (queued + in flight). Exported as a service gauge.
@@ -83,22 +85,26 @@ class WorkerPool {
   /// One slot per worker, written only by that worker (relaxed).
   std::vector<std::atomic<uint64_t>> items_done_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable job_done_;
-  std::mutex batch_mu_;  ///< Serializes concurrent ParallelFor callers.
+  /// Serializes concurrent ParallelFor callers; always acquired before
+  /// mu_ (lock order batch_mu -> mu, checked by the LockRegistry).
+  Mutex batch_mu_{"WorkerPool.batch_mu"};
+  Mutex mu_{"WorkerPool.mu"};
+  CondVar work_ready_;
+  CondVar job_done_;
 
   // Current job; valid while active_ > 0. Guarded by mu_ (epoch/handoff)
   // with item claiming off the lock via next_.
-  const ItemFn* fn_ = nullptr;
-  uint64_t count_ = 0;
+  const ItemFn* fn_ LSDB_GUARDED_BY(mu_) = nullptr;
+  uint64_t count_ LSDB_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> next_{0};
-  uint64_t epoch_ = 0;    ///< Bumped per job so workers see new work.
-  uint32_t active_ = 0;   ///< Workers still running the current job.
-  bool shutdown_ = false;
+  /// Bumped per job so workers see new work.
+  uint64_t epoch_ LSDB_GUARDED_BY(mu_) = 0;
+  /// Workers still running the current job.
+  uint32_t active_ LSDB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LSDB_GUARDED_BY(mu_) = false;
 
-  /// One-off tasks (guarded by mu_). Drained before workers exit.
-  std::deque<TaskFn> tasks_;
+  /// One-off tasks. Drained before workers exit.
+  std::deque<TaskFn> tasks_ LSDB_GUARDED_BY(mu_);
   std::atomic<uint64_t> tasks_pending_{0};
 };
 

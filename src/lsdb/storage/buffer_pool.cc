@@ -21,7 +21,7 @@ constexpr uint32_t kRetryFrame = 0xffffffffu;
 
 BufferPool::BufferPool(PageFile* file, uint32_t frame_count,
                        MetricCounters* metrics)
-    : file_(file), metrics_(metrics) {
+    : file_(file), metrics_(metrics), frame_count_(frame_count) {
   assert(frame_count >= 1);  // NOLINT(lsdb-assert-on-disk): constructor option validation
   frames_.resize(frame_count);
   free_frames_.reserve(frame_count);
@@ -73,7 +73,7 @@ void BufferPool::PageRef::MarkDirty() {
   // Dirtying a zero-copy ref is a programming error (frozen section); the
   // backend would reject the write-back anyway, so catch it at the source.
   assert(direct_ == nullptr);  // NOLINT(lsdb-assert-on-disk): caller contract, in-memory handle
-  std::lock_guard<std::mutex> lk(pool_->mu_);
+  MutexLock lk(pool_->mu_);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -139,8 +139,7 @@ Status BufferPool::WritePageStamped(PageId id, const uint8_t* buf) {
   }
 }
 
-StatusOr<uint32_t> BufferPool::GetVictimFrame(
-    std::unique_lock<std::mutex>& lk) {
+StatusOr<uint32_t> BufferPool::GetVictimFrame() {
   if (!free_frames_.empty()) {
     const uint32_t f = free_frames_.back();
     free_frames_.pop_back();
@@ -197,9 +196,11 @@ StatusOr<uint32_t> BufferPool::GetVictimFrame(
     if (tok != nullptr && tok->has_deadline() && tok->deadline() < slice) {
       slice = tok->deadline();
     }
-    const bool have_frame = frame_released_.wait_until(
-        lk, slice,
-        [this] { return !free_frames_.empty() || !lru_.empty(); });
+    const bool have_frame = frame_released_.WaitUntil(
+        mu_, slice,
+        [this]() LSDB_REQUIRES(mu_) {
+          return !free_frames_.empty() || !lru_.empty();
+        });
     if (have_frame) return kRetryFrame;
     if (CancelToken::Clock::now() >= give_up) {
       return Status::ResourceExhausted(
@@ -209,7 +210,7 @@ StatusOr<uint32_t> BufferPool::GetVictimFrame(
 }
 
 void BufferPool::Unpin(uint32_t frame) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Frame& fr = frames_[frame];
   assert(fr.pin_count > 0);  // NOLINT(lsdb-assert-on-disk): Unpin caller contract
   --total_pins_;
@@ -220,13 +221,13 @@ void BufferPool::Unpin(uint32_t frame) {
   if (--fr.pin_count == 0) {
     fr.lru_pos = lru_.insert(lru_.end(), frame);
     fr.in_lru = true;
-    frame_released_.notify_one();
+    frame_released_.NotifyOne();
   }
 }
 
 StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
   if (file_->zero_copy()) return FetchZeroCopy(id);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (heat_ != nullptr) heat_->Touch(id);
   if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   for (;;) {
@@ -243,7 +244,7 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
       TraceEvent(PoolEvent::kHit);
       return PageRef(this, f, id);
     }
-    auto victim = GetVictimFrame(lk);
+    auto victim = GetVictimFrame();
     if (!victim.ok()) return victim.status();
     if (*victim == kRetryFrame) continue;  // waited: re-check the page map
     const uint32_t f = *victim;
@@ -251,7 +252,7 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(PageId id) {
     const Status s = ReadPageVerified(id, fr.buf.data());
     if (!s.ok()) {
       free_frames_.push_back(f);
-      frame_released_.notify_one();
+      frame_released_.NotifyOne();
       return s;
     }
     if (MetricCounters* m = CounterSink(metrics_)) ++m->disk_reads;
@@ -270,7 +271,7 @@ StatusOr<BufferPool::PageRef> BufferPool::FetchZeroCopy(PageId id) {
   // mapping. Counting mirrors the copying path — every fetch is a
   // page_fetch; the page's first touch (when it is checksum-verified and
   // genuinely faulted in) is the miss / disk_read, later touches are hits.
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (heat_ != nullptr) heat_->Touch(id);
   if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   for (uint32_t attempt = 1;; ++attempt) {
@@ -301,13 +302,13 @@ StatusOr<BufferPool::PageRef> BufferPool::FetchZeroCopy(PageId id) {
 }
 
 StatusOr<BufferPool::PageRef> BufferPool::New() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (MetricCounters* m = CounterSink(metrics_)) ++m->page_fetches;
   auto alloc = file_->Allocate();
   if (!alloc.ok()) return alloc.status();
   const PageId id = *alloc;
   for (;;) {
-    auto victim = GetVictimFrame(lk);
+    auto victim = GetVictimFrame();
     if (!victim.ok()) {
       // Undo the allocation; the page was never used, and the original
       // victim-frame error is the one worth surfacing.
@@ -327,7 +328,7 @@ StatusOr<BufferPool::PageRef> BufferPool::New() {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (Frame& fr : frames_) {
     if (fr.page != kInvalidPageId && fr.dirty) {
       LSDB_RETURN_IF_ERROR(WritePageStamped(fr.page, fr.buf.data()));
@@ -339,7 +340,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::Free(PageId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = page_to_frame_.find(id);
   if (it != page_to_frame_.end()) {
     Frame& fr = frames_[it->second];
@@ -354,62 +355,62 @@ Status BufferPool::Free(PageId id) {
     fr.dirty = false;
     free_frames_.push_back(it->second);
     page_to_frame_.erase(it);
-    frame_released_.notify_one();
+    frame_released_.NotifyOne();
   }
   return file_->Free(id);
 }
 
 uint64_t BufferPool::hits() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return hits_;
 }
 
 uint64_t BufferPool::misses() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return misses_;
 }
 
 uint64_t BufferPool::evictions() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return evictions_;
 }
 
 uint64_t BufferPool::pin_waits() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return pin_waits_;
 }
 
 double BufferPool::hit_ratio() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0
                     : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
 uint64_t BufferPool::io_retries() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return io_retries_;
 }
 
 uint64_t BufferPool::checksum_failures() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return checksum_failures_;
 }
 
 void BufferPool::SetRetryPolicy(uint32_t max_attempts, uint32_t backoff_us) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   retry_max_attempts_ = max_attempts < 1 ? 1 : max_attempts;
   retry_backoff_us_ = backoff_us;
 }
 
 void BufferPool::SetTracer(Tracer* tracer, std::string pool_name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   tracer_ = tracer;
   pool_name_ = std::move(pool_name);
 }
 
 void BufferPool::SetPageHeat(introspect::PageHeatMap* heat) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   heat_ = heat;
 }
 
@@ -422,7 +423,7 @@ void BufferPool::TraceEvent(PoolEvent e) const {
 }
 
 uint32_t BufferPool::pinned_frames() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   uint32_t n = 0;
   for (const Frame& fr : frames_) {
     if (fr.page != kInvalidPageId && fr.pin_count > 0) ++n;

@@ -26,10 +26,8 @@
 #ifndef LSDB_STORAGE_BUFFER_POOL_H_
 #define LSDB_STORAGE_BUFFER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -37,7 +35,9 @@
 
 #include "lsdb/storage/page_file.h"
 #include "lsdb/util/counters.h"
+#include "lsdb/util/mutex.h"
 #include "lsdb/util/status.h"
+#include "lsdb/util/thread_annotations.h"
 
 namespace lsdb {
 
@@ -94,8 +94,13 @@ class BufferPool {
 
     bool valid() const { return pool_ != nullptr || direct_ != nullptr; }
     PageId id() const { return id_; }
-    uint8_t* data();
-    const uint8_t* data() const;
+    // tsa-escape: frame contents are stable while this ref's pin is held
+    // (eviction skips pinned frames), so data() deliberately reads the
+    // frame buffer without pool_->mu_; taking the lock here would put a
+    // mutex acquisition on every node access in query descent.
+    uint8_t* data() LSDB_NO_THREAD_SAFETY_ANALYSIS;
+    // tsa-escape: same pin-stability argument as the mutable overload.
+    const uint8_t* data() const LSDB_NO_THREAD_SAFETY_ANALYSIS;
     /// Marks the page dirty; it will be written back before reuse.
     void MarkDirty();
     /// Explicit early unpin.
@@ -109,24 +114,22 @@ class BufferPool {
   };
 
   /// Pins page `id`, reading it from the file on a miss.
-  [[nodiscard]] StatusOr<PageRef> Fetch(PageId id);
+  [[nodiscard]] StatusOr<PageRef> Fetch(PageId id) LSDB_EXCLUDES(mu_);
   /// Allocates a new zeroed page and pins it (already marked dirty).
-  [[nodiscard]] StatusOr<PageRef> New();
+  [[nodiscard]] StatusOr<PageRef> New() LSDB_EXCLUDES(mu_);
   /// Writes back all dirty pages (counts as disk writes).
-  [[nodiscard]] Status FlushAll();
+  [[nodiscard]] Status FlushAll() LSDB_EXCLUDES(mu_);
   /// Drops page `id` from the pool (must be unpinned; dirty data is
   /// discarded) and frees it in the file.
-  [[nodiscard]] Status Free(PageId id);
+  [[nodiscard]] Status Free(PageId id) LSDB_EXCLUDES(mu_);
 
-  uint32_t frame_count() const {
-    return static_cast<uint32_t>(frames_.size());
-  }
+  uint32_t frame_count() const { return frame_count_; }
   uint32_t page_size() const { return file_->page_size(); }
   PageFile* file() { return file_; }
   const MetricCounters* metrics() const { return metrics_; }
 
   /// Number of currently pinned frames (diagnostics / tests).
-  uint32_t pinned_frames() const;
+  uint32_t pinned_frames() const LSDB_EXCLUDES(mu_);
 
   // -- Observability ------------------------------------------------------
   // Lifetime pool behaviour, tracked independently of MetricCounters (the
@@ -134,40 +137,41 @@ class BufferPool {
   // and the obs subsystem). All guarded by the pool mutex.
 
   /// Fetches served from a resident frame.
-  uint64_t hits() const;
+  uint64_t hits() const LSDB_EXCLUDES(mu_);
   /// Fetches that had to read the page from the file.
-  uint64_t misses() const;
+  uint64_t misses() const LSDB_EXCLUDES(mu_);
   /// Pages pushed out of the pool to make room (LRU victims).
-  uint64_t evictions() const;
+  uint64_t evictions() const LSDB_EXCLUDES(mu_);
   /// Times a Fetch/New had to wait for another thread to release a pin.
-  uint64_t pin_waits() const;
+  uint64_t pin_waits() const LSDB_EXCLUDES(mu_);
   /// hits / (hits + misses); 0 when no fetches have happened yet. New()
   /// calls are neither hits nor misses (they never read the file).
-  double hit_ratio() const;
+  double hit_ratio() const LSDB_EXCLUDES(mu_);
   /// Transient-IO retries performed (reads + write-backs, all attempts
   /// after the first).
-  uint64_t io_retries() const;
+  uint64_t io_retries() const LSDB_EXCLUDES(mu_);
   /// Pages that failed CRC verification on miss (each surfaced to the
   /// caller as Status::Corruption).
-  uint64_t checksum_failures() const;
+  uint64_t checksum_failures() const LSDB_EXCLUDES(mu_);
 
   /// Overrides the transient-IO retry policy. `max_attempts` >= 1 is the
   /// total tries per IO (1 = no retry); `backoff_us` the linear backoff
   /// unit. Call before sharing the pool across threads.
-  void SetRetryPolicy(uint32_t max_attempts, uint32_t backoff_us);
+  void SetRetryPolicy(uint32_t max_attempts, uint32_t backoff_us)
+      LSDB_EXCLUDES(mu_);
 
   /// Attaches `tracer` (not owned; may be null to detach) so pool events —
   /// hit / miss / eviction / pin_wait — are emitted as sampled JSONL
   /// lines tagged with `pool_name`. Call before sharing the pool across
   /// threads; with no tracer attached (the default, and always the case in
   /// the sequential paper harness) the cost is one null-pointer test.
-  void SetTracer(Tracer* tracer, std::string pool_name);
+  void SetTracer(Tracer* tracer, std::string pool_name) LSDB_EXCLUDES(mu_);
 
   /// Attaches `heat` (not owned; may be null to detach) so every logical
   /// page access — copying or zero-copy, hit or miss — bumps its per-page
   /// counter. Call before sharing the pool across threads; unattached (the
   /// default) the cost is one null-pointer test per fetch.
-  void SetPageHeat(introspect::PageHeatMap* heat);
+  void SetPageHeat(introspect::PageHeatMap* heat) LSDB_EXCLUDES(mu_);
 
  private:
   struct Frame {
@@ -182,49 +186,57 @@ class BufferPool {
   /// Zero-copy fetch path: borrows the page pointer from the backend's
   /// MapPage() instead of copying into a frame. Hit/miss/disk-access
   /// counting mirrors the copying path (first touch = miss).
-  [[nodiscard]] StatusOr<PageRef> FetchZeroCopy(PageId id);
+  [[nodiscard]] StatusOr<PageRef> FetchZeroCopy(PageId id) LSDB_EXCLUDES(mu_);
   /// Finds a frame for a new page: free frame, LRU-evicted victim, or —
   /// when all frames are pinned by *other* threads — waits for a release.
-  /// Requires `lk` held; may drop it while waiting.
-  [[nodiscard]] StatusOr<uint32_t> GetVictimFrame(std::unique_lock<std::mutex>& lk);
+  /// May drop mu_ while waiting (CondVar), but holds it on entry and exit.
+  [[nodiscard]] StatusOr<uint32_t> GetVictimFrame() LSDB_REQUIRES(mu_);
   /// Reads page `id` from the file with bounded transient-IO retries, then
   /// verifies its stored CRC-32C; a mismatch is Status::Corruption. Called
   /// with mu_ held (page IO is serialized by design; see file comment).
-  [[nodiscard]] Status ReadPageVerified(PageId id, uint8_t* buf);
+  [[nodiscard]] Status ReadPageVerified(PageId id, uint8_t* buf)
+      LSDB_REQUIRES(mu_);
   /// Computes and stamps the page checksum, then writes with bounded
   /// transient-IO retries. Called with mu_ held.
-  [[nodiscard]] Status WritePageStamped(PageId id, const uint8_t* buf);
-  void PinLocked(uint32_t frame);
-  void Unpin(uint32_t frame);
-  uint32_t SelfPinsLocked() const;
-  void TraceEvent(PoolEvent e) const;
+  [[nodiscard]] Status WritePageStamped(PageId id, const uint8_t* buf)
+      LSDB_REQUIRES(mu_);
+  void PinLocked(uint32_t frame) LSDB_REQUIRES(mu_);
+  void Unpin(uint32_t frame) LSDB_EXCLUDES(mu_);
+  uint32_t SelfPinsLocked() const LSDB_REQUIRES(mu_);
+  void TraceEvent(PoolEvent e) const LSDB_REQUIRES(mu_);
 
   PageFile* file_;
   MetricCounters* metrics_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, uint32_t> page_to_frame_;
-  std::list<uint32_t> lru_;  // front = least recently used, unpinned only
-  std::vector<uint32_t> free_frames_;
+  const uint32_t frame_count_;  ///< Immutable after construction.
 
-  mutable std::mutex mu_;
-  std::condition_variable frame_released_;
-  uint32_t total_pins_ = 0;
+  mutable Mutex mu_{"BufferPool.mu"};
+  CondVar frame_released_;
+
+  std::vector<Frame> frames_ LSDB_GUARDED_BY(mu_);
+  std::unordered_map<PageId, uint32_t> page_to_frame_ LSDB_GUARDED_BY(mu_);
+  /// front = least recently used, unpinned only
+  std::list<uint32_t> lru_ LSDB_GUARDED_BY(mu_);
+  std::vector<uint32_t> free_frames_ LSDB_GUARDED_BY(mu_);
+  uint32_t total_pins_ LSDB_GUARDED_BY(mu_) = 0;
   /// Outstanding pins per thread, for self-deadlock detection when the
-  /// pool is exhausted. Guarded by mu_.
-  std::unordered_map<std::thread::id, uint32_t> pins_by_thread_;
+  /// pool is exhausted.
+  std::unordered_map<std::thread::id, uint32_t> pins_by_thread_
+      LSDB_GUARDED_BY(mu_);
 
-  // Observability (guarded by mu_; see accessor docs).
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t pin_waits_ = 0;
-  uint64_t io_retries_ = 0;
-  uint64_t checksum_failures_ = 0;
-  uint32_t retry_max_attempts_ = kDefaultIoAttempts;
-  uint32_t retry_backoff_us_ = kDefaultIoBackoffUs;
-  Tracer* tracer_ = nullptr;  ///< Not owned; null = no tracing.
-  std::string pool_name_;
-  introspect::PageHeatMap* heat_ = nullptr;  ///< Not owned; null = off.
+  // Observability (see accessor docs).
+  uint64_t hits_ LSDB_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ LSDB_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ LSDB_GUARDED_BY(mu_) = 0;
+  uint64_t pin_waits_ LSDB_GUARDED_BY(mu_) = 0;
+  uint64_t io_retries_ LSDB_GUARDED_BY(mu_) = 0;
+  uint64_t checksum_failures_ LSDB_GUARDED_BY(mu_) = 0;
+  uint32_t retry_max_attempts_ LSDB_GUARDED_BY(mu_) = kDefaultIoAttempts;
+  uint32_t retry_backoff_us_ LSDB_GUARDED_BY(mu_) = kDefaultIoBackoffUs;
+  /// Not owned; null = no tracing.
+  Tracer* tracer_ LSDB_GUARDED_BY(mu_) = nullptr;
+  std::string pool_name_ LSDB_GUARDED_BY(mu_);
+  /// Not owned; null = off.
+  introspect::PageHeatMap* heat_ LSDB_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace lsdb

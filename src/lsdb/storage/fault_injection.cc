@@ -8,7 +8,7 @@
 namespace lsdb {
 
 void FaultInjectingPageFile::set_plan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   plan_ = plan;
   rng_ = Rng(plan.seed);
   dead_read_pages_.clear();
@@ -16,19 +16,19 @@ void FaultInjectingPageFile::set_plan(const FaultPlan& plan) {
 }
 
 FaultPlan FaultInjectingPageFile::plan() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return plan_;
 }
 
 void FaultInjectingPageFile::FailPage(PageId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   dead_read_pages_.insert(id);
 }
 
 void FaultInjectingPageFile::MaybeSleep() const {
   uint32_t us;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     us = plan_.latency_us;
   }
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
@@ -43,7 +43,7 @@ Status FaultInjectingPageFile::Read(PageId id, void* buf,
   }
   bool bitflip = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (dead_read_pages_.count(id) != 0) {
       stats_.permanent_read_faults.fetch_add(1, std::memory_order_relaxed);
       return Status::IoError("injected: permanent read failure");
@@ -70,7 +70,7 @@ Status FaultInjectingPageFile::Read(PageId id, void* buf,
     // checksum is untouched, so the pool's verify-on-miss sees a mismatch.
     uint64_t bit;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       bit = rng_.Uniform(static_cast<uint64_t>(page_size_) * 8);
     }
     static_cast<uint8_t*>(buf)[bit / 8] ^=
@@ -87,7 +87,7 @@ StatusOr<PageFile::MappedPage> FaultInjectingPageFile::MapPage(PageId id) {
     return Status::IoError("injected: device read failure");
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (dead_read_pages_.count(id) != 0) {
       stats_.permanent_read_faults.fetch_add(1, std::memory_order_relaxed);
       return Status::IoError("injected: permanent read failure");
@@ -119,7 +119,7 @@ Status FaultInjectingPageFile::Write(PageId id, const void* buf,
   bool torn = false;
   uint64_t bit = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (dead_write_pages_.count(id) != 0) {
       stats_.permanent_write_faults.fetch_add(1, std::memory_order_relaxed);
       return Status::IoError("injected: permanent write failure");

@@ -23,12 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 
 #include "lsdb/storage/page_file.h"
+#include "lsdb/util/mutex.h"
 #include "lsdb/util/random.h"
 #include "lsdb/util/status.h"
+#include "lsdb/util/thread_annotations.h"
 
 namespace lsdb {
 
@@ -95,12 +96,13 @@ class FaultInjectingPageFile : public PageFile {
 
   /// Installs (and re-seeds) the fault plan. An all-zero plan restores
   /// pass-through behaviour; dead-page memory is cleared either way.
-  void set_plan(const FaultPlan& plan);
-  FaultPlan plan() const;  ///< By value: the plan may be swapped live.
+  void set_plan(const FaultPlan& plan) LSDB_EXCLUDES(mu_);
+  /// By value: the plan may be swapped live.
+  FaultPlan plan() const LSDB_EXCLUDES(mu_);
 
   /// Forces every read of `id` to fail permanently — a deterministic
   /// "this page died" switch for tests and demos.
-  void FailPage(PageId id);
+  void FailPage(PageId id) LSDB_EXCLUDES(mu_);
   /// While on, every read fails with kIoError (whole device dead). Counted
   /// as permanent read faults.
   void FailAllReads(bool on) {
@@ -116,14 +118,17 @@ class FaultInjectingPageFile : public PageFile {
   }
   bool read_only() const override { return base_->read_only(); }
   bool zero_copy() const override { return base_->zero_copy(); }
-  [[nodiscard]] Status Read(PageId id, void* buf, uint32_t* checksum) override;
-  [[nodiscard]] Status Write(PageId id, const void* buf, uint32_t checksum) override;
+  [[nodiscard]] Status Read(PageId id, void* buf, uint32_t* checksum)
+      override LSDB_EXCLUDES(mu_);
+  [[nodiscard]] Status Write(PageId id, const void* buf, uint32_t checksum)
+      override LSDB_EXCLUDES(mu_);
   /// Same read-fault ladder as Read() over the base's zero-copy view.
   /// Bit flips are the one fault that cannot be injected here: the view is
   /// a borrowed pointer into a read-only mapping, so there is no buffer to
   /// corrupt — flipped-byte coverage for snapshots comes from corrupting
   /// the file itself (see the hostile-snapshot tests).
-  [[nodiscard]] StatusOr<MappedPage> MapPage(PageId id) override;
+  [[nodiscard]] StatusOr<MappedPage> MapPage(PageId id)
+      override LSDB_EXCLUDES(mu_);
   [[nodiscard]] StatusOr<PageId> Allocate() override { return base_->Allocate(); }
   [[nodiscard]] Status Free(PageId id) override { return base_->Free(id); }
 
@@ -131,11 +136,14 @@ class FaultInjectingPageFile : public PageFile {
   void MaybeSleep() const;
 
   PageFile* base_;
-  mutable std::mutex mu_;  ///< Guards plan_, rng_, dead page sets.
-  FaultPlan plan_;
-  Rng rng_;
-  std::unordered_set<PageId> dead_read_pages_;
-  std::unordered_set<PageId> dead_write_pages_;
+  /// Guards the plan, RNG, and dead-page sets. Sits below the BufferPool
+  /// mutex in the lock hierarchy (pool IO calls into the decorator), but
+  /// the decorator never calls back up, so the order is acyclic.
+  mutable Mutex mu_{"FaultInjectingPageFile.mu"};
+  FaultPlan plan_ LSDB_GUARDED_BY(mu_);
+  Rng rng_ LSDB_GUARDED_BY(mu_);
+  std::unordered_set<PageId> dead_read_pages_ LSDB_GUARDED_BY(mu_);
+  std::unordered_set<PageId> dead_write_pages_ LSDB_GUARDED_BY(mu_);
   std::atomic<bool> fail_all_reads_{false};
   FaultStats stats_;
 };

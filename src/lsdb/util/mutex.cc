@@ -1,0 +1,331 @@
+#include "lsdb/util/mutex.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define LSDB_HAVE_BACKTRACE 1
+#endif
+#endif
+#ifndef LSDB_HAVE_BACKTRACE
+#define LSDB_HAVE_BACKTRACE 0
+#endif
+
+namespace lsdb {
+namespace lock_debug {
+namespace {
+
+constexpr int kMaxStackFrames = 24;
+
+struct HeldEntry {
+  std::uint32_t id;
+  const char* name;
+};
+
+// The held-lock stack of the calling thread. Function-local so first use
+// from any thread constructs it; mutexes are expected to be released
+// before thread exit, so destruction-order hazards do not arise in
+// practice.
+std::vector<HeldEntry>& HeldStack() {
+  thread_local std::vector<HeldEntry> stack = [] {
+    std::vector<HeldEntry> v;
+    v.reserve(8);
+    return v;
+  }();
+  return stack;
+}
+
+// Bumped by ResetGraphForTest() so per-thread edge caches drop entries
+// that no longer exist in the global graph.
+std::atomic<std::uint64_t> g_graph_generation{0};
+
+// Per-thread cache of (from, to) edges already present in the global
+// graph. A nested acquisition whose ordering edge was verified once can
+// be re-verified from here without touching the registry mutex — that
+// lock would otherwise serialize every worker on hot nested pairs like
+// BufferPool.mu -> Tracer.mu, which is where the benches spend their
+// time. Ids are never reused, so a cached edge can only ever refer to
+// the same two mutexes.
+struct EdgeCache {
+  std::uint64_t generation = 0;
+  std::unordered_set<std::uint64_t> known;
+};
+
+EdgeCache& TlsEdgeCache() {
+  thread_local EdgeCache cache;
+  return cache;
+}
+
+std::uint64_t EdgeKey(std::uint32_t from, std::uint32_t to) {
+  return (std::uint64_t{from} << 32) | to;
+}
+
+struct Edge {
+  std::uint32_t to = 0;
+  // Context captured when the edge was first recorded.
+  std::string held_names;  // "A -> B" style chain of names
+#if LSDB_HAVE_BACKTRACE
+  void* frames[kMaxStackFrames];
+  int frame_count = 0;
+#endif
+};
+
+std::string DescribeStack(const Edge& e) {
+  std::string out;
+  out += "    held chain at first acquisition: ";
+  out += e.held_names;
+  out += "\n";
+#if LSDB_HAVE_BACKTRACE
+  char** symbols = backtrace_symbols(e.frames, e.frame_count);
+  if (symbols != nullptr) {
+    for (int i = 0; i < e.frame_count; ++i) {
+      out += "      ";
+      out += symbols[i];
+      out += "\n";
+    }
+    free(symbols);
+  }
+#endif
+  return out;
+}
+
+}  // namespace
+
+// All mutable registry state. Guarded by `mu` (a raw std::mutex on
+// purpose: the registry cannot be built on lsdb::Mutex without recursing
+// into itself; util/ is exempt from the lsdb-raw-mutex lint rule).
+struct LockRegistry::Impl {
+  std::mutex mu;
+  Mode mode = Mode::kAbort;
+  std::uint32_t next_id = 1;
+  // Adjacency: edges[a] holds every b ever acquired while a was held,
+  // with the context of the first such acquisition.
+  std::unordered_map<std::uint32_t, std::vector<Edge>> edges;
+  std::unordered_map<std::uint32_t, const char*> names;
+  // Canonical keys of already-reported findings (report-once).
+  std::unordered_set<std::string> reported;
+  std::vector<Report> reports;
+
+  const Edge* FindEdge(std::uint32_t from, std::uint32_t to) const {
+    auto it = edges.find(from);
+    if (it == edges.end()) return nullptr;
+    for (const Edge& e : it->second) {
+      if (e.to == to) return &e;
+    }
+    return nullptr;
+  }
+
+  // Depth-first search for a path from `from` to `target` in the edge
+  // graph; fills `path` with the node sequence [from, ..., target].
+  bool FindPath(std::uint32_t from, std::uint32_t target,
+                std::unordered_set<std::uint32_t>& visited,
+                std::vector<std::uint32_t>& path) const {
+    if (!visited.insert(from).second) return false;
+    path.push_back(from);
+    if (from == target) return true;
+    auto it = edges.find(from);
+    if (it != edges.end()) {
+      for (const Edge& e : it->second) {
+        if (FindPath(e.to, target, visited, path)) return true;
+      }
+    }
+    path.pop_back();
+    return false;
+  }
+
+  const char* NameOf(std::uint32_t id) const {
+    auto it = names.find(id);
+    return it == names.end() ? "<unknown>" : it->second;
+  }
+
+  void Emit(Report&& r) {
+    if (mode == Mode::kAbort) {
+      std::fprintf(stderr, "%s", r.text.c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+    reports.push_back(std::move(r));
+  }
+};
+
+LockRegistry::LockRegistry() : impl_(new Impl) {}
+
+LockRegistry& LockRegistry::Instance() {
+  static LockRegistry* reg = new LockRegistry();  // intentionally leaked
+  return *reg;
+}
+
+std::uint32_t LockRegistry::RegisterMutex(const char* name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const std::uint32_t id = impl_->next_id++;
+  impl_->names[id] = name;
+  return id;
+}
+
+bool LockRegistry::NoteAcquiring(std::uint32_t id, const char* name) {
+  auto& stack = HeldStack();
+
+  // Reentrancy: acquiring a non-recursive mutex this thread already holds
+  // would self-deadlock regardless of any other thread.
+  for (const HeldEntry& h : stack) {
+    if (h.id == id) {
+      std::string key = "reentrant:" + std::to_string(id);
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (impl_->reported.insert(key).second) {
+        Report r;
+        r.reentrant = true;
+        r.ids = {id};
+        r.text = "lsdb lock-order verifier: REENTRANT ACQUISITION of '" +
+                 std::string(name) +
+                 "' (id " + std::to_string(id) +
+                 ") — this thread already holds it; a non-recursive mutex "
+                 "self-deadlocks here.\n";
+        impl_->Emit(std::move(r));
+      }
+      return false;
+    }
+  }
+
+  if (stack.empty()) return true;  // first lock: no ordering to record
+
+  const std::uint32_t from = stack.back().id;
+  const std::uint64_t key = EdgeKey(from, id);
+  EdgeCache& cache = TlsEdgeCache();
+  const std::uint64_t gen =
+      g_graph_generation.load(std::memory_order_acquire);
+  if (cache.generation != gen) {
+    cache.known.clear();
+    cache.generation = gen;
+  }
+  if (cache.known.count(key) != 0) return true;  // ordering verified before
+
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (impl_->FindEdge(from, id) != nullptr) {
+    cache.known.insert(key);
+    return true;  // known ordering (recorded by another thread)
+  }
+
+  // New edge from -> id. Before inserting, check whether a path id -> from
+  // already exists: if so, inserting closes a cycle.
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<std::uint32_t> path;
+  const bool cycle = impl_->FindPath(id, from, visited, path);
+
+  Edge e;
+  e.to = id;
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (i > 0) e.held_names += " -> ";
+    e.held_names += stack[i].name;
+  }
+  e.held_names += " -> ";
+  e.held_names += name;
+#if LSDB_HAVE_BACKTRACE
+  e.frame_count = backtrace(e.frames, kMaxStackFrames);
+#endif
+  impl_->edges[from].push_back(e);
+  cache.known.insert(key);
+
+  if (cycle) {
+    // path = [id, ..., from]; appending the new edge from -> id closes it.
+    std::vector<std::uint32_t> cycle_ids = path;
+    std::string key = "cycle:";
+    {
+      std::vector<std::uint32_t> sorted = cycle_ids;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::uint32_t cid : sorted) key += std::to_string(cid) + ",";
+    }
+    if (impl_->reported.insert(key).second) {
+      Report r;
+      r.ids = cycle_ids;
+      std::string text =
+          "lsdb lock-order verifier: LOCK-ORDER CYCLE (potential "
+          "deadlock) detected at acquisition of '" +
+          std::string(name) + "' while holding '" +
+          std::string(impl_->NameOf(from)) + "':\n";
+      text += "  cycle: ";
+      for (std::uint32_t cid : cycle_ids) {
+        text += std::string(impl_->NameOf(cid)) + " (" +
+                std::to_string(cid) + ") -> ";
+      }
+      text += std::string(impl_->NameOf(cycle_ids.front())) + " (" +
+              std::to_string(cycle_ids.front()) + ")\n";
+      text += "  edge " + std::string(impl_->NameOf(from)) + " -> " +
+              std::string(name) + " (just recorded):\n" +
+              DescribeStack(impl_->edges[from].back());
+      for (std::size_t i = 0; i + 1 < cycle_ids.size(); ++i) {
+        const Edge* pe = impl_->FindEdge(cycle_ids[i], cycle_ids[i + 1]);
+        if (pe == nullptr) continue;
+        text += "  edge " + std::string(impl_->NameOf(cycle_ids[i])) +
+                " -> " + std::string(impl_->NameOf(cycle_ids[i + 1])) +
+                " (prior):\n" + DescribeStack(*pe);
+      }
+      r.text = std::move(text);
+      impl_->Emit(std::move(r));
+    }
+  }
+  return true;
+}
+
+void LockRegistry::NoteAcquired(std::uint32_t id, const char* name) {
+  HeldStack().push_back(HeldEntry{id, name});
+}
+
+void LockRegistry::NoteReleased(std::uint32_t id) {
+  auto& stack = HeldStack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->id == id) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void LockRegistry::SetMode(Mode m) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->mode = m;
+}
+
+Mode LockRegistry::mode() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->mode;
+}
+
+std::vector<Report> LockRegistry::TakeReports() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<Report> out;
+  out.swap(impl_->reports);
+  return out;
+}
+
+void LockRegistry::ResetGraphForTest() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->edges.clear();
+  impl_->reported.clear();
+  impl_->reports.clear();
+  // Invalidate every thread's edge cache: the cached pairs no longer
+  // exist in the graph, and leaving them would suppress re-recording.
+  g_graph_generation.fetch_add(1, std::memory_order_release);
+}
+
+std::size_t LockRegistry::HeldDepthForTest() { return HeldStack().size(); }
+
+ScopedRecordMode::ScopedRecordMode() {
+  auto& reg = LockRegistry::Instance();
+  prev_ = reg.mode();
+  reg.SetMode(Mode::kRecord);
+}
+
+ScopedRecordMode::~ScopedRecordMode() {
+  auto& reg = LockRegistry::Instance();
+  reg.TakeReports();
+  reg.SetMode(prev_);
+}
+
+}  // namespace lock_debug
+}  // namespace lsdb

@@ -1,0 +1,105 @@
+// Clang -Wthread-safety annotation macros.
+//
+// These expand to Clang's thread-safety attributes when compiling with a
+// Clang that understands them and to nothing everywhere else (GCC, MSVC),
+// so annotated headers stay portable. The spelling follows the attribute
+// names documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html; the macro names
+// carry an LSDB_ prefix to avoid colliding with third-party headers that
+// define the common GUARDED_BY/REQUIRES forms.
+//
+// Conventions (see DESIGN.md §16 for the full write-up):
+//  * every long-lived mutex is an lsdb::Mutex (util/mutex.h), which is a
+//    CAPABILITY("mutex") type, never a bare std::mutex (enforced by the
+//    lsdb-raw-mutex lint rule);
+//  * every field protected by a mutex carries LSDB_GUARDED_BY(mu_);
+//  * private helpers that expect the lock to be held declare
+//    LSDB_REQUIRES(mu_) instead of taking a unique_lock parameter;
+//  * public entry points that take the lock internally declare
+//    LSDB_EXCLUDES(mu_) so a caller holding it is a compile error;
+//  * lock-free fast paths (atomics, TLS) carry a comment, not an
+//    annotation — the analysis only models capabilities;
+//  * LSDB_NO_THREAD_SAFETY_ANALYSIS is an escape hatch of last resort.
+//    Each use must carry an inline "tsa-escape:" justification on the
+//    same or previous line; lsdb_lint counts the uses and fails the
+//    build on any unjustified one.
+
+#ifndef LSDB_UTIL_THREAD_ANNOTATIONS_H_
+#define LSDB_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LSDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LSDB_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// Type attributes -----------------------------------------------------------
+
+// Marks a class as a capability (a lockable resource). The string name is
+// what diagnostics call it, e.g. "mutex".
+#define LSDB_CAPABILITY(x) LSDB_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (std::lock_guard-style).
+#define LSDB_SCOPED_CAPABILITY LSDB_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data-member attributes ----------------------------------------------------
+
+// The field may only be read or written while holding `x`.
+#define LSDB_GUARDED_BY(x) LSDB_THREAD_ANNOTATION_(guarded_by(x))
+
+// The pointed-to data (not the pointer itself) is protected by `x`.
+#define LSDB_PT_GUARDED_BY(x) LSDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Declares the acquisition-order relation between two mutexes. Note this is
+// advisory to the static analysis only; the runtime LockRegistry
+// (util/mutex.h) checks the realized order in every debug/test run.
+#define LSDB_ACQUIRED_BEFORE(...) \
+  LSDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define LSDB_ACQUIRED_AFTER(...) \
+  LSDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// Function attributes -------------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry and still
+// holds it on exit.
+#define LSDB_REQUIRES(...) \
+  LSDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LSDB_REQUIRES_SHARED(...) \
+  LSDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and does not release it.
+#define LSDB_ACQUIRE(...) \
+  LSDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LSDB_ACQUIRE_SHARED(...) \
+  LSDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases a capability the caller holds on entry.
+#define LSDB_RELEASE(...) \
+  LSDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define LSDB_RELEASE_SHARED(...) \
+  LSDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// The function may not be called while holding the capability (it acquires
+// it itself, so holding it would self-deadlock on a non-reentrant mutex).
+#define LSDB_EXCLUDES(...) LSDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// The function returns a reference to a value guarded by the capability.
+#define LSDB_RETURN_CAPABILITY(x) LSDB_THREAD_ANNOTATION_(lock_returned(x))
+
+// Try-acquire: returns `success` when the capability was acquired.
+#define LSDB_TRY_ACQUIRE(...) \
+  LSDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Assertion form: tells the analysis the capability is held here without
+// generating acquire/release semantics (for ASSERT_HELD-style checks).
+#define LSDB_ASSERT_CAPABILITY(x) \
+  LSDB_THREAD_ANNOTATION_(assert_capability(x))
+
+// Escape hatch: disables the analysis for one function. Every use MUST be
+// accompanied by a `tsa-escape: <reason>` comment on the same or previous
+// line; lsdb_lint rejects bare uses.
+#define LSDB_NO_THREAD_SAFETY_ANALYSIS \
+  LSDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LSDB_UTIL_THREAD_ANNOTATIONS_H_

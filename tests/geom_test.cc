@@ -165,7 +165,9 @@ TEST(RectPropertyTest, PredicatesAgreeAcrossRandomRects) {
     EXPECT_EQ(a.Intersects(b), b.Intersects(a));
     EXPECT_EQ(a.Intersects(b), !a.Intersection(b).empty());
     EXPECT_EQ(a.OverlapArea(b), b.OverlapArea(a));
-    if (a.OverlapArea(b) > 0) EXPECT_TRUE(a.Intersects(b));
+    if (a.OverlapArea(b) > 0) {
+      EXPECT_TRUE(a.Intersects(b));
+    }
     if (a.Contains(b)) {
       EXPECT_TRUE(a.Intersects(b));
       EXPECT_EQ(a.Intersection(b), b);

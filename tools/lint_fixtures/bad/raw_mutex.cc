@@ -1,0 +1,39 @@
+// lsdb-lint-pretend-path: src/lsdb/service/admission.cc
+// Golden-bad fixture: bare std:: synchronization primitives inside the
+// library tree. None of these participate in the Clang thread-safety
+// analysis or the runtime lock-order verifier, so a deadlock through
+// them is invisible to every gate.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace lsdb {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_ = v;
+    cv_.notify_one();
+  }
+
+  int Peek() {
+    std::shared_lock<std::shared_mutex> lk(rw_);
+    return last_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_mutex rw_;
+  std::recursive_mutex nested_;
+  int last_ = 0;
+};
+
+void Transfer(std::mutex& a, std::mutex& b) {
+  std::scoped_lock lk(a, b);
+}
+
+}  // namespace lsdb

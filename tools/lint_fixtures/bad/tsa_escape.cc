@@ -1,0 +1,23 @@
+// lsdb-lint-pretend-path: src/lsdb/storage/buffer_pool.cc
+// Golden-bad fixture: thread-safety-analysis escape hatches with no
+// justification. Turning the analysis off for a function is sometimes
+// necessary, but a bare escape reads as "trust me" — the rule demands a
+// `tsa-escape: <reason>` comment on the line or directly above it.
+// Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
+
+#include "lsdb/util/thread_annotations.h"
+
+namespace lsdb {
+
+class BadEscapes {
+ public:
+  // This comment block explains nothing about the analysis.
+  void Mystery() LSDB_NO_THREAD_SAFETY_ANALYSIS;
+
+  void AlsoMystery() LSDB_NO_THREAD_SAFETY_ANALYSIS { counter_++; }
+
+ private:
+  int counter_ = 0;
+};
+
+}  // namespace lsdb

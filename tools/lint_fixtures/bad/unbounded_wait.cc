@@ -1,12 +1,15 @@
 // lsdb-lint-pretend-path: src/lsdb/service/worker_pool.cc
 // Golden-bad fixture: condition-variable waits that can wedge a serving
-// thread. Plain wait() has no deadline at all; the 2-arg timed forms skip
-// the predicate and silently tolerate lost wakeups.
+// thread. Plain wait()/Wait()/WaitOnce() have no deadline at all; the
+// 2-arg timed forms skip the predicate and silently tolerate lost
+// wakeups. The std:: spellings additionally trip lsdb-raw-mutex.
 // Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
 
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+
+#include "lsdb/util/mutex.h"
 
 namespace lsdb {
 
@@ -18,6 +21,16 @@ void Demo(std::condition_variable& cv, std::mutex& mu, bool& ready) {
   cv.wait_until(lk,
                 std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(10));  // no predicate
+}
+
+void DemoWrapped(CondVar& cv, Mutex& mu, bool& ready) {
+  MutexLock lk(mu);
+  cv.Wait(mu, [&] { return ready; });  // predicate but still no deadline
+  cv.WaitOnce(mu);                     // single unbounded park
+  cv.WaitFor(mu, std::chrono::milliseconds(10));  // no predicate
+  cv.WaitUntil(mu,
+               std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(10));  // no predicate
 }
 
 }  // namespace lsdb

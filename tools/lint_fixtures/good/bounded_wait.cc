@@ -1,29 +1,31 @@
 // lsdb-lint-pretend-path: src/lsdb/storage/buffer_pool.cc
-// Golden-good fixture: the sanctioned spellings of serving-path waits.
-// Must lint clean (for lsdb-unbounded-wait; the pretend path is a
-// read-path TU, so no asserts or stray casts here either).
+// Golden-good fixture: the sanctioned spellings of serving-path waits,
+// using the annotated lsdb::Mutex / lsdb::CondVar wrappers (a raw
+// std::condition_variable here would trip lsdb-raw-mutex). Must lint
+// clean; the pretend path is a read-path TU, so no asserts or stray
+// casts here either.
 // Not compiled — scanned by lsdb_lint in the lint_fixture_* ctests.
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+
+#include "lsdb/util/mutex.h"
 
 namespace lsdb {
 
-bool Demo(std::condition_variable& cv, std::mutex& mu, bool& ready) {
-  std::unique_lock<std::mutex> lk(mu);
+bool Demo(CondVar& cv, Mutex& mu, bool& ready) {
+  MutexLock lk(mu);
   // Predicate + deadline, including a wrapped argument list: bounded and
   // lost-wakeup-safe.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
-  const bool got = cv.wait_until(lk, deadline, [&] { return ready; });
-  cv.wait_until(
-      lk,
+  const bool got = cv.WaitUntil(mu, deadline, [&] { return ready; });
+  cv.WaitUntil(
+      mu,
       std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
       [&] { return ready; });
   // A deliberately unbounded wait carries its justification:
   // NOLINTNEXTLINE(lsdb-unbounded-wait): idle worker park; no deadline applies
-  cv.wait(lk, [&] { return ready; });
+  cv.Wait(mu, [&] { return ready; });
   return got;
 }
 

@@ -1,7 +1,7 @@
 // lsdb_lint: domain-specific static checks for the lsdb tree.
 //
 // Complements clang-tidy (which may be absent from a minimal toolchain —
-// this tool builds with nothing beyond the standard library) with nine
+// this tool builds with nothing beyond the standard library) with twelve
 // project rules that generic linters cannot express:
 //
 //   lsdb-ignored-status    every Status/StatusOr return must be consumed.
@@ -52,13 +52,37 @@
 //                          the differential tests enforce.
 //   lsdb-unbounded-wait    serving-path TUs (service/, storage/) may not
 //                          block forever on a condition variable: plain
-//                          .wait() has no deadline at all, and a timed
-//                          wait_for/wait_until without the predicate
+//                          .wait() / .Wait() / .WaitOnce() has no deadline
+//                          at all, and a timed wait_for/wait_until (or
+//                          WaitFor/WaitUntil) without the predicate
 //                          overload is lost-wakeup-prone. The sanctioned
-//                          form is wait_until(lock, deadline, predicate)
+//                          form is WaitUntil(mu, deadline, predicate)
 //                          with the deadline derived from a budget or
 //                          cancel token; a wait that is provably bounded
 //                          another way carries a NOLINT with the reason.
+//   lsdb-raw-mutex         bare std:: synchronization primitives (mutex,
+//                          condition_variable, lock_guard, unique_lock,
+//                          ...) are confined to src/lsdb/util/. Everything
+//                          else uses lsdb::Mutex / lsdb::MutexLock /
+//                          lsdb::CondVar (util/mutex.h), which carry the
+//                          Clang thread-safety capability annotations and
+//                          feed the runtime lock-order verifier; a raw
+//                          primitive is invisible to both.
+//   lsdb-tls-redirect-pairing
+//                          the TLS redirect guards — ScopedCounterSink,
+//                          ScopedQueryProfile, ScopedCancelScope — may
+//                          only live as scoped stack objects. Heap- or
+//                          static-allocating one (new / make_unique /
+//                          static / thread_local) decouples restore from
+//                          scope exit: the TLS slot then dangles or leaks
+//                          across queries on the worker thread.
+//   lsdb-tsa-escape        every LSDB_NO_THREAD_SAFETY_ANALYSIS use must
+//                          carry a `tsa-escape: <reason>` comment on the
+//                          same line or the comment block directly above.
+//                          Justified escapes are counted and summarized on
+//                          stderr; a bare escape is a finding (the whole
+//                          point of the annotations is that blanket
+//                          opt-outs don't accumulate silently).
 //
 // Suppression: `// NOLINT(lsdb-<rule>): reason` on the offending line, or
 // `// NOLINTNEXTLINE(lsdb-<rule>): reason` on the line above. A bare
@@ -987,10 +1011,19 @@ void CheckUnboundedWait(const std::string& path,
     const std::string& line = stripped[i];
     // A wait must be a member call (`cv.wait(...)` / `cv->wait(...)`):
     // that anchors the match to condition variables / futures and skips
-    // free functions that happen to contain "wait".
-    static const std::vector<std::string> kNames = {"wait", "wait_for",
-                                                    "wait_until"};
-    for (const std::string& name : kNames) {
+    // free functions that happen to contain "wait". The capitalized names
+    // are lsdb::CondVar's spellings: Wait/WaitOnce are deadline-less,
+    // WaitFor/WaitUntil are timed and must pass the predicate overload.
+    static const std::vector<std::string> kDeadlineless = {"wait", "Wait",
+                                                           "WaitOnce"};
+    static const std::vector<std::string> kTimed = {"wait_for", "wait_until",
+                                                    "WaitFor", "WaitUntil"};
+    std::vector<std::string> names;
+    names.insert(names.end(), kDeadlineless.begin(), kDeadlineless.end());
+    names.insert(names.end(), kTimed.begin(), kTimed.end());
+    for (const std::string& name : names) {
+      const bool deadlineless =
+          name == "wait" || name == "Wait" || name == "WaitOnce";
       size_t pos = line.find(name);
       while (pos != std::string::npos) {
         const bool member =
@@ -1000,14 +1033,15 @@ void CheckUnboundedWait(const std::string& path,
         while (after < line.size() && line[after] == ' ') ++after;
         if (member && WordAt(line, pos, name) && after < line.size() &&
             line[after] == '(') {
-          if (name == "wait") {
+          if (deadlineless) {
             if (!Suppressed(raw, i, kRule)) {
               findings->push_back(
                   {path, i + 1, kRule,
-                   "deadline-less wait() in a serving-path TU can block a "
-                   "worker forever; use wait_until(lock, deadline, "
-                   "predicate) with a budget- or token-derived deadline, "
-                   "or annotate // NOLINT(lsdb-unbounded-wait): <reason>"});
+                   "deadline-less " + name +
+                       "() in a serving-path TU can block a worker "
+                       "forever; use WaitUntil(mu, deadline, predicate) "
+                       "with a budget- or token-derived deadline, or "
+                       "annotate // NOLINT(lsdb-unbounded-wait): <reason>"});
             }
           } else {
             // Timed waits must use the predicate overload (>= 3 args):
@@ -1019,7 +1053,7 @@ void CheckUnboundedWait(const std::string& path,
                   {path, i + 1, kRule,
                    name + "() without a predicate is lost-wakeup-prone; "
                           "pass the predicate overload " +
-                       name + "(lock, deadline, predicate)"});
+                       name + "(mu, deadline, predicate)"});
             }
           }
           break;  // one finding per line per name
@@ -1030,11 +1064,146 @@ void CheckUnboundedWait(const std::string& path,
   }
 }
 
+// lsdb-raw-mutex: inside src/lsdb/ (util/ excepted), synchronization must
+// go through lsdb::Mutex / lsdb::MutexLock / lsdb::CondVar so that every
+// lock participates in both the Clang thread-safety analysis and the
+// runtime lock-order verifier. A bare std:: primitive is invisible to
+// both, which is exactly how an unannotated deadlock slips in.
+void CheckRawMutex(const std::string& path,
+                   const std::vector<std::string>& raw,
+                   const std::vector<std::string>& stripped,
+                   std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-raw-mutex";
+  if (!PathContains(path, "src/lsdb/")) return;
+  if (PathContains(path, "src/lsdb/util/")) return;  // the wrappers live here
+  static const std::vector<std::string> kBanned = {
+      "mutex",          "timed_mutex",
+      "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex",   "shared_timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "lock_guard",     "unique_lock",
+      "scoped_lock",    "shared_lock",
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    size_t pos = line.find("std::");
+    while (pos != std::string::npos) {
+      const size_t name_pos = pos + 5;
+      for (const std::string& name : kBanned) {
+        if (WordAt(line, name_pos, name)) {
+          if (!Suppressed(raw, i, kRule)) {
+            findings->push_back(
+                {path, i + 1, kRule,
+                 "bare std::" + name +
+                     " bypasses the thread-safety annotations and the "
+                     "lock-order verifier; use lsdb::Mutex / "
+                     "lsdb::MutexLock / lsdb::CondVar from "
+                     "util/mutex.h instead"});
+          }
+          break;  // one finding per std:: occurrence
+        }
+      }
+      pos = line.find("std::", pos + 1);
+    }
+  }
+}
+
+// lsdb-tls-redirect-pairing: the TLS redirect guards (ScopedCounterSink,
+// ScopedQueryProfile, ScopedCancelScope) save a thread-local slot in their
+// constructor and restore it in their destructor, so correctness depends
+// on strict LIFO nesting on one thread. Heap or static storage decouples
+// destruction order from scope order and silently corrupts the redirect
+// chain for every later frame on the thread.
+void CheckTlsRedirectPairing(const std::string& path,
+                             const std::vector<std::string>& raw,
+                             const std::vector<std::string>& stripped,
+                             std::vector<Finding>* findings) {
+  const std::string kRule = "lsdb-tls-redirect-pairing";
+  static const std::vector<std::string> kGuards = {
+      "ScopedCounterSink", "ScopedQueryProfile", "ScopedCancelScope"};
+  // Storage forms that break scope-paired destruction. The `<` forms catch
+  // std::make_unique<Guard> / std::make_shared<Guard> / vector<Guard>.
+  static const std::vector<std::string> kBadPrefixes = {
+      "new ", "make_unique<", "make_shared<", "static ", "thread_local ",
+      "vector<", "deque<", "optional<", "unique_ptr<", "shared_ptr<",
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const std::string& line = stripped[i];
+    for (const std::string& guard : kGuards) {
+      size_t pos = line.find(guard);
+      bool flagged = false;
+      while (pos != std::string::npos && !flagged) {
+        if (WordAt(line, pos, guard)) {
+          for (const std::string& prefix : kBadPrefixes) {
+            const size_t start = pos >= prefix.size() ? pos - prefix.size()
+                                                      : std::string::npos;
+            if (start != std::string::npos &&
+                line.compare(start, prefix.size(), prefix) == 0 &&
+                (start == 0 || !IsIdentChar(line[start - 1]))) {
+              if (!Suppressed(raw, i, kRule)) {
+                findings->push_back(
+                    {path, i + 1, kRule,
+                     guard + " redirects a thread-local slot and must be "
+                             "a block-scoped stack object; '" +
+                         Trim(prefix) + "' storage breaks the LIFO "
+                                        "save/restore pairing"});
+              }
+              flagged = true;  // one finding per line per guard
+              break;
+            }
+          }
+        }
+        pos = line.find(guard, pos + 1);
+      }
+    }
+  }
+}
+
+// lsdb-tsa-escape: LSDB_NO_THREAD_SAFETY_ANALYSIS turns the analysis off
+// for a whole function, so every use must explain itself with a
+// `tsa-escape: <reason>` comment (same line or in the comment block
+// directly above). Justified escapes are counted and reported so the
+// total stays visible in CI logs; bare escapes are findings.
+void CheckTsaEscape(const std::string& path,
+                    const std::vector<std::string>& raw,
+                    const std::vector<std::string>& stripped,
+                    std::vector<Finding>* findings,
+                    size_t* justified_escapes) {
+  const std::string kRule = "lsdb-tsa-escape";
+  // The macro's own definition (and its documentation) live here.
+  if (EndsWith(path, "util/thread_annotations.h")) return;
+  const std::string kMacro = "LSDB_NO_THREAD_SAFETY_ANALYSIS";
+  const std::string kTag = "tsa-escape:";
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    size_t pos = stripped[i].find(kMacro);
+    if (pos == std::string::npos || !WordAt(stripped[i], pos, kMacro)) {
+      continue;
+    }
+    bool justified = raw[i].find(kTag) != std::string::npos;
+    // Walk the contiguous comment block directly above the use.
+    for (size_t j = i; !justified && j > 0; --j) {
+      const std::string above = Trim(raw[j - 1]);
+      if (above.compare(0, 2, "//") != 0) break;
+      justified = above.find(kTag) != std::string::npos;
+    }
+    if (justified) {
+      if (justified_escapes != nullptr) ++*justified_escapes;
+    } else if (!Suppressed(raw, i, kRule)) {
+      findings->push_back(
+          {path, i + 1, kRule,
+           "LSDB_NO_THREAD_SAFETY_ANALYSIS without a justification; add "
+           "a `// tsa-escape: <why the analysis cannot see this "
+           "invariant>` comment on the same line or directly above"});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
-bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
+bool LintFile(const std::string& arg_path, std::vector<Finding>* findings,
+              size_t* justified_escapes) {
   std::ifstream in(arg_path);
   if (!in) {
     std::fprintf(stderr, "lsdb_lint: cannot open %s\n", arg_path.c_str());
@@ -1066,6 +1235,9 @@ bool LintFile(const std::string& arg_path, std::vector<Finding>* findings) {
   CheckHotCounterInDescent(path, raw, stripped, &file_findings);
   CheckRawIntrinsic(path, raw, stripped, &file_findings);
   CheckUnboundedWait(path, raw, stripped, &file_findings);
+  CheckRawMutex(path, raw, stripped, &file_findings);
+  CheckTlsRedirectPairing(path, raw, stripped, &file_findings);
+  CheckTsaEscape(path, raw, stripped, &file_findings, justified_escapes);
   for (Finding& f : file_findings) {
     f.path = arg_path;  // report the real file, even under pretend-path
     findings->push_back(std::move(f));
@@ -1081,13 +1253,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::vector<Finding> findings;
+  size_t justified_escapes = 0;
   bool io_ok = true;
   for (int i = 1; i < argc; ++i) {
-    io_ok = LintFile(argv[i], &findings) && io_ok;
+    io_ok = LintFile(argv[i], &findings, &justified_escapes) && io_ok;
   }
   for (const Finding& f : findings) {
     std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line,
                 f.rule.c_str(), f.message.c_str());
+  }
+  if (justified_escapes > 0) {
+    std::fprintf(stderr,
+                 "lsdb_lint: %zu justified thread-safety-analysis "
+                 "escape(s)\n",
+                 justified_escapes);
   }
   if (!io_ok) return 2;
   if (!findings.empty()) {
